@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: time-of-day load and ensemble power policies (paper
+ * Section 4 future work, after Fan et al.).
+ *
+ * Compares one day of ensemble energy for srvr1- and emb1-class
+ * clusters sized for the same peak, under the three power policies,
+ * on the internet-service diurnal profile.
+ */
+
+#include <iostream>
+
+#include "core/diurnal.hh"
+#include "cost/burdened_power.hh"
+#include "platform/catalog.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    std::cout << "=== Ablation: diurnal load and power policies "
+                 "===\n\n";
+    auto profile = DiurnalProfile::internetService();
+    std::cout << "Profile mean load: " << fmtPct(profile.meanLoad())
+              << " of peak\n\n";
+
+    // emb1 needs ~3.7x the servers of srvr1 for equal peak capacity
+    // (Figure 2c harmonic mean); size both for the same peak.
+    struct Fleet {
+        std::string name;
+        unsigned servers;
+        double watts;
+    };
+    auto s1 = platform::makeSystem(platform::SystemClass::Srvr1);
+    auto e1 = platform::makeSystem(platform::SystemClass::Emb1);
+    std::vector<Fleet> fleets{
+        {"srvr1 x 1000", 1000, s1.totalWatts() + 1.0},
+        {"emb1 x 3700", 3700, e1.totalWatts() + 1.0},
+    };
+
+    cost::BurdenedPowerParams burden;
+    double burdened_per_kwh =
+        burden.burdenMultiplier() * burden.tariffPerMWh / 1000.0;
+
+    for (const auto &f : fleets) {
+        std::cout << f.name << " (" << fmtF(f.watts, 0)
+                  << " W/server):\n";
+        EnsembleEnergyParams params;
+        params.servers = f.servers;
+        params.wattsPerServer = f.watts;
+        Table t({"Policy", "kWh/day", "Mean active servers",
+                 "Savings vs always-on", "Burdened $/day"});
+        for (auto policy :
+             {PowerPolicy::AlwaysOn, PowerPolicy::ConsolidateIdle,
+              PowerPolicy::PowerOff}) {
+            auto e = dailyEnergy(profile, policy, params);
+            t.addRow({to_string(policy), fmtF(e.kWhPerDay, 0),
+                      fmtF(e.meanActiveServers, 0),
+                      fmtPct(e.savingsVsAlwaysOn, 1),
+                      fmtDollars(e.kWhPerDay * burdened_per_kwh)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Reading: with non-energy-proportional servers, "
+                 "consolidation without power-off saves ~nothing; "
+                 "power-off recovers most of the trough. The paper's "
+                 "sustained-peak methodology therefore bounds, rather "
+                 "than measures, daily energy.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: local-memory fraction x replacement policy for the
+ * memory-blade design (extends paper Figure 4b).
+ *
+ * Sweeps the local fraction from 6.25% to 50% under all three
+ * replacement policies and reports the PCIe-x4 slowdown per workload,
+ * locating where the paper's "25% local is nearly free" claim breaks.
+ */
+
+#include <iostream>
+
+#include "memblade/latency.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::memblade;
+
+int
+main()
+{
+    std::cout << "=== Ablation: local-memory fraction x replacement "
+                 "policy (PCIe x4 slowdowns) ===\n\n";
+    const std::uint64_t n = 1500000;
+    for (auto kind :
+         {PolicyKind::Random, PolicyKind::Lru, PolicyKind::Clock}) {
+        std::cout << "Policy: " << to_string(kind) << "\n";
+        Table t({"Local fraction", "websearch", "webmail", "ytube",
+                 "mapred-wc", "mapred-wr"});
+        for (double f : {0.0625, 0.125, 0.25, 0.5}) {
+            std::vector<std::string> row{fmtPct(f, 2)};
+            for (auto b : workloads::allBenchmarks) {
+                auto prof = profileFor(b);
+                auto st = replayProfile(prof, f, kind, n, 42);
+                row.push_back(fmtPct(
+                    slowdown(st, prof, RemoteLink::pcieX4()), 1));
+            }
+            t.addRow(std::move(row));
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation: electricity tariff sweep ($50-$170/MWh, paper Section 2.2).
+ *
+ * Higher tariffs weight the P&C share of TCO more heavily, which
+ * favors the low-power designs; the bench quantifies by how much.
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    std::cout << "=== Ablation: electricity tariff sweep ===\n\n";
+    Table t({"Tariff ($/MWh)", "srvr1 P&C share", "emb1 P&C share",
+             "emb1/srvr1 Perf/TCO-$ (mapred-wc)"});
+    for (double tariff : {50.0, 80.0, 100.0, 135.0, 170.0}) {
+        EvaluatorParams params;
+        params.burden.tariffPerMWh = tariff;
+        DesignEvaluator ev(params);
+        auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+        auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+        auto m_s1 = ev.evaluate(s1, workloads::Benchmark::MapredWc);
+        auto m_e1 = ev.evaluate(e1, workloads::Benchmark::MapredWc);
+        auto r = relativeTo(m_e1, m_s1);
+        t.addRow({fmtF(tariff, 0),
+                  fmtPct(m_s1.pcDollars / m_s1.tcoDollars),
+                  fmtPct(m_e1.pcDollars / m_e1.tcoDollars),
+                  fmtPct(r.perfPerTcoDollar)});
+    }
+    t.print(std::cout);
+    return 0;
+}

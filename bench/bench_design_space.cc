@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space exploration: the full platform x packaging x memory x
+ * storage cross product (216 designs), screened on the batch
+ * benchmarks, with the Pareto frontier (mapreduce capability vs
+ * 3-year TCO) evaluated on the full suite.
+ *
+ * This is the architect's view the paper's hand-picked N1/N2 points
+ * come from: where do they sit on the frontier, and what else is on
+ * it?
+ */
+
+#include <iostream>
+
+#include "core/design_space.hh"
+#include "core/evaluator.hh"
+#include "core/report.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    std::cout << "=== Design-space exploration (216 designs) ===\n\n";
+    EvaluatorParams params;
+    params.search.window.warmupSeconds = 4.0;
+    params.search.window.measureSeconds = 20.0;
+    params.search.iterations = 7;
+    DesignEvaluator ev(params);
+
+    auto designs = enumerateDesigns();
+    auto baseline = DesignConfig::baseline(platform::SystemClass::Srvr1);
+
+    // Stage 1: screen on the fast batch benchmark.
+    std::vector<double> perf(designs.size());
+    std::vector<double> tco(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        auto m = ev.evaluate(designs[i], workloads::Benchmark::MapredWc);
+        perf[i] = m.perf;
+        tco[i] = m.tcoDollars;
+    }
+    auto frontier = paretoFrontier(perf, tco);
+    std::cout << "Pareto frontier (mapred-wc capability vs per-server "
+                 "TCO): "
+              << frontier.size() << " of " << designs.size()
+              << " designs\n\n";
+
+    Table t({"Design", "TCO-$", "mapred-wc perf (rel srvr1)",
+             "Suite HMean Perf/TCO-$ (rel srvr1)"});
+    auto base_m =
+        ev.evaluate(baseline, workloads::Benchmark::MapredWc);
+    for (auto idx : frontier) {
+        // Full-suite aggregate only for the survivors (the expensive
+        // interactive searches run here).
+        auto agg = ev.aggregateRelative(designs[idx], baseline);
+        t.addRow({designs[idx].name, fmtDollars(tco[idx]),
+                  fmtPct(perf[idx] / base_m.perf),
+                  fmtPct(agg.perfPerTcoDollar)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nWhere the paper's unified designs sit:\n";
+    Table n({"Design", "On frontier?", "Suite HMean Perf/TCO-$"});
+    for (const auto &named : {std::string("mobl/dual-entry"),
+                              std::string("emb1/aggregated-microblade/"
+                                          "mem-dynamic/laptop-flash")}) {
+        std::size_t idx = designs.size();
+        for (std::size_t i = 0; i < designs.size(); ++i)
+            if (designs[i].name == named)
+                idx = i;
+        if (idx == designs.size())
+            continue;
+        bool on = false;
+        for (auto f : frontier)
+            on |= (f == idx);
+        auto agg = ev.aggregateRelative(designs[idx], baseline);
+        n.addRow({named + (named.find("mobl") == 0 ? " (= N1)" :
+                                                     " (= N2)"),
+                  on ? "yes" : "no",
+                  fmtPct(agg.perfPerTcoDollar)});
+    }
+    n.print(std::cout);
+    return 0;
+}

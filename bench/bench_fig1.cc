@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Figure 1: cost models and breakdowns.
+ *
+ * (a) Per-server hardware and 3-year burdened power & cooling line
+ *     items for srvr1 and srvr2 (published totals: $5,758 / $3,249).
+ * (b) srvr2 TCO breakdown percentages (the pie chart).
+ */
+
+#include <iostream>
+
+#include "cost/tco.hh"
+#include "platform/catalog.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::platform;
+
+int
+main()
+{
+    cost::TcoModel model(cost::RackCostParams{}, power::RackPowerParams{},
+                         cost::BurdenedPowerParams{});
+    auto s1 = makeSystem(SystemClass::Srvr1);
+    auto s2 = makeSystem(SystemClass::Srvr2);
+    auto r1 = model.evaluate(s1.hardwareCost(), s1.hardwarePower());
+    auto r2 = model.evaluate(s2.hardwareCost(), s2.hardwarePower());
+
+    std::cout << "=== Figure 1(a): cost model line items ===\n\n";
+    Table t({"Details", "Srvr1", "Srvr2"});
+    auto money = [](double v) { return fmtDollars(v); };
+    t.addRow({"Per-server cost ($)", money(r1.serverHw()),
+              money(r2.serverHw())});
+    t.addRow({"  CPU", money(r1.hw.cpu), money(r2.hw.cpu)});
+    t.addRow({"  Memory", money(r1.hw.memory), money(r2.hw.memory)});
+    t.addRow({"  Disk", money(r1.hw.disk), money(r2.hw.disk)});
+    t.addRow({"  Board + mgmt", money(r1.hw.boardMgmt),
+              money(r2.hw.boardMgmt)});
+    t.addRow({"  Power + fans", money(r1.hw.powerFans),
+              money(r2.hw.powerFans)});
+    t.addRow({"Switch/rack cost", money(2750.0), money(2750.0)});
+    t.addSeparator();
+    t.addRow({"Server power (Watt)", fmtF(r1.watts.total(), 0),
+              fmtF(r2.watts.total(), 0)});
+    t.addRow({"  CPU", fmtF(r1.watts.cpu, 0), fmtF(r2.watts.cpu, 0)});
+    t.addRow({"  Memory", fmtF(r1.watts.memory, 0),
+              fmtF(r2.watts.memory, 0)});
+    t.addRow({"  Disk", fmtF(r1.watts.disk, 0),
+              fmtF(r2.watts.disk, 0)});
+    t.addRow({"  Board + mgmt", fmtF(r1.watts.boardMgmt, 0),
+              fmtF(r2.watts.boardMgmt, 0)});
+    t.addRow({"  Power + fans", fmtF(r1.watts.powerFans, 0),
+              fmtF(r2.watts.powerFans, 0)});
+    t.addRow({"Switch/rack power", "40", "40"});
+    t.addSeparator();
+    t.addRow({"Activity factor", "0.75", "0.75"});
+    t.addRow({"K1 / L1 / K2", "1.33 / 0.8 / 0.667",
+              "1.33 / 0.8 / 0.667"});
+    t.addRow({"3-yr power & cooling", money(r1.powerCooling()),
+              money(r2.powerCooling())});
+    t.addRow({"Total costs ($)", money(r1.tco()), money(r2.tco())});
+    t.print(std::cout);
+    std::cout << "\nPaper totals: $5,758 (srvr1), $3,249 (srvr2); P&C "
+                 "$2,464 / $1,561.\n";
+
+    std::cout << "\n=== Figure 1(b): srvr2 TCO breakdown ===\n\n";
+    Table pie({"Component", "Dollars", "Share"});
+    for (const auto &slice : model.breakdown(r2))
+        pie.addRow({slice.label, fmtDollars(slice.dollars),
+                    fmtPct(slice.fraction)});
+    pie.print(std::cout);
+    std::cout << "\nPaper pie: CPU HW 20%, CPU P&C 22%, Mem HW 11%, "
+                 "Mem P&C 6%, Disk HW 4%, Disk P&C 2%, Board HW 8%, "
+                 "Board P&C 9%, Fan HW 8%, Fans P&C 8%, Rack HW 2%, "
+                 "Rack P&C 0%.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: benefits of low-cost, low-power CPUs from
+ * non-server markets.
+ *
+ * (a) Infrastructure-cost breakdown across the six systems.
+ * (b) Burdened power-and-cooling cost breakdown.
+ * (c) Perf, Perf/Inf-$, Perf/W, Perf/TCO-$ relative to srvr1 for each
+ *     workload, with harmonic means.
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "core/report.hh"
+#include "cost/tco.hh"
+#include "platform/catalog.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    cost::TcoModel model(cost::RackCostParams{}, power::RackPowerParams{},
+                         cost::BurdenedPowerParams{});
+
+    std::cout << "=== Figure 2(a): infrastructure-$ breakdown ===\n\n";
+    Table inf({"System", "CPU", "Memory", "Disk", "Board", "Power+fan",
+               "Rack", "Total"});
+    for (const auto &s : platform::allSystems()) {
+        auto r = model.evaluate(s.hardwareCost(), s.hardwarePower());
+        inf.addRow({s.name, fmtDollars(r.hw.cpu),
+                    fmtDollars(r.hw.memory), fmtDollars(r.hw.disk),
+                    fmtDollars(r.hw.boardMgmt),
+                    fmtDollars(r.hw.powerFans),
+                    fmtDollars(r.rackHwShare),
+                    fmtDollars(r.infrastructure())});
+    }
+    inf.print(std::cout);
+
+    std::cout << "\n=== Figure 2(b): P&C-$ breakdown (3-yr burdened) "
+                 "===\n\n";
+    Table pc({"System", "CPU", "Memory", "Disk", "Board", "Power+fan",
+              "Rack", "Total"});
+    for (const auto &s : platform::allSystems()) {
+        auto r = model.evaluate(s.hardwareCost(), s.hardwarePower());
+        pc.addRow({s.name, fmtDollars(r.pc.cpu),
+                   fmtDollars(r.pc.memory), fmtDollars(r.pc.disk),
+                   fmtDollars(r.pc.boardMgmt),
+                   fmtDollars(r.pc.powerFans),
+                   fmtDollars(r.switchPcShare),
+                   fmtDollars(r.powerCooling())});
+    }
+    pc.print(std::cout);
+
+    std::cout << "\n=== Figure 2(c): performance, cost and power "
+                 "efficiencies (relative to srvr1) ===\n\n";
+    EvaluatorParams params;
+    params.search.window.warmupSeconds = 5.0;
+    params.search.window.measureSeconds = 30.0;
+    params.search.iterations = 8;
+    DesignEvaluator ev(params);
+
+    auto baseline = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    std::vector<DesignConfig> designs;
+    for (auto cls :
+         {platform::SystemClass::Srvr2, platform::SystemClass::Desk,
+          platform::SystemClass::Mobl, platform::SystemClass::Emb1,
+          platform::SystemClass::Emb2})
+        designs.push_back(DesignConfig::baseline(cls));
+
+    for (auto metric :
+         {Metric::Perf, Metric::PerfPerInfDollar, Metric::PerfPerWatt,
+          Metric::PerfPerPcDollar, Metric::PerfPerTcoDollar}) {
+        relativeTable(ev, designs, baseline, metric).print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout
+        << "Paper Figure 2(c) reference rows (srvr2/desk/mobl/emb1/"
+           "emb2):\n"
+           "  Perf websearch 68/36/34/24/11%  webmail 48/19/17/11/5%\n"
+           "  Perf ytube 97/92/95/86/24%  mapred-wc 93/78/72/51/12%\n"
+           "  Perf/TCO-$ HMean 126/132/140/192/95%\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: cost and power efficiencies of the two
+ * unified designs (N1, N2) against srvr1, plus the Section 3.6
+ * comparison against srvr2 and desk baselines.
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    std::cout << "=== Figure 5: unified designs N1 and N2 (relative to "
+                 "srvr1) ===\n\n";
+    EvaluatorParams params;
+    params.search.window.warmupSeconds = 5.0;
+    params.search.window.measureSeconds = 30.0;
+    params.search.iterations = 8;
+    DesignEvaluator ev(params);
+
+    auto srvr1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    std::vector<DesignConfig> designs{DesignConfig::n1(),
+                                      DesignConfig::n2()};
+
+    for (auto metric : {Metric::PerfPerInfDollar, Metric::PerfPerWatt,
+                        Metric::PerfPerTcoDollar}) {
+        relativeTable(ev, designs, srvr1, metric).print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout
+        << "Paper: Perf/TCO-$ improves ~1.5X (N1) and ~2X (N2) at the "
+           "harmonic mean;\n2X-3.5X (N1) and 3.5X-6X (N2) on ytube and "
+           "mapreduce; websearch gains 10-70%;\nwebmail degrades (~40% "
+           "N1, ~20% N2).\n";
+
+    std::cout << "\n=== Section 3.6: N1/N2 against srvr2 and desk "
+                 "baselines (Perf/TCO-$) ===\n\n";
+    for (auto cls :
+         {platform::SystemClass::Srvr2, platform::SystemClass::Desk}) {
+        auto base = DesignConfig::baseline(cls);
+        std::cout << "Baseline " << base.name << ":\n";
+        relativeTable(ev, designs, base, Metric::PerfPerTcoDollar)
+            .print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Paper: N2 averages 1.8-2X over srvr2/desk; ytube and "
+                 "mapreduce reach 2.5-4.1X (vs srvr2) and 1.7-2.5X (vs "
+                 "desk).\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernels: event
+ * queue throughput, processor-sharing resource, Zipf sampling, and
+ * the page-replacement policies that dominate the trace studies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "memblade/replacement.hh"
+#include "memblade/trace.hh"
+#include "sim/distributions.hh"
+#include "sim/event_queue.hh"
+#include "sim/resources.hh"
+#include "util/random.hh"
+
+using namespace wsc;
+
+namespace {
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(double(i), [&sink] { ++sink; });
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_PsResourceChurn(benchmark::State &state)
+{
+    const auto jobs = std::size_t(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        sim::PsResource cpu(eq, "cpu", 8.0, 8);
+        Rng rng(1);
+        std::uint64_t done = 0;
+        for (std::size_t i = 0; i < jobs; ++i)
+            cpu.submit(rng.uniform(0.001, 0.01), [&done] { ++done; });
+        eq.runAll();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(64)->Arg(1024)->Arg(8192);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    sim::ZipfDist zipf(std::uint64_t(state.range(0)), 0.9);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sampleRank(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void
+BM_ReplacementReplay(benchmark::State &state)
+{
+    auto kind = memblade::PolicyKind(state.range(0));
+    auto profile =
+        memblade::profileFor(workloads::Benchmark::Websearch);
+    Rng rng(3);
+    memblade::TraceGenerator gen(profile, rng);
+    auto policy = memblade::makePolicy(
+        kind, std::size_t(double(profile.footprintPages) * 0.25),
+        Rng(4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy->access(gen.next()));
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(memblade::to_string(kind));
+}
+BENCHMARK(BM_ReplacementReplay)
+    ->Arg(int(memblade::PolicyKind::Lru))
+    ->Arg(int(memblade::PolicyKind::Random))
+    ->Arg(int(memblade::PolicyKind::Clock));
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto profile = memblade::profileFor(workloads::Benchmark::Ytube);
+    Rng rng(5);
+    memblade::TraceGenerator gen(profile, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

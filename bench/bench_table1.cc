@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the warehouse-computing benchmark suite.
+ *
+ * Prints each benchmark's realized operational parameters: what it
+ * emphasizes, its QoS constraint, its performance metric, and the
+ * measured mean request demands the generators produce.
+ */
+
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/mapreduce.hh"
+#include "workloads/suite.hh"
+
+using namespace wsc;
+using namespace wsc::workloads;
+
+namespace {
+
+std::string
+emphasis(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::Websearch:
+        return "unstructured data";
+      case Benchmark::Webmail:
+        return "interactive internet services";
+      case Benchmark::Ytube:
+        return "rich media";
+      case Benchmark::MapredWc:
+      case Benchmark::MapredWr:
+        return "web as a platform";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 1: benchmark suite for the internet sector "
+                 "===\n\n";
+
+    Table t({"Workload", "Emphasizes", "QoS", "Perf metric",
+             "Mean CPU (GHz-ms)", "Mean net (KB)"});
+    for (auto b : allBenchmarks) {
+        auto w = makeBenchmark(b);
+        std::string qos = "-";
+        std::string metric = "exec time";
+        std::string cpu = "-", net = "-";
+        if (w->kind() == WorkloadKind::Interactive) {
+            auto &iw = dynamic_cast<InteractiveWorkload &>(*w);
+            auto q = iw.qos();
+            qos = ">" + fmtPct(q.quantile) + " < " +
+                  fmtF(q.latencyLimit, 1) + "s";
+            metric = "RPS w/ QoS";
+            auto mean = iw.meanDemand();
+            cpu = fmtF(mean.cpuWork * 1e3, 1);
+            net = fmtF(mean.netBytes / 1024.0, 1);
+        }
+        t.addRow({to_string(b), emphasis(b), qos, metric, cpu, net});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nBatch job structure (Hadoop, 4 threads per CPU):\n";
+    Table jobs({"Job", "Map tasks", "Input/output", "CPU per map "
+                                                    "(GHz-s)"});
+    MapReduce wc(MapReduceApp::WordCount);
+    MapReduce wr(MapReduceApp::FileWrite);
+    jobs.addRow({"mapred-wc", std::to_string(wc.mapTaskCount()),
+                 fmtF(wc.params().wcCorpusGB, 0) + " GB corpus read",
+                 fmtF(wc.params().wcCpuPerTask, 1)});
+    jobs.addRow({"mapred-wr", std::to_string(wr.mapTaskCount()),
+                 fmtF(wr.params().wrOutputGB, 0) + " GB written",
+                 fmtF(wr.params().wrCpuPerTask, 1)});
+    jobs.print(std::cout);
+    return 0;
+}

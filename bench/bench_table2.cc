@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the six systems under study.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "cost/tco.hh"
+#include "platform/catalog.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::platform;
+
+int
+main()
+{
+    std::cout << "=== Table 2: summary of systems considered ===\n\n";
+    cost::TcoModel model(cost::RackCostParams{}, power::RackPowerParams{},
+                         cost::BurdenedPowerParams{});
+
+    Table t({"System", "Similar to", "System features", "Watt",
+             "Inf-$"});
+    for (const auto &s : allSystems()) {
+        std::ostringstream feats;
+        feats << s.cpu.sockets << "p x " << s.cpu.coresPerSocket
+              << " cores, " << s.cpu.freqGHz << " GHz, "
+              << (s.cpu.outOfOrder ? "OoO" : "in-order") << ", "
+              << s.cpu.l1KB << "K/";
+        if (s.cpu.l2KB >= 1024)
+            feats << (s.cpu.l2KB / 1024) << "MB";
+        else
+            feats << s.cpu.l2KB << "K";
+        feats << " L1/L2";
+        auto r = model.evaluate(s.hardwareCost(), s.hardwarePower());
+        t.addRow({s.name, s.cpu.similarTo, feats.str(),
+                  fmtF(s.totalWatts(), 0),
+                  fmtDollars(r.infrastructure())});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper: srvr1 340W/$3,294; srvr2 215W/$1,689; desk "
+                 "135W/$849; mobl 78W/$989; emb1 52W/$499; emb2 "
+                 "35W/$379.\n";
+
+    std::cout << "\nPlatform peripherals:\n";
+    Table p({"System", "Memory", "Disk", "NIC"});
+    for (const auto &s : allSystems()) {
+        p.addRow({s.name,
+                  fmtF(s.memory.capacityGB, 0) + " GB " +
+                      to_string(s.memory.tech),
+                  to_string(s.disk.cls), fmtF(s.nic.gbps, 0) + " GbE"});
+    }
+    p.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Capacity planning: size a datacenter for a service mix.
+ *
+ * Brings the cluster planner, workload mixes, and the diurnal energy
+ * model together: given a media-heavy service that needs the capacity
+ * of 400 srvr1-class machines at peak, compare deploying srvr1 vs the
+ * N2 ensemble design — servers, racks, daily energy under a power-off
+ * policy, and 3-year money.
+ *
+ * Run: build/examples/capacity_planning
+ */
+
+#include <iostream>
+
+#include "core/cluster.hh"
+#include "core/diurnal.hh"
+#include "core/mix.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main()
+{
+    const unsigned baseline_servers = 400;
+    std::cout << "Sizing for a media-heavy service needing "
+              << baseline_servers << " srvr1-equivalents at peak\n\n";
+
+    ClusterParams cp;
+    cp.realEstatePerRackYear = 3000.0;
+    ClusterPlanner planner(cp);
+    auto &ev = planner.evaluator();
+
+    auto srvr1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto n2 = DesignConfig::n2();
+    auto mix = WorkloadMix::mediaHeavy();
+
+    // Mix-weighted per-server capability sets the fleet size.
+    auto rel = mixRelative(ev, n2, srvr1, mix);
+    std::cout << "N2 per-server capability on this mix: "
+              << fmtPct(rel.perf) << " of srvr1 (Perf/TCO-$ "
+              << fmtPct(rel.perfPerTcoDollar) << ")\n\n";
+
+    auto base_plan = planner.plan(srvr1, srvr1, baseline_servers,
+                                  workloads::Benchmark::Ytube);
+    auto n2_plan = planner.plan(n2, srvr1, baseline_servers,
+                                workloads::Benchmark::Ytube);
+
+    auto diurnal = DiurnalProfile::internetService();
+    auto energy_of = [&](const ClusterPlan &plan) {
+        EnsembleEnergyParams p;
+        p.servers = unsigned(plan.serversNeeded + 0.5);
+        p.wattsPerServer =
+            plan.totalPowerKW * 1000.0 / plan.serversNeeded;
+        return dailyEnergy(diurnal, PowerPolicy::PowerOff, p);
+    };
+    auto base_energy = energy_of(base_plan);
+    auto n2_energy = energy_of(n2_plan);
+
+    Table t({"Metric", "srvr1 fleet", "N2 fleet"});
+    t.addRow({"Servers", fmtF(base_plan.serversNeeded, 0),
+              fmtF(n2_plan.serversNeeded, 0)});
+    t.addRow({"Racks", std::to_string(base_plan.racks),
+              std::to_string(n2_plan.racks)});
+    t.addRow({"Peak power (kW)", fmtF(base_plan.totalPowerKW, 1),
+              fmtF(n2_plan.totalPowerKW, 1)});
+    t.addRow({"Energy/day, power-off policy (kWh)",
+              fmtF(base_energy.kWhPerDay, 0),
+              fmtF(n2_energy.kWhPerDay, 0)});
+    t.addRow({"3-yr hardware $", fmtDollars(base_plan.hardwareDollars),
+              fmtDollars(n2_plan.hardwareDollars)});
+    t.addRow({"3-yr P&C $",
+              fmtDollars(base_plan.powerCoolingDollars),
+              fmtDollars(n2_plan.powerCoolingDollars)});
+    t.addRow({"3-yr real estate $",
+              fmtDollars(base_plan.realEstateDollars),
+              fmtDollars(n2_plan.realEstateDollars)});
+    t.addRow({"3-yr total $", fmtDollars(base_plan.totalDollars()),
+              fmtDollars(n2_plan.totalDollars())});
+    t.print(std::cout);
+
+    std::cout << "\nN2 delivers the same peak capacity at "
+              << fmtPct(n2_plan.totalDollars() /
+                        base_plan.totalDollars())
+              << " of the baseline's 3-year cost.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: evaluate one server platform on one workload.
+ *
+ * Builds the low-end server (srvr2) from the catalog, measures its
+ * sustainable websearch throughput under the paper's QoS constraint,
+ * and prints the full cost picture: hardware, burdened power &
+ * cooling, 3-year TCO, and the resulting Perf/TCO-$.
+ *
+ * Run: build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+
+int
+main()
+{
+    // 1. Pick a platform from the Table 2 catalog.
+    auto design =
+        core::DesignConfig::baseline(platform::SystemClass::Srvr2);
+    std::cout << "Evaluating '" << design.name << "' ("
+              << design.server.cpu.similarTo << ", "
+              << design.server.cpu.totalCores() << " cores @ "
+              << design.server.cpu.freqGHz << " GHz)\n\n";
+
+    // 2. Measure websearch RPS-with-QoS and the cost/power picture.
+    core::DesignEvaluator evaluator;
+    auto metrics =
+        evaluator.evaluate(design, workloads::Benchmark::Websearch);
+
+    Table t({"Quantity", "Value"});
+    t.addRow({"Sustainable websearch RPS (95% < 0.5 s)",
+              fmtF(metrics.perf, 0)});
+    t.addRow({"Server power incl. switch share (W)",
+              fmtF(metrics.watts, 0)});
+    t.addRow({"Infrastructure cost", fmtDollars(metrics.infDollars)});
+    t.addRow({"3-yr burdened power & cooling",
+              fmtDollars(metrics.pcDollars)});
+    t.addRow({"3-yr TCO", fmtDollars(metrics.tcoDollars)});
+    t.addRow({"Perf/TCO-$ (RPS per dollar)",
+              fmtF(metrics.perfPerTcoDollar(), 3)});
+    t.print(std::cout);
+
+    // 3. Compare against the embedded platform the paper advocates.
+    auto emb1 =
+        core::DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto rel = evaluator.evaluateRelative(
+        emb1, design, workloads::Benchmark::Websearch);
+    std::cout << "\nemb1 vs srvr2 on websearch: perf "
+              << fmtPct(rel.perf) << ", Perf/TCO-$ "
+              << fmtPct(rel.perfPerTcoDollar) << "\n";
+    return 0;
+}

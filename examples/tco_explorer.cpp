@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TCO explorer: how the burdened-cost parameters move the bottom line.
+ *
+ * Sweeps the electricity tariff and the cooling-efficiency gain for a
+ * platform given on the command line (default emb1) and prints the
+ * resulting 3-year TCO grid — the tool a datacenter architect would
+ * use to decide whether better packaging pays for itself at their
+ * site's power price.
+ *
+ * Run: build/examples/tco_explorer [srvr1|srvr2|desk|mobl|emb1|emb2]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "cost/tco.hh"
+#include "platform/catalog.hh"
+#include "thermal/cooling_cost.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::platform;
+
+namespace {
+
+SystemClass
+parseSystem(const std::string &name)
+{
+    for (auto cls : allSystemClasses)
+        if (to_string(cls) == name)
+            return cls;
+    fatal("unknown system '" + name +
+          "'; expected one of srvr1|srvr2|desk|mobl|emb1|emb2");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemClass cls = SystemClass::Emb1;
+    if (argc > 1) {
+        try {
+            cls = parseSystem(argv[1]);
+        } catch (const FatalError &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    }
+    auto server = makeSystem(cls);
+    std::cout << "3-year TCO grid for '" << server.name << "' ("
+              << fmtF(server.totalWatts(), 0) << " W, "
+              << fmtDollars(server.serverDollars()) << " hardware)\n\n";
+
+    Table t({"Tariff \\ cooling gain", "1.0x (conv)", "2.0x (dual)",
+             "4.0x (aggr)"});
+    for (double tariff : {50.0, 100.0, 170.0}) {
+        std::vector<std::string> row{"$" + fmtF(tariff, 0) + "/MWh"};
+        for (double gain : {1.0, 2.0, 4.0}) {
+            cost::BurdenedPowerParams burden;
+            burden.tariffPerMWh = tariff;
+            auto adjusted = thermal::applyCoolingGain(burden, gain);
+            cost::TcoModel model(cost::RackCostParams{},
+                                 power::RackPowerParams{}, adjusted);
+            auto r = model.evaluate(server.hardwareCost(),
+                                    server.hardwarePower());
+            row.push_back(fmtDollars(r.tco()));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFor reference, the burdened P&C multiplier falls "
+                 "from "
+              << fmtF(cost::BurdenedPowerParams{}.burdenMultiplier(), 2)
+              << " (conventional) to "
+              << fmtF(thermal::applyCoolingGain(
+                          cost::BurdenedPowerParams{}, 4.0)
+                          .burdenMultiplier(),
+                      2)
+              << " with aggregated cooling.\n";
+    return 0;
+}

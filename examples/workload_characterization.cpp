@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Workload characterization: where each benchmark spends its demand.
+ *
+ * Samples each interactive workload's request stream and prints the
+ * demand mix (CPU / disk / network), the latency distribution on a
+ * mid-range platform at moderate load, and each workload's bottleneck
+ * station — the analysis behind the paper's observation that ytube
+ * and mapreduce are IO-bound while websearch and webmail are
+ * CPU-bound.
+ *
+ * Run: build/examples/workload_characterization
+ */
+
+#include <iostream>
+
+#include "perfsim/perf_eval.hh"
+#include "perfsim/throughput.hh"
+#include "platform/catalog.hh"
+#include "stats/percentile.hh"
+#include "util/table.hh"
+#include "workloads/suite.hh"
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+int
+main()
+{
+    PerfEvaluator ev;
+    auto desk = platform::makeSystem(platform::SystemClass::Desk);
+
+    std::cout << "Demand mix and bottleneck per workload on 'desk':\n\n";
+    Table t({"Workload", "CPU s/req", "Disk s/req", "NIC s/req",
+             "Bottleneck", "Analytic bound (RPS)"});
+    for (auto b :
+         {workloads::Benchmark::Websearch, workloads::Benchmark::Webmail,
+          workloads::Benchmark::Ytube}) {
+        auto w = workloads::makeBenchmark(b);
+        auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(*w);
+        auto st = ev.stationsFor(desk, iw.traits(), {});
+        auto mean = iw.meanDemand();
+        double cpu_t = mean.cpuWork / st.cpuCapacityGHz;
+        double disk_t =
+            (1.0 - st.diskCacheHitRate) *
+                (st.diskAccessMs * 1e-3 * mean.diskReadOps +
+                 mean.diskReadBytes / (st.diskReadMBs * 1e6)) +
+            st.diskAccessMs * 1e-3 * 0.25 * mean.diskWriteOps +
+            mean.diskWriteBytes / (st.diskWriteMBs * 1e6);
+        double nic_t = mean.netBytes / (st.nicMBs * 1e6);
+        std::string bottleneck = "CPU";
+        if (disk_t > cpu_t && disk_t > nic_t)
+            bottleneck = "disk";
+        else if (nic_t > cpu_t && nic_t > disk_t)
+            bottleneck = "NIC";
+        t.addRow({iw.name(), fmtF(cpu_t * 1e3, 2) + " ms",
+                  fmtF(disk_t * 1e3, 2) + " ms",
+                  fmtF(nic_t * 1e3, 2) + " ms", bottleneck,
+                  fmtF(analyticBound(iw, st), 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nLatency distribution at 60% of the websearch bound "
+                 "on 'desk':\n";
+    auto ws = workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(*ws);
+    auto st = ev.stationsFor(desk, iw.traits(), {});
+    Rng rng(2024);
+    SimWindow window;
+    window.warmupSeconds = 5.0;
+    window.measureSeconds = 30.0;
+    auto r = simulateInteractive(iw, st, 0.6 * analyticBound(iw, st),
+                                 window, rng);
+    Table lat({"Statistic", "Value"});
+    lat.addRow({"Requests completed", std::to_string(r.completed)});
+    lat.addRow({"Mean latency", fmtF(r.meanLatency * 1e3, 1) + " ms"});
+    lat.addRow({"p95 latency", fmtF(r.p95Latency * 1e3, 1) + " ms"});
+    lat.addRow({"QoS violations", fmtPct(r.qosViolationFraction, 2)});
+    lat.addRow({"CPU utilization", fmtPct(r.cpuUtilization)});
+    lat.addRow({"Disk utilization", fmtPct(r.diskUtilization)});
+    lat.addRow({"NIC utilization", fmtPct(r.nicUtilization)});
+    lat.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "core/cluster.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+ClusterPlanner::ClusterPlanner(ClusterParams params, EvaluatorParams e)
+    : params_(params), eval(std::move(e))
+{
+}
+
+ClusterPlan
+ClusterPlanner::planWithRatio(const DesignConfig &design,
+                              double perf_ratio,
+                              unsigned baseline_servers)
+{
+    WSC_ASSERT(perf_ratio > 0.0, "non-positive performance ratio");
+    WSC_ASSERT(baseline_servers >= 1, "empty baseline cluster");
+
+    ClusterPlan plan;
+    plan.perfPerServer = perf_ratio;
+    plan.serversNeeded = double(baseline_servers) / perf_ratio;
+
+    auto enclosure = thermal::makeEnclosure(design.packaging);
+    unsigned per_rack = enclosure.systemsPerRack();
+    plan.racks =
+        unsigned(std::ceil(plan.serversNeeded / double(per_rack)));
+
+    // Cost/power of one server of this design (uses a batch benchmark
+    // only for the cached cost path; perf is not consulted here).
+    auto server = eval.adjustedServer(design);
+    cost::TcoModel tco(eval.params().rackCost, eval.params().rackPower,
+                       eval.burdenFor(design));
+    auto r = tco.evaluate(server.hardwareCost(), server.hardwarePower());
+
+    plan.totalPowerKW = plan.serversNeeded * r.wattsWithSwitch / 1000.0;
+    plan.hardwareDollars = plan.serversNeeded * r.infrastructure();
+    plan.powerCoolingDollars = plan.serversNeeded * r.powerCooling();
+    plan.realEstateDollars = double(plan.racks) *
+                             params_.realEstatePerRackYear *
+                             params_.years;
+    return plan;
+}
+
+ClusterPlan
+ClusterPlanner::plan(const DesignConfig &design,
+                     const DesignConfig &baseline,
+                     unsigned baseline_servers, workloads::Benchmark b)
+{
+    auto rel = eval.evaluateRelative(design, baseline, b);
+    return planWithRatio(design, rel.perf, baseline_servers);
+}
+
+ClusterPlan
+ClusterPlanner::planSuite(const DesignConfig &design,
+                          const DesignConfig &baseline,
+                          unsigned baseline_servers)
+{
+    auto agg = eval.aggregateRelative(design, baseline);
+    return planWithRatio(design, agg.perf, baseline_servers);
+}
+
+} // namespace core
+} // namespace wsc

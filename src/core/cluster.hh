@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cluster-level planning: equal-performance ensemble comparisons.
+ *
+ * Section 3.6 restates the N2 result at the ensemble level: "for the
+ * same performance as the baseline, N2 gets a 60% reduction in power,
+ * 55% reduction in overall costs, and consumes 30% less racks". This
+ * module sizes a cluster of one design to match the aggregate
+ * performance of a baseline cluster and prices it, including rack
+ * count (via the packaging density model) and optional real-estate
+ * cost — the component the paper's metric definition mentions but its
+ * per-server tables omit.
+ */
+
+#ifndef WSC_CORE_CLUSTER_HH
+#define WSC_CORE_CLUSTER_HH
+
+#include "core/evaluator.hh"
+#include "thermal/enclosure.hh"
+
+namespace wsc {
+namespace core {
+
+/** Cluster-level cost parameters. */
+struct ClusterParams {
+    /** Real-estate cost per rack per year (0 = excluded, as in the
+     * paper's per-server tables). */
+    double realEstatePerRackYear = 0.0;
+    double years = 3.0;
+};
+
+/** Sizing and cost of one design at a target aggregate performance. */
+struct ClusterPlan {
+    double perfPerServer = 0.0;   //!< relative to the baseline server
+    double serversNeeded = 0.0;   //!< fractional, before rack rounding
+    unsigned racks = 0;
+    double totalPowerKW = 0.0;    //!< max operational, incl. switches
+    double hardwareDollars = 0.0; //!< servers + rack shares
+    double powerCoolingDollars = 0.0;
+    double realEstateDollars = 0.0;
+
+    double
+    totalDollars() const
+    {
+        return hardwareDollars + powerCoolingDollars +
+               realEstateDollars;
+    }
+};
+
+/**
+ * Plans clusters at equal aggregate performance.
+ */
+class ClusterPlanner
+{
+  public:
+    explicit ClusterPlanner(ClusterParams params = {},
+                            EvaluatorParams eval = {});
+
+    /**
+     * Size a cluster of @p design to match @p baseline_servers servers
+     * of @p baseline on benchmark @p b, and price it.
+     */
+    ClusterPlan plan(const DesignConfig &design,
+                     const DesignConfig &baseline,
+                     unsigned baseline_servers, workloads::Benchmark b);
+
+    /**
+     * Same, matching the harmonic-mean performance across the whole
+     * suite (the paper's aggregate view).
+     */
+    ClusterPlan planSuite(const DesignConfig &design,
+                          const DesignConfig &baseline,
+                          unsigned baseline_servers);
+
+    DesignEvaluator &evaluator() { return eval; }
+
+  private:
+    ClusterParams params_;
+    DesignEvaluator eval;
+
+    ClusterPlan planWithRatio(const DesignConfig &design,
+                              double perf_ratio,
+                              unsigned baseline_servers);
+};
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_CLUSTER_HH

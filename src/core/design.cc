@@ -1,0 +1,38 @@
+#include "core/design.hh"
+
+namespace wsc {
+namespace core {
+
+DesignConfig
+DesignConfig::baseline(platform::SystemClass cls)
+{
+    DesignConfig d;
+    d.server = platform::makeSystem(cls);
+    d.name = d.server.name;
+    return d;
+}
+
+DesignConfig
+DesignConfig::n1()
+{
+    DesignConfig d;
+    d.name = "N1";
+    d.server = platform::makeSystem(platform::SystemClass::Mobl);
+    d.packaging = thermal::PackagingDesign::DualEntry;
+    return d;
+}
+
+DesignConfig
+DesignConfig::n2()
+{
+    DesignConfig d;
+    d.name = "N2";
+    d.server = platform::makeSystem(platform::SystemClass::Emb1);
+    d.packaging = thermal::PackagingDesign::AggregatedMicroblade;
+    d.memorySharing = memblade::Provisioning::Dynamic;
+    d.storage = flashcache::StorageOption::remoteLaptopFlash();
+    return d;
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deployable server-architecture designs.
+ *
+ * A design composes a platform with the paper's four optimization
+ * axes: packaging/cooling, ensemble memory sharing, and the storage
+ * configuration. The two unified designs of Section 3.6:
+ *
+ *  - N1 (near-term): mobile-class blades in dual-entry enclosures with
+ *    directed airflow; conventional local disks and per-server memory.
+ *  - N2 (longer-term): embedded-class micro-blades with aggregated
+ *    cooling, ensemble memory sharing (dynamic provisioning), and
+ *    remote low-power laptop disks behind a flash disk cache.
+ */
+
+#ifndef WSC_CORE_DESIGN_HH
+#define WSC_CORE_DESIGN_HH
+
+#include <optional>
+#include <string>
+
+#include "flashcache/storage.hh"
+#include "memblade/blade.hh"
+#include "platform/catalog.hh"
+#include "thermal/enclosure.hh"
+
+namespace wsc {
+namespace core {
+
+/** A complete design point. */
+struct DesignConfig {
+    std::string name;
+    platform::ServerConfig server;
+    thermal::PackagingDesign packaging =
+        thermal::PackagingDesign::Conventional1U;
+    /** Ensemble memory sharing (absent = per-server memory). */
+    std::optional<memblade::Provisioning> memorySharing;
+    memblade::BladeParams bladeParams;
+    /** Storage override (absent = the platform's own disk). */
+    std::optional<flashcache::StorageOption> storage;
+
+    /** Baseline design around one catalog platform. */
+    static DesignConfig baseline(platform::SystemClass cls);
+
+    /** The paper's near-term unified design. */
+    static DesignConfig n1();
+
+    /** The paper's longer-term unified design. */
+    static DesignConfig n2();
+};
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_DESIGN_HH

@@ -1,0 +1,113 @@
+#include "core/design_space.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+std::vector<DesignConfig>
+enumerateDesigns(const DesignSpaceOptions &options)
+{
+    std::vector<platform::SystemClass> platforms;
+    if (options.allPlatforms) {
+        platforms.assign(std::begin(platform::allSystemClasses),
+                         std::end(platform::allSystemClasses));
+    } else {
+        platforms = {platform::SystemClass::Srvr2,
+                     platform::SystemClass::Emb1};
+    }
+
+    std::vector<thermal::PackagingDesign> packagings{
+        thermal::PackagingDesign::Conventional1U};
+    if (options.allPackaging) {
+        packagings.push_back(thermal::PackagingDesign::DualEntry);
+        packagings.push_back(
+            thermal::PackagingDesign::AggregatedMicroblade);
+    }
+
+    struct SharingChoice {
+        std::string tag;
+        std::optional<memblade::Provisioning> scheme;
+    };
+    std::vector<SharingChoice> sharings{{"", std::nullopt}};
+    if (options.allMemorySharing) {
+        sharings.push_back(
+            {"mem-static", memblade::Provisioning::Static});
+        sharings.push_back(
+            {"mem-dynamic", memblade::Provisioning::Dynamic});
+    }
+
+    struct StorageChoice {
+        std::string tag;
+        std::optional<flashcache::StorageOption> option;
+    };
+    std::vector<StorageChoice> storages{{"", std::nullopt}};
+    if (options.allStorage) {
+        storages.push_back(
+            {"laptop", flashcache::StorageOption::remoteLaptop()});
+        storages.push_back(
+            {"laptop-flash",
+             flashcache::StorageOption::remoteLaptopFlash()});
+        storages.push_back(
+            {"laptop2-flash",
+             flashcache::StorageOption::remoteLaptop2Flash()});
+    }
+
+    std::vector<DesignConfig> out;
+    for (auto cls : platforms) {
+        for (auto pack : packagings) {
+            for (const auto &sharing : sharings) {
+                for (const auto &storage : storages) {
+                    auto d = DesignConfig::baseline(cls);
+                    d.packaging = pack;
+                    d.memorySharing = sharing.scheme;
+                    d.storage = storage.option;
+                    d.name = platform::to_string(cls) + "/" +
+                             thermal::to_string(pack);
+                    if (!sharing.tag.empty())
+                        d.name += "/" + sharing.tag;
+                    if (!storage.tag.empty())
+                        d.name += "/" + storage.tag;
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<double> &objective,
+               const std::vector<double> &cost)
+{
+    WSC_ASSERT(objective.size() == cost.size(),
+               "objective/cost size mismatch");
+    WSC_ASSERT(!objective.empty(), "empty design space");
+
+    std::vector<std::size_t> order(objective.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Sort by cost ascending, objective descending within ties.
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cost[a] != cost[b])
+                      return cost[a] < cost[b];
+                  return objective[a] > objective[b];
+              });
+
+    std::vector<std::size_t> frontier;
+    double best = -std::numeric_limits<double>::infinity();
+    for (auto idx : order) {
+        if (objective[idx] > best) {
+            frontier.push_back(idx);
+            best = objective[idx];
+        }
+    }
+    return frontier;
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Design-space enumeration and Pareto analysis.
+ *
+ * The paper evaluates six hand-picked platforms and two hand-composed
+ * unified designs. The library makes the whole space enumerable:
+ * platform x packaging x memory sharing x storage. This module
+ * enumerates it, and computes Pareto frontiers (no other design both
+ * performs better and costs less), which is how an architect would
+ * actually consume the model.
+ */
+
+#ifndef WSC_CORE_DESIGN_SPACE_HH
+#define WSC_CORE_DESIGN_SPACE_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/design.hh"
+
+namespace wsc {
+namespace core {
+
+/** Axes to include in the enumeration. */
+struct DesignSpaceOptions {
+    bool allPlatforms = true;      //!< all six Table 2 systems
+    bool allPackaging = true;      //!< conventional/dual-entry/aggregated
+    bool allMemorySharing = true;  //!< none/static/dynamic
+    bool allStorage = true;        //!< platform/laptop/laptop+flash/l2+flash
+};
+
+/**
+ * Enumerate the cross product of the selected axes. Names are unique
+ * and descriptive (e.g. "emb1/dual-entry/mem-dynamic/laptop-flash").
+ */
+std::vector<DesignConfig> enumerateDesigns(
+    const DesignSpaceOptions &options = {});
+
+/**
+ * Indices of the Pareto-optimal points when maximizing @p objective
+ * and minimizing @p cost simultaneously: a point survives unless some
+ * other point has objective >= and cost <= with at least one strict.
+ * Returned in increasing-cost order.
+ */
+std::vector<std::size_t> paretoFrontier(
+    const std::vector<double> &objective,
+    const std::vector<double> &cost);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_DESIGN_SPACE_HH

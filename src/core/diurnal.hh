@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Time-of-day load and ensemble power management.
+ *
+ * The paper studies only sustained peak load and flags diurnal
+ * request patterns as future work (Section 4, citing Fan et al.).
+ * This module adds an hourly load profile and three ensemble power
+ * policies, quantifying how much of the day's energy the sustained-
+ * peak methodology overstates and how the designs compare once
+ * consolidation is allowed.
+ *
+ * Policies:
+ *  - AlwaysOn: every server runs all day at its activity-factor power
+ *    (the paper's implicit assumption).
+ *  - ConsolidateIdle: load is packed onto the fewest servers; idle
+ *    servers drop to an idle-power fraction.
+ *  - PowerOff: idle servers are switched off entirely (modulo a
+ *    reserve margin kept on for load spikes).
+ */
+
+#ifndef WSC_CORE_DIURNAL_HH
+#define WSC_CORE_DIURNAL_HH
+
+#include <array>
+#include <string>
+
+namespace wsc {
+namespace core {
+
+/** Hourly load profile, each entry in (0, 1] relative to peak. */
+struct DiurnalProfile {
+    std::array<double, 24> hourly;
+
+    /** Mean load over the day. */
+    double meanLoad() const;
+
+    /** Interactive-service shape: deep night trough, evening peak
+     * (after the time-of-day curves in Fan et al.). */
+    static DiurnalProfile internetService();
+
+    /** Flat profile (the paper's sustained-load assumption). */
+    static DiurnalProfile flat();
+};
+
+/** Ensemble power policy. */
+enum class PowerPolicy {
+    AlwaysOn,
+    ConsolidateIdle,
+    PowerOff
+};
+
+std::string to_string(PowerPolicy p);
+
+/** Parameters of the ensemble energy model. */
+struct EnsembleEnergyParams {
+    unsigned servers = 1000;       //!< sized for peak load
+    double wattsPerServer = 52.0;  //!< max operational (with switch)
+    double activityFactor = 0.75;  //!< busy-server de-rating
+    double idlePowerFraction = 0.6; //!< idle power / busy power
+    double reserveMargin = 0.1;    //!< extra servers kept on (PowerOff)
+};
+
+/** One day of ensemble energy under a policy. */
+struct DiurnalEnergy {
+    double kWhPerDay = 0.0;
+    double meanActiveServers = 0.0;
+    /** Savings vs the AlwaysOn policy, as a fraction. */
+    double savingsVsAlwaysOn = 0.0;
+};
+
+/**
+ * Energy for one day under @p profile and @p policy.
+ *
+ * Load at hour h requires ceil(load * servers) busy servers; the
+ * policy decides what the rest consume.
+ */
+DiurnalEnergy dailyEnergy(const DiurnalProfile &profile,
+                          PowerPolicy policy,
+                          const EnsembleEnergyParams &params);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_DIURNAL_HH

@@ -1,0 +1,105 @@
+#include "core/evaluator.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+DesignEvaluator::DesignEvaluator(EvaluatorParams params)
+    : params_(std::move(params))
+{
+}
+
+platform::ServerConfig
+DesignEvaluator::adjustedServer(const DesignConfig &design) const
+{
+    platform::ServerConfig server = design.server;
+    if (design.memorySharing) {
+        server = memblade::withMemorySharing(server, design.bladeParams,
+                                             *design.memorySharing);
+    }
+    if (design.storage)
+        server = flashcache::withStorage(server, *design.storage);
+    auto hw = thermal::packagingHardware(design.packaging);
+    server.powerFansDollars *= hw.fanCostFactor;
+    server.powerFansWatts *= hw.fanPowerFactor;
+    return server;
+}
+
+cost::BurdenedPowerParams
+DesignEvaluator::burdenFor(const DesignConfig &design) const
+{
+    return thermal::applyCooling(params_.burden, design.packaging);
+}
+
+double
+DesignEvaluator::measurePerf(const DesignConfig &design,
+                             workloads::Benchmark benchmark)
+{
+    auto key = std::make_pair(design.name, benchmark);
+    auto it = perfCache.find(key);
+    if (it != perfCache.end())
+        return it->second;
+
+    perfsim::PerfOptions opts;
+    opts.seed = params_.seed;
+    opts.search = params_.search;
+    if (design.storage) {
+        auto storage_opts =
+            flashcache::perfOptionsFor(*design.storage, benchmark);
+        opts.diskOverride = storage_opts.diskOverride;
+        opts.extraDiskAccessMs = storage_opts.extraDiskAccessMs;
+        opts.flashCacheHitRate = storage_opts.flashCacheHitRate;
+        opts.flashAccessMs = storage_opts.flashAccessMs;
+        opts.flashReadMBs = storage_opts.flashReadMBs;
+    }
+    if (design.memorySharing)
+        opts.serviceSlowdown =
+            1.0 + design.bladeParams.assumedSlowdown;
+
+    double value = perf.measure(design.server, benchmark, opts).perf;
+    perfCache[key] = value;
+    return value;
+}
+
+EfficiencyMetrics
+DesignEvaluator::evaluate(const DesignConfig &design,
+                          workloads::Benchmark benchmark)
+{
+    auto server = adjustedServer(design);
+    cost::TcoModel tco(params_.rackCost, params_.rackPower,
+                       burdenFor(design));
+    auto result = tco.evaluate(server.hardwareCost(),
+                               server.hardwarePower());
+
+    EfficiencyMetrics m;
+    m.perf = measurePerf(design, benchmark);
+    m.watts = result.wattsWithSwitch;
+    m.infDollars = result.infrastructure();
+    m.pcDollars = result.powerCooling();
+    m.tcoDollars = result.tco();
+    return m;
+}
+
+RelativeMetrics
+DesignEvaluator::evaluateRelative(const DesignConfig &design,
+                                  const DesignConfig &baseline,
+                                  workloads::Benchmark benchmark)
+{
+    return relativeTo(evaluate(design, benchmark),
+                      evaluate(baseline, benchmark));
+}
+
+RelativeMetrics
+DesignEvaluator::aggregateRelative(const DesignConfig &design,
+                                   const DesignConfig &baseline)
+{
+    std::vector<RelativeMetrics> per_workload;
+    for (auto b : workloads::allBenchmarks)
+        per_workload.push_back(
+            evaluateRelative(design, baseline, b));
+    return harmonicAggregate(per_workload);
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * End-to-end design evaluation: performance + cost + power + cooling.
+ *
+ * Composes the subsystem models into the paper's evaluation flow: a
+ * design's server configuration is adjusted for memory sharing,
+ * storage, and packaging hardware; the burdened-cost parameters are
+ * adjusted for the packaging's cooling-efficiency gain; performance is
+ * simulated with the matching overrides (disk model, SAN latency,
+ * flash hit rate, memory-sharing slowdown).
+ */
+
+#ifndef WSC_CORE_EVALUATOR_HH
+#define WSC_CORE_EVALUATOR_HH
+
+#include <map>
+
+#include "core/design.hh"
+#include "core/metrics.hh"
+#include "cost/tco.hh"
+#include "perfsim/perf_eval.hh"
+#include "thermal/cooling_cost.hh"
+#include "workloads/suite.hh"
+
+namespace wsc {
+namespace core {
+
+/** Evaluation controls. */
+struct EvaluatorParams {
+    cost::RackCostParams rackCost;
+    power::RackPowerParams rackPower;
+    cost::BurdenedPowerParams burden;
+    perfsim::SearchParams search;
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Evaluates design points across the benchmark suite.
+ *
+ * Performance measurements are cached per (design name, benchmark), so
+ * repeated metric queries do not re-run the simulation.
+ */
+class DesignEvaluator
+{
+  public:
+    explicit DesignEvaluator(EvaluatorParams params = {});
+
+    /** Full metrics of one (design, benchmark) cell. */
+    EfficiencyMetrics evaluate(const DesignConfig &design,
+                               workloads::Benchmark benchmark);
+
+    /** Relative metrics against a baseline design. */
+    RelativeMetrics evaluateRelative(const DesignConfig &design,
+                                     const DesignConfig &baseline,
+                                     workloads::Benchmark benchmark);
+
+    /**
+     * Harmonic-mean aggregate of a design against a baseline across
+     * the full suite.
+     */
+    RelativeMetrics aggregateRelative(const DesignConfig &design,
+                                      const DesignConfig &baseline);
+
+    /**
+     * The server configuration with all the design's cost/power
+     * adjustments applied (exposed for the bench harnesses).
+     */
+    platform::ServerConfig adjustedServer(
+        const DesignConfig &design) const;
+
+    /** The burdened-cost parameters after cooling adjustment. */
+    cost::BurdenedPowerParams burdenFor(const DesignConfig &design) const;
+
+    const EvaluatorParams &params() const { return params_; }
+
+  private:
+    EvaluatorParams params_;
+    perfsim::PerfEvaluator perf;
+    std::map<std::pair<std::string, workloads::Benchmark>, double>
+        perfCache;
+
+    double measurePerf(const DesignConfig &design,
+                       workloads::Benchmark benchmark);
+};
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_EVALUATOR_HH

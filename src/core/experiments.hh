@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable experiment registry.
+ *
+ * One entry per paper table/figure (and per extension study), mapping
+ * the experiment to the bench binary that regenerates it and to the
+ * paper's reference values. DESIGN.md and EXPERIMENTS.md narrate this
+ * registry; the tests assert it stays complete, so documentation and
+ * code cannot silently drift apart.
+ */
+
+#ifndef WSC_CORE_EXPERIMENTS_HH
+#define WSC_CORE_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+namespace wsc {
+namespace core {
+
+/** Provenance of an experiment. */
+enum class ExperimentKind {
+    PaperTable,   //!< reproduces a numbered paper table
+    PaperFigure,  //!< reproduces a numbered paper figure
+    PaperClaim,   //!< reproduces an in-text quantitative claim
+    Extension     //!< builds out the paper's stated future work
+};
+
+std::string to_string(ExperimentKind k);
+
+/** One experiment in the reproduction. */
+struct ExperimentInfo {
+    std::string id;          //!< e.g. "fig2c", "table3b", "sec36"
+    ExperimentKind kind;
+    std::string title;       //!< what the paper shows
+    std::string benchTarget; //!< binary under build/bench/
+    /** One-line summary of the paper's reference values ("" for
+     * extensions with no paper counterpart). */
+    std::string paperReference;
+};
+
+/** The full registry, in paper order then extensions. */
+const std::vector<ExperimentInfo> &allExperiments();
+
+/** Look up by id; null when absent. */
+const ExperimentInfo *findExperiment(const std::string &id);
+
+/** Distinct bench targets the registry references. */
+std::vector<std::string> registeredBenchTargets();
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_EXPERIMENTS_HH

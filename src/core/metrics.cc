@@ -1,0 +1,81 @@
+#include "core/metrics.hh"
+
+#include "stats/means.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+namespace {
+
+double
+ratio(double num, double den)
+{
+    WSC_ASSERT(den > 0.0, "metric denominator must be positive");
+    return num / den;
+}
+
+} // namespace
+
+double
+EfficiencyMetrics::perfPerWatt() const
+{
+    return ratio(perf, watts);
+}
+
+double
+EfficiencyMetrics::perfPerInfDollar() const
+{
+    return ratio(perf, infDollars);
+}
+
+double
+EfficiencyMetrics::perfPerPcDollar() const
+{
+    return ratio(perf, pcDollars);
+}
+
+double
+EfficiencyMetrics::perfPerTcoDollar() const
+{
+    return ratio(perf, tcoDollars);
+}
+
+RelativeMetrics
+relativeTo(const EfficiencyMetrics &target,
+           const EfficiencyMetrics &baseline)
+{
+    RelativeMetrics r;
+    r.perf = ratio(target.perf, baseline.perf);
+    r.perfPerWatt = ratio(target.perfPerWatt(), baseline.perfPerWatt());
+    r.perfPerInfDollar =
+        ratio(target.perfPerInfDollar(), baseline.perfPerInfDollar());
+    r.perfPerPcDollar =
+        ratio(target.perfPerPcDollar(), baseline.perfPerPcDollar());
+    r.perfPerTcoDollar =
+        ratio(target.perfPerTcoDollar(), baseline.perfPerTcoDollar());
+    return r;
+}
+
+RelativeMetrics
+harmonicAggregate(const std::vector<RelativeMetrics> &perWorkload)
+{
+    WSC_ASSERT(!perWorkload.empty(), "nothing to aggregate");
+    auto collect = [&](auto member) {
+        std::vector<double> v;
+        v.reserve(perWorkload.size());
+        for (const auto &m : perWorkload)
+            v.push_back(m.*member);
+        return stats::harmonicMean(v);
+    };
+    RelativeMetrics out;
+    out.perf = collect(&RelativeMetrics::perf);
+    out.perfPerWatt = collect(&RelativeMetrics::perfPerWatt);
+    out.perfPerInfDollar = collect(&RelativeMetrics::perfPerInfDollar);
+    out.perfPerPcDollar = collect(&RelativeMetrics::perfPerPcDollar);
+    out.perfPerTcoDollar = collect(&RelativeMetrics::perfPerTcoDollar);
+    return out;
+}
+
+} // namespace core
+} // namespace wsc

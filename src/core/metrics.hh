@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Efficiency metrics of the study (paper Section 2.2).
+ *
+ * The headline metric is sustainable performance per total cost of
+ * ownership (Perf/TCO-$); Perf/W, Perf/Inf-$ (infrastructure only) and
+ * Perf/P&C-$ (power and cooling only) decompose it. Cross-workload
+ * aggregation uses the harmonic mean of per-workload ratios against a
+ * baseline (Section 3.2).
+ */
+
+#ifndef WSC_CORE_METRICS_HH
+#define WSC_CORE_METRICS_HH
+
+#include <vector>
+
+namespace wsc {
+namespace core {
+
+/** Absolute measurements of one (design, workload) cell. */
+struct EfficiencyMetrics {
+    double perf = 0.0;       //!< RPS w/ QoS, or 1/exec-time
+    double watts = 0.0;      //!< sustained per-server watts (w/ switch)
+    double infDollars = 0.0; //!< hardware incl. amortized rack share
+    double pcDollars = 0.0;  //!< 3-yr burdened power & cooling
+    double tcoDollars = 0.0; //!< infDollars + pcDollars
+
+    double perfPerWatt() const;
+    double perfPerInfDollar() const;
+    double perfPerPcDollar() const;
+    double perfPerTcoDollar() const;
+};
+
+/** Ratios of one cell against a baseline cell. */
+struct RelativeMetrics {
+    double perf = 0.0;
+    double perfPerWatt = 0.0;
+    double perfPerInfDollar = 0.0;
+    double perfPerPcDollar = 0.0;
+    double perfPerTcoDollar = 0.0;
+};
+
+/** Component-wise ratio target / baseline. */
+RelativeMetrics relativeTo(const EfficiencyMetrics &target,
+                           const EfficiencyMetrics &baseline);
+
+/**
+ * Harmonic-mean aggregation of per-workload relative metrics
+ * (the paper's "HMean" rows).
+ */
+RelativeMetrics harmonicAggregate(
+    const std::vector<RelativeMetrics> &perWorkload);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_METRICS_HH

@@ -1,0 +1,141 @@
+#include "core/mix.hh"
+
+#include "stats/means.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+WorkloadMix::WorkloadMix(std::map<workloads::Benchmark, double> weights)
+    : weights_(std::move(weights))
+{
+    double total = 0.0;
+    for (const auto &[b, w] : weights_) {
+        (void)b;
+        WSC_ASSERT(w >= 0.0, "negative mix weight");
+        total += w;
+    }
+    WSC_ASSERT(total > 0.0, "mix has no positive weight");
+    for (auto &[b, w] : weights_) {
+        (void)b;
+        w /= total;
+    }
+}
+
+double
+WorkloadMix::weight(workloads::Benchmark b) const
+{
+    auto it = weights_.find(b);
+    return it == weights_.end() ? 0.0 : it->second;
+}
+
+std::vector<workloads::Benchmark>
+WorkloadMix::active() const
+{
+    std::vector<workloads::Benchmark> out;
+    for (auto b : workloads::allBenchmarks)
+        if (weight(b) > 0.0)
+            out.push_back(b);
+    return out;
+}
+
+WorkloadMix
+WorkloadMix::uniform()
+{
+    std::map<workloads::Benchmark, double> w;
+    for (auto b : workloads::allBenchmarks)
+        w[b] = 1.0;
+    return WorkloadMix(std::move(w));
+}
+
+namespace {
+
+WorkloadMix
+heavy(workloads::Benchmark dominant)
+{
+    std::map<workloads::Benchmark, double> w;
+    for (auto b : workloads::allBenchmarks)
+        w[b] = 0.1;
+    w[dominant] = 0.6;
+    return WorkloadMix(std::move(w));
+}
+
+} // namespace
+
+WorkloadMix
+WorkloadMix::searchHeavy()
+{
+    return heavy(workloads::Benchmark::Websearch);
+}
+
+WorkloadMix
+WorkloadMix::mailHeavy()
+{
+    return heavy(workloads::Benchmark::Webmail);
+}
+
+WorkloadMix
+WorkloadMix::mediaHeavy()
+{
+    return heavy(workloads::Benchmark::Ytube);
+}
+
+WorkloadMix
+WorkloadMix::batchHeavy()
+{
+    std::map<workloads::Benchmark, double> w;
+    for (auto b : workloads::allBenchmarks)
+        w[b] = 0.4 / 3.0;
+    w[workloads::Benchmark::MapredWc] = 0.3;
+    w[workloads::Benchmark::MapredWr] = 0.3;
+    return WorkloadMix(std::move(w));
+}
+
+RelativeMetrics
+mixRelative(DesignEvaluator &evaluator, const DesignConfig &design,
+            const DesignConfig &baseline, const WorkloadMix &mix)
+{
+    std::vector<double> weights;
+    std::vector<RelativeMetrics> per;
+    for (auto b : mix.active()) {
+        weights.push_back(mix.weight(b));
+        per.push_back(evaluator.evaluateRelative(design, baseline, b));
+    }
+    auto collect = [&](auto member) {
+        std::vector<double> v;
+        v.reserve(per.size());
+        for (const auto &m : per)
+            v.push_back(m.*member);
+        return stats::weightedHarmonicMean(v, weights);
+    };
+    RelativeMetrics out;
+    out.perf = collect(&RelativeMetrics::perf);
+    out.perfPerWatt = collect(&RelativeMetrics::perfPerWatt);
+    out.perfPerInfDollar = collect(&RelativeMetrics::perfPerInfDollar);
+    out.perfPerPcDollar = collect(&RelativeMetrics::perfPerPcDollar);
+    out.perfPerTcoDollar = collect(&RelativeMetrics::perfPerTcoDollar);
+    return out;
+}
+
+MixChoice
+bestDesignFor(DesignEvaluator &evaluator,
+              const std::vector<DesignConfig> &candidates,
+              const DesignConfig &baseline, const WorkloadMix &mix,
+              Metric metric)
+{
+    WSC_ASSERT(!candidates.empty(), "no candidate designs");
+    MixChoice choice;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        auto rel = mixRelative(evaluator, candidates[i], baseline, mix);
+        double value = metricValue(rel, metric);
+        if (i == 0 || value > choice.bestValue) {
+            choice.bestIndex = i;
+            choice.bestName = candidates[i].name;
+            choice.bestValue = value;
+        }
+    }
+    return choice;
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workload mixes: choosing a design for a heterogeneous datacenter.
+ *
+ * The paper aggregates its suite with an unweighted harmonic mean; a
+ * real deployment runs a weighted mix of services (a mail provider is
+ * webmail-heavy, a video site ytube-heavy). This module evaluates
+ * designs against explicit mixes — weighted harmonic aggregation of
+ * the per-workload ratios — and selects the best design per mix,
+ * which is where the paper's "webmail degrades on N1/N2" caveat
+ * becomes an actionable boundary.
+ */
+
+#ifndef WSC_CORE_MIX_HH
+#define WSC_CORE_MIX_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+namespace wsc {
+namespace core {
+
+/** A normalized weighting over the benchmark suite. */
+class WorkloadMix
+{
+  public:
+    /**
+     * @param weights Non-negative weights per benchmark; normalized
+     * internally. Benchmarks absent from the map get weight zero; at
+     * least one weight must be positive.
+     */
+    explicit WorkloadMix(
+        std::map<workloads::Benchmark, double> weights);
+
+    /** Normalized weight of one benchmark (0 if absent). */
+    double weight(workloads::Benchmark b) const;
+
+    /** Benchmarks with positive weight, in suite order. */
+    std::vector<workloads::Benchmark> active() const;
+
+    /** Uniform mix over the full suite (the paper's HMean). */
+    static WorkloadMix uniform();
+
+    /** Named presets for common deployment shapes. */
+    static WorkloadMix searchHeavy(); //!< 60% websearch
+    static WorkloadMix mailHeavy();   //!< 60% webmail
+    static WorkloadMix mediaHeavy();  //!< 60% ytube
+    static WorkloadMix batchHeavy();  //!< 60% mapreduce
+
+  private:
+    std::map<workloads::Benchmark, double> weights_;
+};
+
+/**
+ * Weighted-harmonic aggregate of a design against a baseline under a
+ * mix.
+ */
+RelativeMetrics mixRelative(DesignEvaluator &evaluator,
+                            const DesignConfig &design,
+                            const DesignConfig &baseline,
+                            const WorkloadMix &mix);
+
+/** Outcome of a best-design selection. */
+struct MixChoice {
+    std::size_t bestIndex = 0;
+    std::string bestName;
+    double bestValue = 0.0; //!< of the chosen metric
+};
+
+/**
+ * Pick the candidate with the highest metric under the mix.
+ */
+MixChoice bestDesignFor(DesignEvaluator &evaluator,
+                        const std::vector<DesignConfig> &candidates,
+                        const DesignConfig &baseline,
+                        const WorkloadMix &mix, Metric metric);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_MIX_HH

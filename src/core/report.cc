@@ -1,0 +1,79 @@
+#include "core/report.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+std::string
+to_string(Metric m)
+{
+    switch (m) {
+      case Metric::Perf:
+        return "Perf";
+      case Metric::PerfPerWatt:
+        return "Perf/W";
+      case Metric::PerfPerInfDollar:
+        return "Perf/Inf-$";
+      case Metric::PerfPerPcDollar:
+        return "Perf/P&C-$";
+      case Metric::PerfPerTcoDollar:
+        return "Perf/TCO-$";
+    }
+    panic("unknown metric");
+}
+
+double
+metricValue(const RelativeMetrics &m, Metric metric)
+{
+    switch (metric) {
+      case Metric::Perf:
+        return m.perf;
+      case Metric::PerfPerWatt:
+        return m.perfPerWatt;
+      case Metric::PerfPerInfDollar:
+        return m.perfPerInfDollar;
+      case Metric::PerfPerPcDollar:
+        return m.perfPerPcDollar;
+      case Metric::PerfPerTcoDollar:
+        return m.perfPerTcoDollar;
+    }
+    panic("unknown metric");
+}
+
+Table
+relativeTable(DesignEvaluator &evaluator,
+              const std::vector<DesignConfig> &designs,
+              const DesignConfig &baseline, Metric metric)
+{
+    std::vector<std::string> header{to_string(metric)};
+    for (const auto &d : designs)
+        header.push_back(d.name);
+    Table table(std::move(header));
+
+    std::vector<std::vector<RelativeMetrics>> columns(designs.size());
+    for (std::size_t c = 0; c < designs.size(); ++c)
+        for (auto b : workloads::allBenchmarks)
+            columns[c].push_back(
+                evaluator.evaluateRelative(designs[c], baseline, b));
+
+    std::size_t row = 0;
+    for (auto b : workloads::allBenchmarks) {
+        std::vector<std::string> cells{workloads::to_string(b)};
+        for (std::size_t c = 0; c < designs.size(); ++c)
+            cells.push_back(fmtPct(metricValue(columns[c][row], metric)));
+        table.addRow(std::move(cells));
+        ++row;
+    }
+    table.addSeparator();
+    std::vector<std::string> hmean{"HMean"};
+    for (std::size_t c = 0; c < designs.size(); ++c) {
+        auto agg = harmonicAggregate(columns[c]);
+        hmean.push_back(fmtPct(metricValue(agg, metric)));
+    }
+    table.addRow(std::move(hmean));
+    return table;
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,65 @@
+#include "core/scaleout.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+double
+uslThroughput(double per_node, double nodes, const ScaleOutParams &p)
+{
+    WSC_ASSERT(per_node > 0.0, "per-node performance must be positive");
+    WSC_ASSERT(nodes >= 1.0, "need at least one node");
+    WSC_ASSERT(p.sigma >= 0.0 && p.kappa >= 0.0,
+               "USL parameters must be non-negative");
+    double denom =
+        1.0 + p.sigma * (nodes - 1.0) + p.kappa * nodes * (nodes - 1.0);
+    return nodes * per_node / denom;
+}
+
+double
+uslEfficiency(double nodes, const ScaleOutParams &p)
+{
+    return uslThroughput(1.0, nodes, p) / nodes;
+}
+
+double
+penalizedPerfRatio(double per_node_ratio, double baseline_nodes,
+                   const ScaleOutParams &p)
+{
+    WSC_ASSERT(per_node_ratio > 0.0, "non-positive perf ratio");
+    WSC_ASSERT(baseline_nodes >= 1.0, "empty baseline cluster");
+    double design_nodes = baseline_nodes / per_node_ratio;
+    double eff_design = uslEfficiency(design_nodes, p);
+    double eff_base = uslEfficiency(baseline_nodes, p);
+    WSC_ASSERT(eff_base > 0.0, "baseline efficiency degenerate");
+    return per_node_ratio * eff_design / eff_base;
+}
+
+double
+breakEvenSigma(double per_node_ratio, double baseline_nodes,
+               double advantage)
+{
+    WSC_ASSERT(advantage > 1.0, "advantage must exceed 1x");
+    // The advantage is erased when the penalized/nominal ratio drops
+    // to 1/advantage. Monotone decreasing in sigma: bisect.
+    auto surviving = [&](double sigma) {
+        ScaleOutParams p{sigma, 0.0};
+        return penalizedPerfRatio(per_node_ratio, baseline_nodes, p) /
+               per_node_ratio;
+    };
+    double lo = 0.0, hi = 1.0;
+    if (surviving(hi) > 1.0 / advantage)
+        return 1.0; // even full serialization does not erase it
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (surviving(mid) > 1.0 / advantage)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace core
+} // namespace wsc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scale-out efficiency limits (paper Section 4, "Amdahl's law limits
+ * on scale-out").
+ *
+ * The paper's evaluation assumes workloads partition perfectly onto
+ * more, smaller nodes and flags that assumption as an open caveat:
+ * "decreased efficiency of software algorithms, increased sizes of
+ * software data structures, increased latency variabilities, greater
+ * networking overheads". This module quantifies the caveat with the
+ * Universal Scalability Law,
+ *
+ *   throughput(n) = n * p / (1 + sigma*(n-1) + kappa*n*(n-1)),
+ *
+ * where sigma captures contention/serialization (Amdahl) and kappa
+ * crosstalk/coherency (networking chatter, data-structure growth).
+ * Applied to a design that needs k-times more nodes than the
+ * baseline, it answers: at what sigma/kappa does the ensemble
+ * advantage disappear?
+ */
+
+#ifndef WSC_CORE_SCALEOUT_HH
+#define WSC_CORE_SCALEOUT_HH
+
+namespace wsc {
+namespace core {
+
+/** Per-workload scale-out friction parameters. */
+struct ScaleOutParams {
+    double sigma = 0.0; //!< contention / serial fraction
+    double kappa = 0.0; //!< coherency / crosstalk coefficient
+};
+
+/**
+ * Aggregate throughput of @p nodes nodes of per-node performance
+ * @p per_node under the USL.
+ */
+double uslThroughput(double per_node, double nodes,
+                     const ScaleOutParams &params);
+
+/** Scale-out efficiency: uslThroughput / (nodes * per_node). */
+double uslEfficiency(double nodes, const ScaleOutParams &params);
+
+/**
+ * Effective perf ratio of a design vs a baseline when the design
+ * needs @p node_ratio times more nodes to reach the same nominal
+ * aggregate: its USL efficiency is evaluated at node_ratio-times the
+ * baseline cluster size.
+ *
+ * @param per_node_ratio Nominal single-node perf ratio (< 1 for the
+ *        smaller design).
+ * @param baseline_nodes Baseline cluster size.
+ * @param params Friction parameters of the workload.
+ * @return The penalized perf ratio; equals per_node_ratio when
+ *         sigma = kappa = 0.
+ */
+double penalizedPerfRatio(double per_node_ratio, double baseline_nodes,
+                          const ScaleOutParams &params);
+
+/**
+ * Smallest sigma (with kappa = 0) at which the design's cost-
+ * efficiency advantage @p advantage (e.g. 2.0 for 2x Perf/TCO-$)
+ * is fully erased at the given cluster sizes, found by bisection.
+ */
+double breakEvenSigma(double per_node_ratio, double baseline_nodes,
+                      double advantage);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_SCALEOUT_HH

@@ -1,0 +1,31 @@
+#include "cost/burdened_power.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsc {
+namespace cost {
+
+double
+burdenedCostOfSustainedWatts(const BurdenedPowerParams &p,
+                             double sustained_watts)
+{
+    WSC_ASSERT(sustained_watts >= 0.0, "negative power");
+    WSC_ASSERT(p.years > 0.0, "non-positive depreciation window");
+    WSC_ASSERT(p.tariffPerMWh >= 0.0, "negative tariff");
+    double energy_mwh = units::energyMWh(sustained_watts, p.years);
+    return p.burdenMultiplier() * p.tariffPerMWh * energy_mwh;
+}
+
+double
+burdenedPowerCoolingCost(const BurdenedPowerParams &p,
+                         double max_operational_watts)
+{
+    WSC_ASSERT(p.activityFactor > 0.0 && p.activityFactor <= 1.0,
+               "activity factor out of (0, 1]");
+    return burdenedCostOfSustainedWatts(
+        p, max_operational_watts * p.activityFactor);
+}
+
+} // namespace cost
+} // namespace wsc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Burdened power-and-cooling cost model (Patel et al.).
+ *
+ * The paper (Section 2.2) computes the lifecycle cost of powering and
+ * cooling a rack as
+ *
+ *   PowerCoolingCost = (1 + K1 + L1 * (1 + K2)) * U_grid * E_consumed
+ *
+ * where
+ *   - K1 amortizes the power-delivery infrastructure,
+ *   - L1 is the cooling electricity load factor (watts of cooling per
+ *     watt of IT power),
+ *   - K2 amortizes the cooling infrastructure capital expenditure over
+ *     the cooling electricity,
+ *   - U_grid is the electricity tariff, and
+ *   - E_consumed is the sustained IT energy over the depreciation
+ *     window (activity factor applied).
+ *
+ * With the paper's defaults (K1 = 1.33, L1 = 0.8, K2 = 0.667, tariff
+ * $100/MWh, activity factor 0.75, 3-year depreciation) this model
+ * reproduces Figure 1(a)'s published burdened costs: $2,464 for srvr1
+ * (341 W with switch share) and $1,561 for srvr2 (216 W).
+ */
+
+#ifndef WSC_COST_BURDENED_POWER_HH
+#define WSC_COST_BURDENED_POWER_HH
+
+namespace wsc {
+namespace cost {
+
+/** Parameters of the burdened power-and-cooling cost model. */
+struct BurdenedPowerParams {
+    double k1 = 1.33;           //!< power-delivery infra amortization
+    double l1 = 0.8;            //!< cooling load factor
+    double k2 = 0.667;          //!< cooling infra amortization
+    double tariffPerMWh = 100.0; //!< electricity tariff, $/MWh
+    double activityFactor = 0.75; //!< sustained / max operational power
+    double years = 3.0;          //!< depreciation window
+
+    /** Overall burden multiplier (1 + K1 + L1*(1 + K2)). */
+    double
+    burdenMultiplier() const
+    {
+        return 1.0 + k1 + l1 * (1.0 + k2);
+    }
+};
+
+/**
+ * Burdened power-and-cooling lifecycle cost for a device drawing
+ * @p max_operational_watts (activity factor is applied internally).
+ *
+ * @param p Model parameters.
+ * @param max_operational_watts Maximum operational power draw.
+ * @return Dollars over the depreciation window.
+ */
+double burdenedPowerCoolingCost(const BurdenedPowerParams &p,
+                                double max_operational_watts);
+
+/**
+ * Same, for an already-sustained (post-activity-factor) power draw.
+ * Used when the caller models activity explicitly.
+ */
+double burdenedCostOfSustainedWatts(const BurdenedPowerParams &p,
+                                    double sustained_watts);
+
+} // namespace cost
+} // namespace wsc
+
+#endif // WSC_COST_BURDENED_POWER_HH

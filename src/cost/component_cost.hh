@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-server component hardware cost specification.
+ *
+ * Mirrors the line items of the paper's Figure 1(a): CPU, memory, disk,
+ * board + management, and power-conversion + fans, in US dollars per
+ * server.
+ */
+
+#ifndef WSC_COST_COMPONENT_COST_HH
+#define WSC_COST_COMPONENT_COST_HH
+
+namespace wsc {
+namespace cost {
+
+/** Hardware cost per server component, in dollars. */
+struct ComponentCost {
+    double cpu = 0.0;
+    double memory = 0.0;
+    double disk = 0.0;
+    double boardMgmt = 0.0;
+    double powerFans = 0.0;
+
+    /** Per-server hardware cost (excluding rack-shared items). */
+    double
+    total() const
+    {
+        return cpu + memory + disk + boardMgmt + powerFans;
+    }
+
+    ComponentCost
+    operator+(const ComponentCost &o) const
+    {
+        return {cpu + o.cpu, memory + o.memory, disk + o.disk,
+                boardMgmt + o.boardMgmt, powerFans + o.powerFans};
+    }
+
+    ComponentCost
+    scaled(double f) const
+    {
+        return {cpu * f, memory * f, disk * f, boardMgmt * f,
+                powerFans * f};
+    }
+};
+
+/** Rack-shared hardware cost parameters. */
+struct RackCostParams {
+    unsigned serversPerRack = 40;
+    double switchRackCost = 2750.0; //!< switch + enclosure per rack
+};
+
+} // namespace cost
+} // namespace wsc
+
+#endif // WSC_COST_COMPONENT_COST_HH

@@ -1,0 +1,56 @@
+#include "cost/facility.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsc {
+namespace cost {
+
+BurdenedPowerParams
+deriveBurdenedParams(const FacilityParams &f,
+                     const BurdenedPowerParams &economic)
+{
+    WSC_ASSERT(f.powerCapexPerWatt >= 0.0, "negative power capex");
+    WSC_ASSERT(f.coolingCapexPerWatt >= 0.0, "negative cooling capex");
+    WSC_ASSERT(f.infraLifeYears > 0.0, "non-positive infra life");
+    WSC_ASSERT(f.cop > 0.0, "non-positive COP");
+    WSC_ASSERT(economic.tariffPerMWh > 0.0, "non-positive tariff");
+    WSC_ASSERT(economic.activityFactor > 0.0 &&
+                   economic.activityFactor <= 1.0,
+               "activity factor out of (0, 1]");
+
+    // Yearly electricity dollars for one sustained IT watt.
+    double dollars_per_watt_year = economic.tariffPerMWh / 1.0e6 *
+                                   units::hoursPerYear *
+                                   economic.activityFactor;
+
+    BurdenedPowerParams out = economic;
+    out.k1 = (f.powerCapexPerWatt / f.infraLifeYears) /
+             dollars_per_watt_year;
+    out.l1 = 1.0 / f.cop + f.distributionLossFraction;
+    // Cooling capital amortized against the cooling electricity.
+    double cooling_dollars_per_watt_year =
+        out.l1 * dollars_per_watt_year;
+    WSC_ASSERT(cooling_dollars_per_watt_year > 0.0,
+               "degenerate cooling load");
+    out.k2 = (f.coolingCapexPerWatt / f.infraLifeYears) /
+             cooling_dollars_per_watt_year;
+    return out;
+}
+
+double
+impliedPue(const FacilityParams &f)
+{
+    WSC_ASSERT(f.cop > 0.0, "non-positive COP");
+    return 1.0 + 1.0 / f.cop + f.distributionLossFraction;
+}
+
+double
+copForL1(double l1)
+{
+    WSC_ASSERT(l1 > 0.0, "non-positive cooling load factor");
+    return 1.0 / l1;
+}
+
+} // namespace cost
+} // namespace wsc

@@ -1,0 +1,67 @@
+#include "cost/tco.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace cost {
+
+TcoModel::TcoModel(RackCostParams rack_cost,
+                   power::RackPowerParams rack_power,
+                   BurdenedPowerParams burden)
+    : rackCost_(rack_cost), rackPower_(rack_power), burden_(burden)
+{
+    WSC_ASSERT(rackCost_.serversPerRack == rackPower_.serversPerRack,
+               "rack cost and power models disagree on servers per rack");
+}
+
+TcoResult
+TcoModel::evaluate(const ComponentCost &hw,
+                   const power::ComponentPower &watts) const
+{
+    TcoResult r;
+    r.hw = hw;
+    r.watts = watts;
+    r.rackHwShare =
+        rackCost_.switchRackCost / double(rackCost_.serversPerRack);
+
+    auto pc_of = [&](double w) {
+        return burdenedPowerCoolingCost(burden_, w);
+    };
+    r.pc.cpu = pc_of(watts.cpu);
+    r.pc.memory = pc_of(watts.memory);
+    r.pc.disk = pc_of(watts.disk);
+    r.pc.boardMgmt = pc_of(watts.boardMgmt);
+    r.pc.powerFans = pc_of(watts.powerFans);
+    double switch_share =
+        rackPower_.switchWatts / double(rackPower_.serversPerRack);
+    r.switchPcShare = pc_of(switch_share);
+    r.wattsWithSwitch = watts.total() + switch_share;
+    return r;
+}
+
+std::vector<BreakdownSlice>
+TcoModel::breakdown(const TcoResult &r) const
+{
+    double total = r.tco();
+    WSC_ASSERT(total > 0.0, "TCO breakdown of zero-cost result");
+    auto slice = [&](std::string label, double dollars) {
+        return BreakdownSlice{std::move(label), dollars, dollars / total};
+    };
+    return {
+        slice("CPU HW", r.hw.cpu),
+        slice("CPU P&C", r.pc.cpu),
+        slice("Mem HW", r.hw.memory),
+        slice("Mem P&C", r.pc.memory),
+        slice("Disk HW", r.hw.disk),
+        slice("Disk P&C", r.pc.disk),
+        slice("Board HW", r.hw.boardMgmt),
+        slice("Board P&C", r.pc.boardMgmt),
+        slice("Fan HW", r.hw.powerFans),
+        slice("Fans P&C", r.pc.powerFans),
+        slice("Rack HW", r.rackHwShare),
+        slice("Rack P&C", r.switchPcShare),
+    };
+}
+
+} // namespace cost
+} // namespace wsc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Three-year total-cost-of-ownership model.
+ *
+ * Combines per-server hardware costs, amortized rack-shared hardware,
+ * and burdened power-and-cooling into the paper's TCO-$ metric, with
+ * the per-category breakdown of Figure 1(b).
+ */
+
+#ifndef WSC_COST_TCO_HH
+#define WSC_COST_TCO_HH
+
+#include <string>
+#include <vector>
+
+#include "cost/burdened_power.hh"
+#include "cost/component_cost.hh"
+#include "power/component_power.hh"
+#include "power/rack_power.hh"
+
+namespace wsc {
+namespace cost {
+
+/**
+ * The full lifecycle-cost result for one server, all in dollars over
+ * the depreciation window.
+ */
+struct TcoResult {
+    // Hardware (infrastructure) side.
+    ComponentCost hw;          //!< per-server component hardware
+    double rackHwShare = 0.0;  //!< amortized switch/enclosure share
+
+    // Burdened power-and-cooling side, per component.
+    power::ComponentPower watts;   //!< max operational component watts
+    ComponentCost pc;              //!< burdened P&C $ per component
+    double switchPcShare = 0.0;    //!< burdened P&C $ for switch share
+
+    /** Per-server hardware dollars (excluding rack share). */
+    double serverHw() const { return hw.total(); }
+
+    /** Infrastructure dollars: server HW + rack share. */
+    double infrastructure() const { return hw.total() + rackHwShare; }
+
+    /** Burdened power-and-cooling dollars. */
+    double powerCooling() const { return pc.total() + switchPcShare; }
+
+    /** Total cost of ownership. */
+    double tco() const { return infrastructure() + powerCooling(); }
+
+    /** Max operational per-server watts including switch share. */
+    double wattsWithSwitch = 0.0;
+};
+
+/** One slice of the Figure 1(b)-style breakdown. */
+struct BreakdownSlice {
+    std::string label;
+    double dollars;
+    double fraction; //!< of total TCO
+};
+
+/**
+ * TCO model: evaluates a (component cost, component power) pair under
+ * rack and burdened-power parameters.
+ */
+class TcoModel
+{
+  public:
+    TcoModel(RackCostParams rack_cost, power::RackPowerParams rack_power,
+             BurdenedPowerParams burden);
+
+    /** Evaluate the lifecycle cost of one server. */
+    TcoResult evaluate(const ComponentCost &hw,
+                       const power::ComponentPower &watts) const;
+
+    /**
+     * The Figure 1(b) breakdown: one slice per component for hardware
+     * and one per component for P&C, plus rack HW and rack P&C.
+     */
+    std::vector<BreakdownSlice> breakdown(const TcoResult &r) const;
+
+    const BurdenedPowerParams &burden() const { return burden_; }
+    const RackCostParams &rackCost() const { return rackCost_; }
+    const power::RackPowerParams &rackPower() const { return rackPower_; }
+
+  private:
+    RackCostParams rackCost_;
+    power::RackPowerParams rackPower_;
+    BurdenedPowerParams burden_;
+};
+
+} // namespace cost
+} // namespace wsc
+
+#endif // WSC_COST_TCO_HH

@@ -1,0 +1,46 @@
+#include "flashcache/devices.hh"
+
+namespace wsc {
+namespace flashcache {
+
+platform::DiskModel
+laptopDisk()
+{
+    platform::DiskModel d;
+    d.cls = platform::DiskClass::Laptop;
+    d.capacityGB = 200.0;
+    d.bandwidthMBs = 20.0;      // paper's "very conservative" value
+    d.writeBandwidthMBs = 18.0;
+    d.avgAccessMs = 15.0;
+    d.watts = 2.0;
+    d.dollars = 80.0;
+    d.remote = true;
+    return d;
+}
+
+platform::DiskModel
+laptop2Disk()
+{
+    platform::DiskModel d = laptopDisk();
+    d.cls = platform::DiskClass::Laptop2;
+    d.dollars = 40.0;
+    return d;
+}
+
+platform::DiskModel
+desktopDisk()
+{
+    platform::DiskModel d;
+    d.cls = platform::DiskClass::Desktop72k;
+    d.capacityGB = 500.0;
+    d.bandwidthMBs = 70.0;
+    d.writeBandwidthMBs = 47.0;
+    d.avgAccessMs = 4.0;
+    d.watts = 10.0;
+    d.dollars = 120.0;
+    d.remote = false;
+    return d;
+}
+
+} // namespace flashcache
+} // namespace wsc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Storage device models for the flash disk-cache study (Table 3a).
+ *
+ *                Flash      Laptop      Laptop-2    Desktop
+ *   Bandwidth    50 MB/s    20 MB/s     20 MB/s     70 MB/s
+ *   Access       20 us rd   15 ms       15 ms       4 ms
+ *                200 us wr  (remote)    (remote)    (local)
+ *                1.2 ms er
+ *   Capacity     1 GB       200 GB      200 GB      500 GB
+ *   Power        0.5 W      2 W         2 W         10 W
+ *   Price        $14        $80         $40         $120
+ */
+
+#ifndef WSC_FLASHCACHE_DEVICES_HH
+#define WSC_FLASHCACHE_DEVICES_HH
+
+#include "platform/components.hh"
+
+namespace wsc {
+namespace flashcache {
+
+/** NAND flash device parameters (Table 3a column 1). */
+struct FlashSpec {
+    double capacityGB = 1.0;
+    double bandwidthMBs = 50.0;
+    double readLatencyUs = 20.0;
+    double writeLatencyUs = 200.0;
+    double eraseLatencyMs = 1.2;
+    double watts = 0.5;
+    double dollars = 14.0;
+    /** Erase-block size; wear is tracked per block. */
+    double eraseBlockKB = 128.0;
+    /** Program/erase cycles before wear-out (current technology). */
+    double enduranceCycles = 100000.0;
+};
+
+/** Laptop disk moved to a basic SAN (Table 3a column 2). */
+platform::DiskModel laptopDisk();
+
+/** Cheaper laptop disk tier (Table 3a column 3). */
+platform::DiskModel laptop2Disk();
+
+/** Local desktop disk baseline (Table 3a column 4). */
+platform::DiskModel desktopDisk();
+
+/** SAN round-trip added to each remote disk access, milliseconds. */
+constexpr double sanAccessOverheadMs = 0.5;
+
+} // namespace flashcache
+} // namespace wsc
+
+#endif // WSC_FLASHCACHE_DEVICES_HH

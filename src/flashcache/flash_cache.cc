@@ -1,0 +1,77 @@
+#include "flashcache/flash_cache.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace wsc {
+namespace flashcache {
+
+FlashCache::FlashCache(FlashSpec spec, double blockKB)
+    : spec_(spec), blockBytes(blockKB * 1024.0)
+{
+    WSC_ASSERT(blockKB > 0.0, "block size must be positive");
+    WSC_ASSERT(spec_.capacityGB > 0.0, "flash capacity must be positive");
+    frames = std::size_t(spec_.capacityGB * units::GiB / blockBytes);
+    WSC_ASSERT(frames > 0, "flash too small for one block");
+}
+
+void
+FlashCache::insert(BlockId block)
+{
+    if (map.size() >= frames) {
+        BlockId victim = order.back();
+        order.pop_back();
+        map.erase(victim);
+        ++stats_.evictions;
+    }
+    order.push_front(block);
+    map[block] = order.begin();
+    ++stats_.insertions;
+    stats_.bytesWrittenToFlash += std::uint64_t(blockBytes);
+}
+
+bool
+FlashCache::lookup(BlockId block)
+{
+    ++stats_.lookups;
+    auto it = map.find(block);
+    if (it != map.end()) {
+        order.splice(order.begin(), order, it->second);
+        ++stats_.hits;
+        return true;
+    }
+    insert(block);
+    return false;
+}
+
+void
+FlashCache::writeBlock(BlockId block)
+{
+    auto it = map.find(block);
+    if (it != map.end()) {
+        order.splice(order.begin(), order, it->second);
+        stats_.bytesWrittenToFlash += std::uint64_t(blockBytes);
+    } else {
+        insert(block);
+    }
+}
+
+double
+FlashCache::wearCyclesPerBlock() const
+{
+    double capacity_bytes = spec_.capacityGB * units::GiB;
+    return double(stats_.bytesWrittenToFlash) / capacity_bytes;
+}
+
+double
+FlashCache::lifetimeYears(double bytesPerSecond) const
+{
+    WSC_ASSERT(bytesPerSecond > 0.0, "write rate must be positive");
+    double capacity_bytes = spec_.capacityGB * units::GiB;
+    double seconds_per_full_cycle = capacity_bytes / bytesPerSecond;
+    double seconds = seconds_per_full_cycle * spec_.enduranceCycles;
+    return seconds / (units::hoursPerYear * units::secondsPerHour);
+}
+
+} // namespace flashcache
+} // namespace wsc

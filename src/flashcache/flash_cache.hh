@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Flash-based disk-cache simulator (after Kgil & Mudge's FlashCache,
+ * applied to internet-sector workloads per paper Section 3.5).
+ *
+ * The flash sits on the server board and holds recently accessed disk
+ * pages; a software hash table is consulted whenever the OS page cache
+ * misses. We simulate the cache at 4 KB block granularity with LRU
+ * eviction and track wear (program/erase cycles per erase block) to
+ * check the 3-year depreciation window against the 100k-cycle
+ * endurance limit the paper discusses.
+ */
+
+#ifndef WSC_FLASHCACHE_FLASH_CACHE_HH
+#define WSC_FLASHCACHE_FLASH_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "flashcache/devices.hh"
+
+namespace wsc {
+namespace flashcache {
+
+/** A disk block address (4 KB granularity). */
+using BlockId = std::uint64_t;
+
+/** Cache statistics. */
+struct CacheStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytesWrittenToFlash = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? double(hits) / double(lookups) : 0.0;
+    }
+};
+
+/**
+ * Block-granularity flash disk cache with LRU eviction.
+ */
+class FlashCache
+{
+  public:
+    /**
+     * @param spec Flash device parameters (capacity sets block count).
+     * @param blockKB Cache block size (default 4 KB pages).
+     */
+    explicit FlashCache(FlashSpec spec, double blockKB = 4.0);
+
+    /**
+     * Look up a block on page-cache miss. On a miss the block is
+     * fetched from disk and inserted (read-allocate).
+     * @return true on flash hit.
+     */
+    bool lookup(BlockId block);
+
+    /** Write-through of a dirty block (buffered into flash). */
+    void writeBlock(BlockId block);
+
+    const CacheStats &stats() const { return stats_; }
+
+    std::size_t capacityBlocks() const { return frames; }
+    std::size_t residentBlocks() const { return map.size(); }
+
+    /**
+     * Average program/erase cycles consumed per erase block.
+     * Assumes ideal wear leveling (writes spread uniformly).
+     */
+    double wearCyclesPerBlock() const;
+
+    /**
+     * Years until wear-out at @p bytesPerSecond sustained flash write
+     * traffic, under ideal wear leveling.
+     */
+    double lifetimeYears(double bytesPerSecond) const;
+
+    const FlashSpec &spec() const { return spec_; }
+
+  private:
+    FlashSpec spec_;
+    double blockBytes;
+    std::size_t frames;
+    std::list<BlockId> order; //!< front = most recent
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> map;
+    CacheStats stats_;
+
+    void insert(BlockId block);
+};
+
+} // namespace flashcache
+} // namespace wsc
+
+#endif // WSC_FLASHCACHE_FLASH_CACHE_HH

@@ -1,0 +1,100 @@
+#include "flashcache/io_trace.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace flashcache {
+
+memblade::TraceProfile
+ioProfileFor(workloads::Benchmark b)
+{
+    using workloads::Benchmark;
+    memblade::TraceProfile p;
+    // Footprints are on-disk datasets in 4 KB blocks; a 1 GB flash
+    // holds 262144 blocks.
+    switch (b) {
+      case Benchmark::Websearch:
+        // 1.3 GB index + cold postings; strong skew toward hot terms.
+        p.name = "websearch-io";
+        p.footprintPages = 500000; // ~2 GB
+        p.hotSetFraction = 0.3;
+        p.hotProb = 0.82;
+        p.zipfS = 0.9;
+        p.seqRunMean = 8.0;
+        break;
+      case Benchmark::Webmail:
+        // 7 GB of stored mail; recent messages dominate accesses.
+        p.name = "webmail-io";
+        p.footprintPages = 1750000;
+        p.hotSetFraction = 0.08;
+        p.hotProb = 0.75;
+        p.zipfS = 1.0;
+        p.seqRunMean = 4.0;
+        break;
+      case Benchmark::Ytube:
+        // 20 GB media set; Zipf popularity with long sequential reads.
+        p.name = "ytube-io";
+        p.footprintPages = 5000000;
+        p.hotSetFraction = 0.04;
+        p.hotProb = 0.7;
+        p.zipfS = 0.9;
+        p.seqRunMean = 128.0;
+        break;
+      case Benchmark::MapredWc:
+        // Streaming scan of the 5 GB corpus: almost no block reuse.
+        p.name = "mapred-wc-io";
+        p.footprintPages = 1250000;
+        p.hotSetFraction = 0.01;
+        p.hotProb = 0.02;
+        p.zipfS = 0.5;
+        p.seqRunMean = 512.0;
+        break;
+      case Benchmark::MapredWr:
+        // Write stream; reads are negligible.
+        p.name = "mapred-wr-io";
+        p.footprintPages = 500000;
+        p.hotSetFraction = 0.01;
+        p.hotProb = 0.02;
+        p.zipfS = 0.5;
+        p.seqRunMean = 512.0;
+        break;
+    }
+    return p;
+}
+
+FlashCacheOutcome
+evaluateFlashCache(workloads::Benchmark b, const FlashSpec &spec,
+                   std::uint64_t accesses,
+                   double diskReadBytesPerSecond, std::uint64_t seed)
+{
+    WSC_ASSERT(accesses >= 2, "need at least two accesses");
+    auto profile = ioProfileFor(b);
+    Rng rng(seed);
+    memblade::TraceGenerator gen(profile, rng);
+    FlashCache cache(spec);
+
+    // Warm up on the first half; measure the second half.
+    std::uint64_t warm = accesses / 2;
+    for (std::uint64_t i = 0; i < warm; ++i)
+        cache.lookup(gen.next());
+    std::uint64_t hits = 0, lookups = 0;
+    for (std::uint64_t i = warm; i < accesses; ++i) {
+        if (cache.lookup(gen.next()))
+            ++hits;
+        ++lookups;
+    }
+
+    FlashCacheOutcome out;
+    out.hitRate = lookups ? double(hits) / double(lookups) : 0.0;
+    out.wearCyclesPerBlock = cache.wearCyclesPerBlock();
+    // Flash absorbs one write per miss (read-allocate): the write rate
+    // is the miss fraction of the disk-read byte rate.
+    double write_rate = diskReadBytesPerSecond * (1.0 - out.hitRate);
+    out.lifetimeYears = write_rate > 0.0
+                            ? cache.lifetimeYears(write_rate)
+                            : 1e9;
+    return out;
+}
+
+} // namespace flashcache
+} // namespace wsc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Block-level disk I/O traces for the flash-cache study.
+ *
+ * Only page-cache misses reach the disk, so these traces model the
+ * post-page-cache reference stream: a skewed hot region (documents,
+ * mailboxes, and videos that cycle in and out of DRAM) plus sequential
+ * runs. Profiles reuse the memblade trace generator with block-space
+ * parameters; per-workload flash hit rates come from replaying these
+ * traces through the FlashCache simulator.
+ */
+
+#ifndef WSC_FLASHCACHE_IO_TRACE_HH
+#define WSC_FLASHCACHE_IO_TRACE_HH
+
+#include "flashcache/flash_cache.hh"
+#include "memblade/trace.hh"
+#include "workloads/suite.hh"
+
+namespace wsc {
+namespace flashcache {
+
+/**
+ * Disk-block reference profile of one benchmark (4 KB blocks over the
+ * workload's on-disk dataset).
+ */
+memblade::TraceProfile ioProfileFor(workloads::Benchmark b);
+
+/** Result of replaying a benchmark's I/O trace through a flash cache. */
+struct FlashCacheOutcome {
+    double hitRate = 0.0;
+    double wearCyclesPerBlock = 0.0;
+    /** Projected device lifetime at the observed write rate, years. */
+    double lifetimeYears = 0.0;
+};
+
+/**
+ * Replay @p accesses post-page-cache disk reads of benchmark @p b
+ * through a flash cache of the given spec and report the steady-state
+ * hit rate (the cold warm-up fraction is excluded by measuring only
+ * the second half of the replay).
+ *
+ * @param diskReadBytesPerSecond Sustained disk-read traffic used for
+ *        the wear/lifetime projection.
+ */
+FlashCacheOutcome evaluateFlashCache(workloads::Benchmark b,
+                                     const FlashSpec &spec,
+                                     std::uint64_t accesses,
+                                     double diskReadBytesPerSecond,
+                                     std::uint64_t seed);
+
+} // namespace flashcache
+} // namespace wsc
+
+#endif // WSC_FLASHCACHE_IO_TRACE_HH

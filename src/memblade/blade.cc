@@ -1,0 +1,62 @@
+#include "memblade/blade.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+std::string
+to_string(Provisioning p)
+{
+    switch (p) {
+      case Provisioning::Static:
+        return "static";
+      case Provisioning::Dynamic:
+        return "dynamic";
+    }
+    panic("unknown provisioning scheme");
+}
+
+SharedMemoryOutcome
+applyMemorySharing(const platform::ServerConfig &server,
+                   const BladeParams &params, Provisioning scheme)
+{
+    WSC_ASSERT(params.localFraction > 0.0 && params.localFraction <= 1.0,
+               "local fraction out of (0, 1]");
+    double base_cost = server.memory.dollars;
+    double base_watts = server.memory.watts;
+
+    double remote_fraction = (scheme == Provisioning::Static)
+                                 ? 1.0 - params.localFraction
+                                 : 0.85 - params.localFraction;
+    WSC_ASSERT(remote_fraction >= 0.0, "remote fraction negative");
+
+    SharedMemoryOutcome out;
+    out.memoryDollars =
+        base_cost * params.localFraction +
+        base_cost * remote_fraction * (1.0 - params.remoteCostDiscount) +
+        params.pcieCostPerServer;
+    out.memoryWatts =
+        base_watts * params.localFraction +
+        base_watts * remote_fraction * (1.0 - params.remotePowerSaving) +
+        params.pciePowerPerServer;
+    out.slowdown = params.assumedSlowdown;
+    return out;
+}
+
+platform::ServerConfig
+withMemorySharing(const platform::ServerConfig &server,
+                  const BladeParams &params, Provisioning scheme)
+{
+    auto outcome = applyMemorySharing(server, params, scheme);
+    platform::ServerConfig cfg = server;
+    cfg.memory.dollars = outcome.memoryDollars;
+    cfg.memory.watts = outcome.memoryWatts;
+    // Local capacity shrinks; the blade share remains addressable.
+    cfg.memory.capacityGB =
+        server.memory.capacityGB * params.localFraction;
+    return cfg;
+}
+
+} // namespace memblade
+} // namespace wsc

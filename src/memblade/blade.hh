@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory-blade provisioning: cost and power deltas of ensemble-level
+ * memory sharing (paper Section 3.4, Figure 4c).
+ *
+ * Each server keeps a fraction of its memory locally; the remainder
+ * moves to a shared memory blade reached over PCIe. The blade uses
+ * lower-density devices 24% cheaper per GB, held in active power-down
+ * (>90% power saving) between page transfers. Each server pays a $10
+ * PCIe x4 lane cost and 1.45 W for its share of the blade controller.
+ *
+ * Two provisioning schemes:
+ *  - static: total ensemble DRAM equals the baseline (25% local + 75%
+ *    on the blade);
+ *  - dynamic: 20% of servers use only local memory, shrinking total
+ *    DRAM to 85% of baseline (25% local + 60% on the blade).
+ */
+
+#ifndef WSC_MEMBLADE_BLADE_HH
+#define WSC_MEMBLADE_BLADE_HH
+
+#include <string>
+
+#include "platform/server_config.hh"
+
+namespace wsc {
+namespace memblade {
+
+/** Memory-blade architecture parameters (paper defaults). */
+struct BladeParams {
+    double localFraction = 0.25;   //!< memory kept on the server
+    double remoteCostDiscount = 0.24; //!< blade DRAM cheaper per GB
+    double remotePowerSaving = 0.9;   //!< active power-down saving
+    double pcieCostPerServer = 10.0;  //!< $ per x4 lane + controller
+    double pciePowerPerServer = 1.45; //!< W per server
+    /** Uniform execution slowdown assumed for the cost study. */
+    double assumedSlowdown = 0.02;
+};
+
+/** Provisioning scheme selector. */
+enum class Provisioning {
+    Static,  //!< same total DRAM as the baseline
+    Dynamic  //!< 85% of baseline DRAM (20% of blades local-only)
+};
+
+std::string to_string(Provisioning p);
+
+/** Cost/power outcome of applying memory sharing to one server. */
+struct SharedMemoryOutcome {
+    double memoryDollars = 0.0; //!< replaces the baseline memory cost
+    double memoryWatts = 0.0;   //!< replaces the baseline memory power
+    double slowdown = 0.0;      //!< fractional performance loss
+};
+
+/**
+ * Per-server memory cost/power with the blade applied to @p server.
+ *
+ * For the dynamic scheme the remote share is 60% of the baseline
+ * capacity (ensemble average), as in the paper.
+ */
+SharedMemoryOutcome applyMemorySharing(
+    const platform::ServerConfig &server, const BladeParams &params,
+    Provisioning scheme);
+
+/**
+ * A server config with the shared-memory cost/power substituted.
+ * Performance impact is carried separately via the slowdown.
+ */
+platform::ServerConfig withMemorySharing(
+    const platform::ServerConfig &server, const BladeParams &params,
+    Provisioning scheme);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_BLADE_HH

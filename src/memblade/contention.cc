@@ -1,0 +1,73 @@
+#include "memblade/contention.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+ContentionResult
+analyzeContention(double fetches_per_second,
+                  const BladeLinkParams &params, const RemoteLink &link)
+{
+    WSC_ASSERT(fetches_per_second >= 0.0, "negative fetch rate");
+    WSC_ASSERT(params.serviceSecondsPerFetch > 0.0,
+               "service time must be positive");
+    WSC_ASSERT(params.channels >= 1, "blade needs a service channel");
+
+    ContentionResult r;
+    r.offeredFetchesPerSecond = fetches_per_second;
+    // Fetches split evenly over the channels (page-interleaved).
+    double per_channel = fetches_per_second / double(params.channels);
+    double rho = per_channel * params.serviceSecondsPerFetch;
+    r.utilization = rho;
+    if (rho >= 1.0) {
+        r.stable = false;
+        r.meanWaitSeconds =
+            std::numeric_limits<double>::infinity();
+        r.effectiveStallSeconds = r.meanWaitSeconds;
+        return r;
+    }
+    // M/D/1 mean wait (Pollaczek-Khinchine, deterministic service).
+    r.meanWaitSeconds = rho * params.serviceSecondsPerFetch /
+                        (2.0 * (1.0 - rho));
+    r.effectiveStallSeconds = link.stallSecondsPerMiss +
+                              r.meanWaitSeconds;
+    return r;
+}
+
+double
+contendedSlowdown(const ReplayStats &stats, const TraceProfile &profile,
+                  const RemoteLink &link, unsigned servers,
+                  const BladeLinkParams &params)
+{
+    WSC_ASSERT(servers >= 1, "need at least one server");
+    double per_server_fetches =
+        stats.warmMissRate() * profile.touchesPerSecond;
+    double total = per_server_fetches * double(servers);
+    auto c = analyzeContention(total, params, link);
+    if (!c.stable)
+        return std::numeric_limits<double>::infinity();
+    return per_server_fetches * c.effectiveStallSeconds;
+}
+
+unsigned
+maxServersPerBlade(const ReplayStats &stats, const TraceProfile &profile,
+                   const RemoteLink &link, double budget,
+                   const BladeLinkParams &params, unsigned limit)
+{
+    WSC_ASSERT(budget > 0.0, "slowdown budget must be positive");
+    unsigned best = 0;
+    for (unsigned n = 1; n <= limit; ++n) {
+        double sd = contendedSlowdown(stats, profile, link, n, params);
+        if (sd <= budget)
+            best = n;
+        else
+            break; // slowdown is monotone in n
+    }
+    return best;
+}
+
+} // namespace memblade
+} // namespace wsc

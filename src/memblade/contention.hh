@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-blade contention model (paper Section 3.4 / Section 4).
+ *
+ * The paper's trace-driven methodology "cannot account for the
+ * second-order impact of PCIe link contention"; this module closes
+ * that gap with a queueing model of the shared blade.
+ *
+ * Each of N servers generates remote page fetches as a Poisson stream
+ * (rate = warm-miss rate x page-touch rate). The blade's controller
+ * and the PCIe fabric serve fetches with a deterministic service time
+ * (page transfer + DRAM access). The resulting M/D/1 waiting time is
+ * added to the per-miss stall, inflating the slowdown at high blade
+ * load. The model answers the provisioning question the paper leaves
+ * open: how many servers can share one memory blade before contention
+ * erodes the "2% slowdown" assumption?
+ */
+
+#ifndef WSC_MEMBLADE_CONTENTION_HH
+#define WSC_MEMBLADE_CONTENTION_HH
+
+#include <vector>
+
+#include "memblade/latency.hh"
+
+namespace wsc {
+namespace memblade {
+
+/** Shared-blade service parameters. */
+struct BladeLinkParams {
+    /**
+     * Deterministic blade service time per 4 KB fetch: PCIe transfer
+     * (page / link bandwidth) + DRAM wake and access. The PCIe 2.0 x4
+     * link moves 4 KB in ~2 us at 2 GB/s; DRAM power-up adds ~0.1 us.
+     */
+    double serviceSecondsPerFetch = 2.1e-6;
+    /** Number of independent service channels on the blade. */
+    unsigned channels = 1;
+};
+
+/** Contention analysis result for one sharing configuration. */
+struct ContentionResult {
+    double offeredFetchesPerSecond = 0.0;
+    double utilization = 0.0;     //!< of the blade service capacity
+    double meanWaitSeconds = 0.0; //!< queueing delay per fetch
+    double effectiveStallSeconds = 0.0; //!< link stall + queueing
+    bool stable = true;           //!< utilization < 1
+};
+
+/**
+ * M/D/1 (per channel) waiting time for Poisson fetch arrivals at
+ * @p fetches_per_second against @p params.
+ *
+ * W = rho * S / (2 * (1 - rho)), the Pollaczek-Khinchine mean wait
+ * for deterministic service.
+ */
+ContentionResult analyzeContention(double fetches_per_second,
+                                   const BladeLinkParams &params,
+                                   const RemoteLink &link);
+
+/**
+ * Slowdown of one workload when @p servers servers with the given
+ * replay statistics share a blade, including queueing contention.
+ *
+ * @param stats Per-server replay statistics.
+ * @param profile The workload's trace profile (touch rate).
+ * @param link Baseline per-miss stall.
+ * @param servers Servers sharing the blade.
+ * @param params Blade service parameters.
+ */
+double contendedSlowdown(const ReplayStats &stats,
+                         const TraceProfile &profile,
+                         const RemoteLink &link, unsigned servers,
+                         const BladeLinkParams &params);
+
+/**
+ * Largest number of servers (1..limit) that can share one blade while
+ * keeping the workload's contended slowdown at or below @p budget.
+ * Returns 0 if even a single server exceeds the budget.
+ */
+unsigned maxServersPerBlade(const ReplayStats &stats,
+                            const TraceProfile &profile,
+                            const RemoteLink &link, double budget,
+                            const BladeLinkParams &params,
+                            unsigned limit = 256);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_CONTENTION_HH

@@ -1,0 +1,54 @@
+#include "memblade/latency.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+double
+trapCostSeconds(TrapHandling handling)
+{
+    switch (handling) {
+      case TrapHandling::None:
+        return 0.0;
+      case TrapHandling::SoftwareTrap:
+        // Trap entry, handler dispatch, page-table update, TLB
+        // shootdown amortization: several hundred nanoseconds on the
+        // era's cores.
+        return 0.4e-6;
+      case TrapHandling::HardwareTlb:
+        return 0.05e-6;
+    }
+    panic("unknown trap handling");
+}
+
+RemoteLink
+withTrapCost(const RemoteLink &base, TrapHandling handling)
+{
+    RemoteLink out = base;
+    switch (handling) {
+      case TrapHandling::None:
+        return out;
+      case TrapHandling::SoftwareTrap:
+        out.name = base.name + " + SW trap";
+        break;
+      case TrapHandling::HardwareTlb:
+        out.name = base.name + " + HW TLB";
+        break;
+    }
+    out.stallSecondsPerMiss += trapCostSeconds(handling);
+    return out;
+}
+
+double
+slowdown(const ReplayStats &stats, const TraceProfile &profile,
+         const RemoteLink &link)
+{
+    WSC_ASSERT(link.stallSecondsPerMiss >= 0.0, "negative stall time");
+    double miss_rate = stats.warmMissRate();
+    double misses_per_second = miss_rate * profile.touchesPerSecond;
+    return misses_per_second * link.stallSecondsPerMiss;
+}
+
+} // namespace memblade
+} // namespace wsc

@@ -1,0 +1,69 @@
+#include "memblade/page_sharing.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+double
+physicalPerLogical(const ContentParams &p)
+{
+    double dup = p.enableSharing ? p.dupFraction : 0.0;
+    WSC_ASSERT(dup >= 0.0 && dup < 1.0, "dup fraction out of [0, 1)");
+    WSC_ASSERT(p.dupClassSize >= 1.0, "dup class below one page");
+    double uniq = 1.0 - dup;
+    double dup_phys = p.enableSharing ? dup / p.dupClassSize : 0.0;
+    double uniq_phys = uniq;
+    if (p.enableCompression) {
+        WSC_ASSERT(p.compressionRatio >= 1.0,
+                   "compression ratio below one");
+        WSC_ASSERT(p.compressibleFraction >= 0.0 &&
+                       p.compressibleFraction <= 1.0,
+                   "compressible fraction out of [0, 1]");
+        uniq_phys = uniq * (p.compressibleFraction / p.compressionRatio +
+                            (1.0 - p.compressibleFraction));
+    }
+    return dup_phys + uniq_phys;
+}
+
+RemoteLink
+linkWith(const ContentParams &params, const RemoteLink &base)
+{
+    RemoteLink out = base;
+    if (params.enableCompression) {
+        out.name = base.name + " + decompress";
+        out.stallSecondsPerMiss += params.decompressSeconds;
+    }
+    return out;
+}
+
+SharedMemoryOutcome
+applyMemorySharingWithContent(const platform::ServerConfig &server,
+                              const BladeParams &params,
+                              Provisioning scheme,
+                              const ContentParams &content)
+{
+    // Start from the plain sharing outcome, then shrink the remote
+    // tier's contribution by the physical/logical factor.
+    auto base = applyMemorySharing(server, params, scheme);
+    double factor = physicalPerLogical(content);
+
+    double base_cost = server.memory.dollars;
+    double base_watts = server.memory.watts;
+    double remote_fraction = (scheme == Provisioning::Static)
+                                 ? 1.0 - params.localFraction
+                                 : 0.85 - params.localFraction;
+
+    double remote_cost =
+        base_cost * remote_fraction * (1.0 - params.remoteCostDiscount);
+    double remote_watts =
+        base_watts * remote_fraction * (1.0 - params.remotePowerSaving);
+
+    SharedMemoryOutcome out = base;
+    out.memoryDollars -= remote_cost * (1.0 - factor);
+    out.memoryWatts -= remote_watts * (1.0 - factor);
+    return out;
+}
+
+} // namespace memblade
+} // namespace wsc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Content-based page sharing and compression on the memory blade.
+ *
+ * Section 3.4 lists two follow-on optimizations the shared blade
+ * "opens up": memory compression (IBM MXT-style) and content-based
+ * page sharing across blades (VMware ESX-style). Both reduce the
+ * physical DRAM the blade needs for a given logical capacity; this
+ * module models their capacity effect and folds it into the
+ * provisioning economics.
+ *
+ * Model
+ * -----
+ * Across the servers sharing a blade, a fraction `dupFraction` of
+ * remote pages is duplicated content (zero pages, shared libraries,
+ * common file-cache blocks); deduplication stores one copy for each
+ * duplicate class of average size `dupClassSize`. Of the remaining
+ * unique pages, a fraction `compressibleFraction` compresses at ratio
+ * `compressionRatio`. Physical capacity per logical byte:
+ *
+ *   phys = dup/dupClassSize
+ *        + uniq * (compressible/ratio + (1 - compressible))
+ *
+ * with uniq = 1 - dupFraction. Compression also adds a small latency
+ * to each remote fetch (decompression on the blade controller).
+ */
+
+#ifndef WSC_MEMBLADE_PAGE_SHARING_HH
+#define WSC_MEMBLADE_PAGE_SHARING_HH
+
+#include "memblade/blade.hh"
+#include "memblade/latency.hh"
+
+namespace wsc {
+namespace memblade {
+
+/** Content-reduction parameters (defaults follow published ESX/MXT data). */
+struct ContentParams {
+    bool enableSharing = true;
+    bool enableCompression = true;
+    /** Fraction of remote pages with duplicate content. */
+    double dupFraction = 0.15;
+    /** Average duplicates per shared class (ESX reports 2-4). */
+    double dupClassSize = 3.0;
+    /** Fraction of unique pages that compress usefully. */
+    double compressibleFraction = 0.6;
+    /** Compression ratio on compressible pages (MXT: ~2x). */
+    double compressionRatio = 2.0;
+    /** Added per-fetch latency for decompression, seconds. */
+    double decompressSeconds = 0.3e-6;
+};
+
+/**
+ * Physical DRAM bytes needed per logical remote byte under the given
+ * content parameters (1.0 when both features are disabled).
+ */
+double physicalPerLogical(const ContentParams &params);
+
+/**
+ * Remote link with the decompression latency folded in (unchanged if
+ * compression is disabled).
+ */
+RemoteLink linkWith(const ContentParams &params, const RemoteLink &base);
+
+/**
+ * Memory-sharing outcome with content reduction applied to the remote
+ * tier: the blade's DRAM cost and power shrink by the physical/logical
+ * factor.
+ */
+SharedMemoryOutcome applyMemorySharingWithContent(
+    const platform::ServerConfig &server, const BladeParams &params,
+    Provisioning scheme, const ContentParams &content);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_PAGE_SHARING_HH

@@ -1,0 +1,115 @@
+#include "memblade/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+LruPolicy::LruPolicy(std::size_t frames) : frames(frames)
+{
+    WSC_ASSERT(frames > 0, "LRU needs at least one frame");
+}
+
+bool
+LruPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        order.splice(order.begin(), order, it->second);
+        return true;
+    }
+    if (map.size() >= frames) {
+        PageId victim = order.back();
+        order.pop_back();
+        map.erase(victim);
+    }
+    order.push_front(page);
+    map[page] = order.begin();
+    return false;
+}
+
+RandomPolicy::RandomPolicy(std::size_t frames, Rng rng_in)
+    : frames(frames), rng(rng_in)
+{
+    WSC_ASSERT(frames > 0, "random policy needs at least one frame");
+    slots.reserve(frames);
+}
+
+bool
+RandomPolicy::access(PageId page)
+{
+    if (map.count(page))
+        return true;
+    if (slots.size() < frames) {
+        map[page] = slots.size();
+        slots.push_back(page);
+        return false;
+    }
+    std::size_t idx = std::size_t(rng.uniformInt(0, frames - 1));
+    map.erase(slots[idx]);
+    slots[idx] = page;
+    map[page] = idx;
+    return false;
+}
+
+ClockPolicy::ClockPolicy(std::size_t frames) : frames(frames)
+{
+    WSC_ASSERT(frames > 0, "clock needs at least one frame");
+    ring.reserve(frames);
+}
+
+bool
+ClockPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        ring[it->second].referenced = true;
+        return true;
+    }
+    if (ring.size() < frames) {
+        map[page] = ring.size();
+        ring.push_back(Frame{page, true});
+        return false;
+    }
+    // Advance the hand past referenced frames, clearing their bits.
+    while (ring[hand].referenced) {
+        ring[hand].referenced = false;
+        hand = (hand + 1) % frames;
+    }
+    map.erase(ring[hand].page);
+    ring[hand] = Frame{page, true};
+    map[page] = hand;
+    hand = (hand + 1) % frames;
+    return false;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::size_t frames, Rng rng)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(frames);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(frames, rng);
+      case PolicyKind::Clock:
+        return std::make_unique<ClockPolicy>(frames);
+    }
+    panic("unknown policy kind");
+}
+
+std::string
+to_string(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "lru";
+      case PolicyKind::Random:
+        return "random";
+      case PolicyKind::Clock:
+        return "clock";
+    }
+    panic("unknown policy kind");
+}
+
+} // namespace memblade
+} // namespace wsc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Page-replacement policies for the local-memory simulator.
+ *
+ * The paper evaluates LRU and random replacement, expecting an
+ * implementable policy to land between them (Section 3.4); Clock is
+ * included as that implementable middle point.
+ */
+
+#ifndef WSC_MEMBLADE_REPLACEMENT_HH
+#define WSC_MEMBLADE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memblade/trace.hh"
+#include "util/random.hh"
+
+namespace wsc {
+namespace memblade {
+
+/**
+ * Abstract replacement policy over a fixed number of local frames.
+ *
+ * access() returns true on hit. On miss the policy admits the page,
+ * evicting a victim if full (exclusive hierarchy: the victim swaps to
+ * the remote blade, the paper's DMA-swap design).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Touch @p page; returns true if it was resident (hit). */
+    virtual bool access(PageId page) = 0;
+
+    /** Pages currently resident. */
+    virtual std::size_t resident() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Exact LRU via list + hash map; O(1) per access. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit LruPolicy(std::size_t frames);
+
+    bool access(PageId page) override;
+    std::size_t resident() const override { return map.size(); }
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::size_t frames;
+    std::list<PageId> order; //!< front = most recent
+    std::unordered_map<PageId, std::list<PageId>::iterator> map;
+};
+
+/** Random replacement via vector + hash map; O(1) per access. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t frames, Rng rng);
+
+    bool access(PageId page) override;
+    std::size_t resident() const override { return map.size(); }
+    std::string name() const override { return "random"; }
+
+  private:
+    std::size_t frames;
+    Rng rng;
+    std::vector<PageId> slots;
+    std::unordered_map<PageId, std::size_t> map; //!< page -> slot index
+};
+
+/** Clock (second chance): the implementable approximation of LRU. */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    explicit ClockPolicy(std::size_t frames);
+
+    bool access(PageId page) override;
+    std::size_t resident() const override { return map.size(); }
+    std::string name() const override { return "clock"; }
+
+  private:
+    struct Frame {
+        PageId page;
+        bool referenced;
+    };
+    std::size_t frames;
+    std::vector<Frame> ring;
+    std::size_t hand = 0;
+    std::unordered_map<PageId, std::size_t> map;
+};
+
+/** Policy kinds for factory construction. */
+enum class PolicyKind { Lru, Random, Clock };
+
+/** Construct a policy with @p frames local frames. */
+std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
+                                              std::size_t frames,
+                                              Rng rng);
+
+std::string to_string(PolicyKind kind);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_REPLACEMENT_HH

@@ -1,0 +1,144 @@
+#include "memblade/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace wsc {
+namespace memblade {
+
+namespace {
+
+constexpr char magic[4] = {'W', 'S', 'C', 'T'};
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+} // namespace
+
+void
+writeTraceText(std::ostream &os, const std::vector<PageId> &trace)
+{
+    os << "# wsc page trace, " << trace.size() << " accesses\n";
+    for (PageId p : trace)
+        os << p << "\n";
+    WSC_ASSERT(os.good(), "trace write failed");
+}
+
+std::vector<PageId>
+readTraceText(std::istream &is)
+{
+    std::vector<PageId> out;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        try {
+            std::size_t consumed = 0;
+            unsigned long long v = std::stoull(t, &consumed);
+            if (consumed != t.size())
+                throw std::invalid_argument("trailing characters");
+            out.push_back(PageId(v));
+        } catch (const std::exception &) {
+            fatal("bad trace line " + std::to_string(line_no) + ": '" +
+                  t + "'");
+        }
+    }
+    return out;
+}
+
+void
+writeTraceBinary(std::ostream &os, const std::vector<PageId> &trace)
+{
+    os.write(magic, sizeof(magic));
+    std::uint64_t count = trace.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char *>(trace.data()),
+             std::streamsize(trace.size() * sizeof(PageId)));
+    WSC_ASSERT(os.good(), "trace write failed");
+}
+
+std::vector<PageId>
+readTraceBinary(std::istream &is)
+{
+    char m[4] = {};
+    is.read(m, sizeof(m));
+    if (!is.good() || std::memcmp(m, magic, sizeof(magic)) != 0)
+        fatal("not a wsc binary trace (bad magic)");
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is.good())
+        fatal("truncated binary trace header");
+    std::vector<PageId> out(count);
+    is.read(reinterpret_cast<char *>(out.data()),
+            std::streamsize(count * sizeof(PageId)));
+    if (std::size_t(is.gcount()) != count * sizeof(PageId))
+        fatal("truncated binary trace body: expected " +
+              std::to_string(count) + " ids");
+    return out;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<PageId> &trace)
+{
+    if (endsWith(path, ".btrace")) {
+        std::ofstream os(path, std::ios::binary);
+        if (!os)
+            fatal("cannot open '" + path + "' for writing");
+        writeTraceBinary(os, trace);
+    } else if (endsWith(path, ".trace")) {
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot open '" + path + "' for writing");
+        writeTraceText(os, trace);
+    } else {
+        fatal("unknown trace extension on '" + path +
+              "' (use .trace or .btrace)");
+    }
+}
+
+std::vector<PageId>
+loadTrace(const std::string &path)
+{
+    if (endsWith(path, ".btrace")) {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            fatal("cannot open '" + path + "'");
+        return readTraceBinary(is);
+    }
+    if (endsWith(path, ".trace")) {
+        std::ifstream is(path);
+        if (!is)
+            fatal("cannot open '" + path + "'");
+        return readTraceText(is);
+    }
+    fatal("unknown trace extension on '" + path +
+          "' (use .trace or .btrace)");
+}
+
+ReplayStats
+replayTrace(const std::vector<PageId> &trace, std::size_t localFrames,
+            PolicyKind kind, std::uint64_t seed)
+{
+    WSC_ASSERT(localFrames > 0, "need at least one local frame");
+    TwoLevelMemory mem(localFrames, kind, Rng(seed));
+    for (PageId p : trace)
+        mem.access(p);
+    return mem.stats();
+}
+
+} // namespace memblade
+} // namespace wsc

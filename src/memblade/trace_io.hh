@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Page-trace persistence.
+ *
+ * The paper replayed traces gathered from full-system simulation; our
+ * generators substitute for those. This module lets users of the
+ * library replay *real* traces instead: a simple line-oriented text
+ * format (one decimal page id per line, '#' comments) plus a compact
+ * binary format for long traces, with round-trip guarantees.
+ */
+
+#ifndef WSC_MEMBLADE_TRACE_IO_HH
+#define WSC_MEMBLADE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "memblade/trace.hh"
+#include "memblade/two_level.hh"
+
+namespace wsc {
+namespace memblade {
+
+/**
+ * Write a trace as text: a header comment, then one page id per line.
+ */
+void writeTraceText(std::ostream &os, const std::vector<PageId> &trace);
+
+/**
+ * Read a text trace. Blank lines and lines starting with '#' are
+ * skipped; anything unparsable raises FatalError (user input).
+ */
+std::vector<PageId> readTraceText(std::istream &is);
+
+/**
+ * Write a trace in the binary format: magic "WSCT", a u64 count, then
+ * count little-endian u64 page ids.
+ */
+void writeTraceBinary(std::ostream &os,
+                      const std::vector<PageId> &trace);
+
+/** Read a binary trace; validates magic and length. */
+std::vector<PageId> readTraceBinary(std::istream &is);
+
+/** Convenience: file-path variants (format chosen by extension:
+ * ".trace" text, ".btrace" binary). */
+void saveTrace(const std::string &path,
+               const std::vector<PageId> &trace);
+std::vector<PageId> loadTrace(const std::string &path);
+
+/**
+ * Replay an explicit trace through a two-level memory of
+ * @p localFrames frames and return the statistics.
+ */
+ReplayStats replayTrace(const std::vector<PageId> &trace,
+                        std::size_t localFrames, PolicyKind kind,
+                        std::uint64_t seed);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_TRACE_IO_HH

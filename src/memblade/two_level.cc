@@ -1,0 +1,56 @@
+#include "memblade/two_level.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+TwoLevelMemory::TwoLevelMemory(std::size_t localFrames, PolicyKind kind,
+                               Rng rng)
+    : policy(makePolicy(kind, localFrames, rng))
+{
+}
+
+void
+TwoLevelMemory::access(PageId page)
+{
+    ++stats_.accesses;
+    bool hit = policy->access(page);
+    if (hit) {
+        ++stats_.hits;
+        return;
+    }
+    ++stats_.misses;
+    auto [it, inserted] = seen.emplace(page, true);
+    (void)it;
+    if (inserted)
+        ++stats_.coldMisses;
+}
+
+void
+TwoLevelMemory::replay(TraceGenerator &gen, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        access(gen.next());
+}
+
+ReplayStats
+replayProfile(const TraceProfile &profile, double localFraction,
+              PolicyKind kind, std::uint64_t accesses,
+              std::uint64_t seed)
+{
+    WSC_ASSERT(localFraction > 0.0 && localFraction <= 1.0,
+               "local fraction out of (0, 1]");
+    auto frames = std::size_t(
+        std::ceil(double(profile.footprintPages) * localFraction));
+    Rng rng(seed);
+    TwoLevelMemory mem(frames, kind, rng.split());
+    TraceGenerator gen(profile, rng.split());
+    mem.replay(gen, accesses);
+    return mem.stats();
+}
+
+} // namespace memblade
+} // namespace wsc

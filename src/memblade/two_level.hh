@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Two-level (local DRAM + remote memory blade) trace simulator.
+ *
+ * Replays a page-access trace against a local memory of configurable
+ * size; misses are remote-blade accesses. Mirrors the paper's
+ * trace-driven methodology (Section 3.4): exclusive hierarchy, the
+ * victim writeback decoupled from the critical-path fetch.
+ */
+
+#ifndef WSC_MEMBLADE_TWO_LEVEL_HH
+#define WSC_MEMBLADE_TWO_LEVEL_HH
+
+#include <cstdint>
+
+#include "memblade/replacement.hh"
+#include "memblade/trace.hh"
+
+namespace wsc {
+namespace memblade {
+
+/** Aggregate statistics of one trace replay. */
+struct ReplayStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0; //!< remote-blade page fetches
+    std::uint64_t coldMisses = 0; //!< first-touch (not remote fetches)
+
+    double
+    missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+
+    /** Miss rate excluding cold (first-touch) misses. */
+    double
+    warmMissRate() const
+    {
+        return accesses
+                   ? double(misses - coldMisses) / double(accesses)
+                   : 0.0;
+    }
+};
+
+/**
+ * Two-level memory simulator over one replacement policy.
+ */
+class TwoLevelMemory
+{
+  public:
+    /**
+     * @param localFrames Local DRAM size in pages.
+     * @param kind Replacement policy for the local level.
+     * @param rng Used by randomized policies.
+     */
+    TwoLevelMemory(std::size_t localFrames, PolicyKind kind, Rng rng);
+
+    /** Touch one page, updating statistics. */
+    void access(PageId page);
+
+    const ReplayStats &stats() const { return stats_; }
+
+    /** Replay @p n accesses from @p gen. */
+    void replay(TraceGenerator &gen, std::uint64_t n);
+
+  private:
+    std::unique_ptr<ReplacementPolicy> policy;
+    ReplayStats stats_;
+    std::unordered_map<PageId, bool> seen; //!< for cold-miss accounting
+};
+
+/**
+ * Convenience: miss rate of a profile at a given local fraction.
+ *
+ * @param profile Trace profile.
+ * @param localFraction Local memory as a fraction of the footprint.
+ * @param kind Replacement policy.
+ * @param accesses Trace length.
+ * @param seed RNG seed.
+ */
+ReplayStats replayProfile(const TraceProfile &profile,
+                          double localFraction, PolicyKind kind,
+                          std::uint64_t accesses, std::uint64_t seed);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_TWO_LEVEL_HH

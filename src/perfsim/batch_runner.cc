@@ -1,0 +1,94 @@
+#include "perfsim/batch_runner.hh"
+
+#include <deque>
+
+#include "perfsim/calibration.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+BatchResult
+runBatch(const workloads::BatchWorkload &workload,
+         const StationConfig &st, Rng &rng)
+{
+    auto tasks = workload.tasks(rng);
+    WSC_ASSERT(!tasks.empty(), "batch job has no tasks");
+
+    sim::EventQueue eq;
+    sim::PsResource cpu(eq, "cpu", st.cpuCapacityGHz, st.cpuSlots);
+    sim::FifoResource disk(eq, "disk", 1);
+
+    unsigned slots = workload.threadsPerCore() * st.cpuSlots;
+    WSC_ASSERT(slots >= 1, "no worker slots");
+
+    std::deque<workloads::BatchTask> maps, reduces;
+    for (const auto &t : tasks)
+        (t.isReduce ? reduces : maps).push_back(t);
+
+    BatchResult result;
+    unsigned running = 0;
+    std::size_t maps_left = maps.size();
+    double makespan = 0.0;
+
+    // Forward declaration so stages can chain back into the scheduler.
+    std::function<void()> schedule = [&] {
+        while (running < slots) {
+            std::deque<workloads::BatchTask> *queue = nullptr;
+            if (!maps.empty())
+                queue = &maps;
+            else if (maps_left == 0 && !reduces.empty())
+                queue = &reduces;
+            if (!queue)
+                return;
+            workloads::BatchTask task = queue->front();
+            queue->pop_front();
+            ++running;
+
+            auto retire = [&, task] {
+                --running;
+                ++result.tasksRun;
+                if (!task.isReduce)
+                    --maps_left;
+                makespan = eq.now();
+                schedule();
+            };
+            auto cpu_stage = [&, task, retire] {
+                double work = task.cpuWork * st.serviceSlowdown;
+                cpu.submit(work, [&, task, retire] {
+                    if (task.diskWriteBytes > 0.0) {
+                        double service =
+                            st.diskAccessMs * 1e-3 * writeAccessFactor +
+                            task.diskWriteBytes /
+                                (st.diskWriteMBs * 1e6);
+                        disk.submit(service, retire);
+                    } else {
+                        retire();
+                    }
+                });
+            };
+            if (task.diskReadBytes > 0.0) {
+                double service = st.diskAccessMs * 1e-3 +
+                                 task.diskReadBytes /
+                                     (st.diskReadMBs * 1e6);
+                disk.submit(service, cpu_stage);
+            } else {
+                cpu_stage();
+            }
+        }
+    };
+
+    eq.schedule(0.0, schedule);
+    eq.runAll();
+
+    WSC_ASSERT(result.tasksRun == tasks.size(),
+               "batch run retired " << result.tasksRun << " of "
+                                    << tasks.size() << " tasks");
+    result.makespanSeconds = makespan;
+    result.cpuUtilization = cpu.utilization();
+    result.diskUtilization = disk.utilization();
+    return result;
+}
+
+} // namespace perfsim
+} // namespace wsc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Discrete-event execution of MapReduce-style batch jobs.
+ *
+ * Models the paper's Hadoop deployment on one node: a bounded pool of
+ * worker slots (4 threads per CPU) executes map tasks (disk read, then
+ * CPU) and, once all maps retire, reduce tasks (CPU, then disk write).
+ * The metric is the job makespan (Table 1: execution time).
+ */
+
+#ifndef WSC_PERFSIM_BATCH_RUNNER_HH
+#define WSC_PERFSIM_BATCH_RUNNER_HH
+
+#include "perfsim/server_sim.hh"
+#include "workloads/workload.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Result of one batch job execution. */
+struct BatchResult {
+    double makespanSeconds = 0.0;
+    double cpuUtilization = 0.0;
+    double diskUtilization = 0.0;
+    std::uint64_t tasksRun = 0;
+};
+
+/**
+ * Execute @p workload's task graph on @p stations.
+ *
+ * @param workload Batch job description.
+ * @param stations Station capacities for the platform.
+ * @param rng Drives per-task jitter.
+ */
+BatchResult runBatch(const workloads::BatchWorkload &workload,
+                     const StationConfig &stations, Rng &rng);
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_BATCH_RUNNER_HH

@@ -1,0 +1,34 @@
+#include "perfsim/calibration.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+double
+rawCapability(const platform::CpuModel &cpu,
+              const workloads::WorkloadTraits &traits)
+{
+    WSC_ASSERT(cpu.freqGHz > 0.0, "CPU frequency must be positive");
+    WSC_ASSERT(cpu.totalCores() >= 1, "CPU needs at least one core");
+    double ipc = cpu.outOfOrder ? 1.0 : traits.inorderIpcFactor;
+    double cache = std::pow(double(cpu.l2KB) / referenceL2KB,
+                            traits.cacheBeta);
+    return double(cpu.totalCores()) * cpu.freqGHz * ipc * cache;
+}
+
+double
+effectiveCapability(const platform::CpuModel &cpu,
+                    const platform::CpuModel &ref,
+                    const workloads::WorkloadTraits &traits)
+{
+    double raw = rawCapability(cpu, traits);
+    double raw_ref = rawCapability(ref, traits);
+    WSC_ASSERT(raw_ref > 0.0, "reference capability must be positive");
+    return raw_ref * std::pow(raw / raw_ref, traits.cpuScalingGamma);
+}
+
+} // namespace perfsim
+} // namespace wsc

@@ -1,0 +1,163 @@
+#include "perfsim/closed_loop.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "perfsim/calibration.hh"
+#include "stats/percentile.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+namespace {
+
+/** Shared mutable state for the client population and epoch stats. */
+struct DriverState {
+    sim::EventQueue eq;
+    std::unique_ptr<sim::PsResource> cpu;
+    std::unique_ptr<sim::FifoResource> disk;
+    std::unique_ptr<sim::PsResource> nic;
+    workloads::InteractiveWorkload *workload = nullptr;
+    const StationConfig *st = nullptr;
+    Rng *rng = nullptr;
+    unsigned targetClients = 0;
+    unsigned liveClients = 0;
+    std::uint64_t nextClientGeneration = 0;
+    // Epoch accounting.
+    std::uint64_t epochCompleted = 0;
+    std::uint64_t epochViolations = 0;
+    stats::PercentileTracker epochLatencies;
+    double qosLimit = 0.0;
+};
+
+/** One client's think-request loop; stops when over the target. */
+void
+clientLoop(DriverState &s, double think_mean)
+{
+    if (s.liveClients > s.targetClients) {
+        // Population shrank: this client retires.
+        --s.liveClients;
+        return;
+    }
+    double think = s.rng->exponential(think_mean);
+    s.eq.scheduleAfter(think, [&s, think_mean] {
+        double issued = s.eq.now();
+        auto demand = s.workload->nextRequest(*s.rng);
+        double cpu_work = demand.cpuWork * s.st->serviceSlowdown;
+        double disk_service = 0.0;
+        if (demand.diskReadBytes > 0.0 &&
+            !s.rng->bernoulli(s.st->diskCacheHitRate)) {
+            disk_service +=
+                s.st->diskAccessMs * 1e-3 +
+                demand.diskReadBytes / (s.st->diskReadMBs * 1e6);
+        }
+        if (demand.diskWriteBytes > 0.0) {
+            disk_service +=
+                s.st->diskAccessMs * 1e-3 * writeAccessFactor +
+                demand.diskWriteBytes / (s.st->diskWriteMBs * 1e6);
+        }
+        double net_mb = demand.netBytes / 1e6;
+
+        auto respond = [&s, issued, think_mean] {
+            double latency = s.eq.now() - issued;
+            ++s.epochCompleted;
+            s.epochLatencies.add(latency);
+            if (latency > s.qosLimit)
+                ++s.epochViolations;
+            clientLoop(s, think_mean);
+        };
+        auto net_stage = [&s, net_mb, respond] {
+            if (net_mb > 0.0)
+                s.nic->submit(net_mb, respond);
+            else
+                respond();
+        };
+        auto disk_stage = [&s, disk_service, net_stage] {
+            if (disk_service > 0.0)
+                s.disk->submit(disk_service, net_stage);
+            else
+                net_stage();
+        };
+        s.cpu->submit(cpu_work, disk_stage);
+    });
+}
+
+} // namespace
+
+ClosedLoopResult
+runClosedLoop(workloads::InteractiveWorkload &workload,
+              const StationConfig &stations,
+              const ClosedLoopParams &params, Rng &rng)
+{
+    WSC_ASSERT(params.initialClients >= 1, "need at least one client");
+    WSC_ASSERT(params.epochSeconds > 0.0, "epoch must be positive");
+    WSC_ASSERT(params.growFactor > 1.0, "grow factor must exceed 1");
+    WSC_ASSERT(params.shrinkFactor > 0.0 && params.shrinkFactor < 1.0,
+               "shrink factor must be in (0, 1)");
+
+    DriverState s;
+    s.cpu = std::make_unique<sim::PsResource>(
+        s.eq, "cpu", stations.cpuCapacityGHz, stations.cpuSlots);
+    s.disk = std::make_unique<sim::FifoResource>(s.eq, "disk", 1);
+    s.nic = std::make_unique<sim::PsResource>(s.eq, "nic",
+                                              stations.nicMBs, 1);
+    s.workload = &workload;
+    s.st = &stations;
+    s.rng = &rng;
+    auto qos = workload.qos();
+    s.qosLimit = qos.latencyLimit;
+    s.targetClients = params.initialClients;
+
+    auto spawn_to_target = [&] {
+        while (s.liveClients < s.targetClients) {
+            ++s.liveClients;
+            clientLoop(s, params.thinkTimeMean);
+        }
+    };
+    spawn_to_target();
+
+    ClosedLoopResult result;
+    for (unsigned epoch = 0; epoch < params.epochs; ++epoch) {
+        s.epochCompleted = 0;
+        s.epochViolations = 0;
+        s.epochLatencies.clear();
+        double end = s.eq.now() + params.epochSeconds;
+        s.eq.run(end);
+
+        double rps = double(s.epochCompleted) / params.epochSeconds;
+        bool passed =
+            s.epochCompleted > 0 &&
+            double(s.epochViolations) <=
+                (1.0 - qos.quantile) * double(s.epochCompleted);
+        result.epochRps.push_back(rps);
+        result.epochPassed.push_back(passed);
+
+        if (passed) {
+            if (rps > result.sustainedRps) {
+                result.sustainedRps = rps;
+                result.clientsAtBest = s.targetClients;
+                result.p95AtBest =
+                    s.epochLatencies.count()
+                        ? s.epochLatencies.quantile(0.95)
+                        : 0.0;
+            }
+            double grown =
+                std::ceil(double(s.targetClients) * params.growFactor);
+            s.targetClients = unsigned(
+                std::min<double>(grown, params.maxClients));
+            spawn_to_target();
+        } else {
+            s.targetClients = std::max(
+                1u, unsigned(std::floor(double(s.targetClients) *
+                                        params.shrinkFactor)));
+            // Excess clients retire lazily after their next response.
+        }
+    }
+    result.finalClients = s.targetClients;
+    return result;
+}
+
+} // namespace perfsim
+} // namespace wsc

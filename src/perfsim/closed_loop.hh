@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Closed-loop adaptive client driver.
+ *
+ * The paper's benchmarks are exercised by a client driver that
+ * "generates and dispatches requests (with user-defined think time)
+ * ... and can adapt the number of simultaneous clients according to
+ * recently observed QoS results, to achieve the highest level of
+ * throughput without overloading the servers" (Section 2.1).
+ *
+ * This module reimplements that driver against the station model: a
+ * population of clients alternates think time and a request's journey
+ * through the server; after each measurement epoch the population
+ * grows while QoS holds and shrinks when it breaks. It serves as an
+ * independent check on the open-loop bisection in throughput.hh - the
+ * two must agree on sustainable throughput.
+ */
+
+#ifndef WSC_PERFSIM_CLOSED_LOOP_HH
+#define WSC_PERFSIM_CLOSED_LOOP_HH
+
+#include "perfsim/server_sim.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Adaptive-driver controls. */
+struct ClosedLoopParams {
+    unsigned initialClients = 8;
+    unsigned maxClients = 100000;
+    double thinkTimeMean = 1.0;   //!< seconds between a client's requests
+    double epochSeconds = 15.0;   //!< QoS observation window
+    unsigned epochs = 14;         //!< total adaptation epochs
+    double growFactor = 1.3;      //!< population growth while QoS holds
+    double shrinkFactor = 0.75;   //!< contraction on QoS violation
+};
+
+/** Outcome of an adaptive run. */
+struct ClosedLoopResult {
+    double sustainedRps = 0.0;   //!< best QoS-passing epoch throughput
+    unsigned clientsAtBest = 0;
+    unsigned finalClients = 0;
+    double p95AtBest = 0.0;
+    /** Per-epoch throughput trace (for inspection/tests). */
+    std::vector<double> epochRps;
+    std::vector<bool> epochPassed;
+};
+
+/**
+ * Run the adaptive closed-loop driver for @p workload on @p stations.
+ */
+ClosedLoopResult runClosedLoop(workloads::InteractiveWorkload &workload,
+                               const StationConfig &stations,
+                               const ClosedLoopParams &params, Rng &rng);
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_CLOSED_LOOP_HH

@@ -1,0 +1,237 @@
+#include "perfsim/cluster_sim.hh"
+
+#include <algorithm>
+
+#include "perfsim/calibration.hh"
+#include "perfsim/throughput.hh"
+#include "stats/percentile.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+std::string
+to_string(DispatchPolicy p)
+{
+    switch (p) {
+      case DispatchPolicy::RoundRobin:
+        return "round-robin";
+      case DispatchPolicy::Random:
+        return "random";
+      case DispatchPolicy::LeastOutstanding:
+        return "least-outstanding";
+    }
+    panic("unknown dispatch policy");
+}
+
+bool
+ClusterSimResult::passes(const workloads::QosSpec &qos) const
+{
+    if (saturated || completed == 0)
+        return false;
+    return qosViolationFraction <= (1.0 - qos.quantile);
+}
+
+namespace {
+
+/** One server's stations plus dispatch bookkeeping. */
+struct ServerNode {
+    std::unique_ptr<sim::PsResource> cpu;
+    std::unique_ptr<sim::FifoResource> disk;
+    std::unique_ptr<sim::PsResource> nic;
+    std::size_t inFlight = 0;
+};
+
+} // namespace
+
+ClusterSimResult
+simulateCluster(workloads::InteractiveWorkload &workload,
+                const StationConfig &st, unsigned servers,
+                DispatchPolicy policy, double rps,
+                const SimWindow &window, Rng &rng)
+{
+    WSC_ASSERT(servers >= 1, "empty cluster");
+    WSC_ASSERT(rps > 0.0, "offered load must be positive");
+
+    sim::EventQueue eq;
+    std::vector<ServerNode> nodes(servers);
+    for (unsigned i = 0; i < servers; ++i) {
+        auto tag = std::to_string(i);
+        nodes[i].cpu = std::make_unique<sim::PsResource>(
+            eq, "cpu" + tag, st.cpuCapacityGHz, st.cpuSlots);
+        nodes[i].disk =
+            std::make_unique<sim::FifoResource>(eq, "disk" + tag, 1);
+        nodes[i].nic = std::make_unique<sim::PsResource>(
+            eq, "nic" + tag, st.nicMBs, 1);
+    }
+
+    auto qos = workload.qos();
+    stats::PercentileTracker latencies;
+    ClusterSimResult result;
+    result.offeredRps = rps;
+    double horizon = window.warmupSeconds + window.measureSeconds;
+    std::uint64_t offered = 0, violations = 0;
+    std::size_t total_in_flight = 0;
+    bool aborted = false;
+    unsigned rr_next = 0;
+
+    auto pick = [&]() -> ServerNode & {
+        switch (policy) {
+          case DispatchPolicy::RoundRobin: {
+            auto &n = nodes[rr_next];
+            rr_next = (rr_next + 1) % servers;
+            return n;
+          }
+          case DispatchPolicy::Random:
+            return nodes[rng.uniformInt(0, servers - 1)];
+          case DispatchPolicy::LeastOutstanding: {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < nodes.size(); ++i)
+                if (nodes[i].inFlight < nodes[best].inFlight)
+                    best = i;
+            return nodes[best];
+          }
+        }
+        panic("unknown dispatch policy");
+    };
+
+    auto launch = [&](double arrival, bool measured) {
+        auto &node = pick();
+        ++node.inFlight;
+        ++total_in_flight;
+        auto demand = workload.nextRequest(rng);
+        double cpu_work = demand.cpuWork * st.serviceSlowdown;
+        double disk_service = 0.0;
+        if (demand.diskReadBytes > 0.0 &&
+            !rng.bernoulli(st.diskCacheHitRate)) {
+            disk_service += st.diskAccessMs * 1e-3 +
+                            demand.diskReadBytes /
+                                (st.diskReadMBs * 1e6);
+        }
+        if (demand.diskWriteBytes > 0.0) {
+            disk_service +=
+                st.diskAccessMs * 1e-3 * writeAccessFactor +
+                demand.diskWriteBytes / (st.diskWriteMBs * 1e6);
+        }
+        double net_mb = demand.netBytes / 1e6;
+
+        auto finish = [&, arrival, measured, node_ptr = &node] {
+            --node_ptr->inFlight;
+            --total_in_flight;
+            double latency = eq.now() - arrival;
+            if (measured) {
+                latencies.add(latency);
+                ++result.completed;
+                if (latency > qos.latencyLimit)
+                    ++violations;
+            }
+        };
+        auto net_stage = [&, net_mb, finish, node_ptr = &node] {
+            if (net_mb > 0.0)
+                node_ptr->nic->submit(net_mb, finish);
+            else
+                finish();
+        };
+        auto disk_stage = [&, disk_service, net_stage,
+                           node_ptr = &node] {
+            if (disk_service > 0.0)
+                node_ptr->disk->submit(disk_service, net_stage);
+            else
+                net_stage();
+        };
+        node.cpu->submit(cpu_work, disk_stage);
+    };
+
+    std::function<void()> arrive = [&] {
+        if (aborted)
+            return;
+        if (total_in_flight > window.maxInFlight * servers) {
+            aborted = true;
+            return;
+        }
+        double now = eq.now();
+        if (now < horizon) {
+            bool measured = now >= window.warmupSeconds;
+            if (measured)
+                ++offered;
+            launch(now, measured);
+            eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
+        }
+    };
+    eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
+
+    eq.run(horizon);
+    double grace = horizon + std::max(30.0, 5.0 * qos.latencyLimit);
+    while (!eq.empty() && eq.now() < grace && !aborted)
+        eq.step();
+
+    result.saturated =
+        aborted || total_in_flight > 0 ||
+        (offered > 0 &&
+         double(result.completed) < 0.97 * double(offered));
+    if (latencies.count() > 0)
+        result.p95Latency = latencies.quantile(0.95);
+    result.qosViolationFraction =
+        offered ? double(violations) / double(offered) : 0.0;
+
+    double util_sum = 0.0, util_max = 0.0;
+    for (auto &n : nodes) {
+        double u = n.cpu->utilization();
+        util_sum += u;
+        util_max = std::max(util_max, u);
+    }
+    result.meanCpuUtilization = util_sum / double(servers);
+    result.maxCpuUtilization = util_max;
+    return result;
+}
+
+ClusterScalingResult
+measureClusterScaling(workloads::InteractiveWorkload &workload,
+                      const StationConfig &st, unsigned servers,
+                      DispatchPolicy policy, const SearchParams &params,
+                      Rng &rng)
+{
+    ClusterScalingResult out;
+    {
+        Rng sub = rng.split();
+        out.singleRps =
+            findSustainableRps(workload, st, params, sub)
+                .sustainableRps;
+    }
+    WSC_ASSERT(out.singleRps > 0.0, "single server sustains nothing");
+
+    auto qos = workload.qos();
+    auto probe = [&](double rps) {
+        Rng sub = rng.split();
+        return simulateCluster(workload, st, servers, policy, rps,
+                               params.window, sub);
+    };
+    double hi = out.singleRps * double(servers) * 1.1;
+    double lo = 0.0;
+    // Bracket downward from the ideal aggregate.
+    double cursor = hi;
+    for (int i = 0; i < 8 && lo == 0.0; ++i) {
+        cursor *= 0.8;
+        if (probe(cursor).passes(qos))
+            lo = cursor;
+    }
+    if (lo == 0.0) {
+        out.clusterRps = 0.0;
+        out.scalingEfficiency = 0.0;
+        return out;
+    }
+    for (unsigned i = 0; i < params.iterations; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (probe(mid).passes(qos))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    out.clusterRps = lo;
+    out.scalingEfficiency =
+        out.clusterRps / (out.singleRps * double(servers));
+    return out;
+}
+
+} // namespace perfsim
+} // namespace wsc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-server cluster simulation with load dispatch.
+ *
+ * The paper's performance model "makes the simplifying assumption that
+ * cluster-level performance can be approximated by the aggregation of
+ * single-machine benchmarks. This needs to be validated" (Section 4).
+ * This module performs that validation inside the model world: N
+ * server instances behind a dispatcher, driven by a cluster-level
+ * Poisson stream, measured against N times the single-server
+ * sustainable rate.
+ *
+ * Dispatch policies:
+ *  - RoundRobin: perfect rotation (what DNS RR approximates),
+ *  - Random: uniform random pick (what stateless hashing gives),
+ *  - LeastOutstanding: fewest in-flight requests (an L7 balancer).
+ */
+
+#ifndef WSC_PERFSIM_CLUSTER_SIM_HH
+#define WSC_PERFSIM_CLUSTER_SIM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perfsim/server_sim.hh"
+#include "perfsim/throughput.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Load-dispatch policies. */
+enum class DispatchPolicy {
+    RoundRobin,
+    Random,
+    LeastOutstanding
+};
+
+std::string to_string(DispatchPolicy p);
+
+/** Result of one fixed-rate cluster simulation. */
+struct ClusterSimResult {
+    double offeredRps = 0.0;
+    std::uint64_t completed = 0;
+    double p95Latency = 0.0;
+    double qosViolationFraction = 0.0;
+    bool saturated = false;
+    /** Peak imbalance: max over servers of in-flight, at the end. */
+    double meanCpuUtilization = 0.0;
+    double maxCpuUtilization = 0.0;
+
+    bool passes(const workloads::QosSpec &qos) const;
+};
+
+/**
+ * Simulate @p servers identical servers under @p policy at cluster
+ * arrival rate @p rps.
+ */
+ClusterSimResult simulateCluster(
+    workloads::InteractiveWorkload &workload,
+    const StationConfig &stations, unsigned servers,
+    DispatchPolicy policy, double rps, const SimWindow &window,
+    Rng &rng);
+
+/**
+ * Highest QoS-passing cluster rate (bisection, like the single-server
+ * search), and its ratio to servers x the single-server rate.
+ */
+struct ClusterScalingResult {
+    double clusterRps = 0.0;
+    double singleRps = 0.0;
+    /** clusterRps / (servers * singleRps): 1.0 = perfect scaling. */
+    double scalingEfficiency = 0.0;
+};
+
+ClusterScalingResult measureClusterScaling(
+    workloads::InteractiveWorkload &workload,
+    const StationConfig &stations, unsigned servers,
+    DispatchPolicy policy, const SearchParams &params, Rng &rng);
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_CLUSTER_SIM_HH

@@ -1,0 +1,80 @@
+#include "perfsim/perf_eval.hh"
+
+#include "platform/catalog.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+PerfEvaluator::PerfEvaluator()
+    : ref(platform::makeSystem(platform::SystemClass::Srvr1).cpu)
+{
+}
+
+PerfEvaluator::PerfEvaluator(platform::CpuModel reference)
+    : ref(std::move(reference))
+{
+}
+
+StationConfig
+PerfEvaluator::stationsFor(const platform::ServerConfig &server,
+                           const workloads::WorkloadTraits &traits,
+                           const PerfOptions &options) const
+{
+    platform::ServerConfig cfg = server;
+    if (options.diskOverride)
+        cfg.disk = *options.diskOverride;
+    StationConfig st = makeStations(cfg, ref, traits);
+    st.diskAccessMs += options.extraDiskAccessMs;
+    st.serviceSlowdown = options.serviceSlowdown;
+    if (options.flashCacheHitRate > 0.0) {
+        // Blend the flash tier into the effective disk service: a
+        // fraction f of page-cache misses is served by flash instead
+        // of the (possibly remote) disk.
+        double f = options.flashCacheHitRate;
+        WSC_ASSERT(f <= 1.0, "flash hit rate above 1");
+        st.diskAccessMs =
+            f * options.flashAccessMs + (1.0 - f) * st.diskAccessMs;
+        st.diskReadMBs = 1.0 / (f / options.flashReadMBs +
+                                (1.0 - f) / st.diskReadMBs);
+    }
+    return st;
+}
+
+PerfMeasurement
+PerfEvaluator::measure(const platform::ServerConfig &server,
+                       workloads::Benchmark benchmark,
+                       const PerfOptions &options) const
+{
+    auto workload = workloads::makeBenchmark(benchmark);
+    StationConfig st = stationsFor(server, workload->traits(), options);
+    // Seed depends on platform and benchmark so runs are independent
+    // but reproducible.
+    std::uint64_t seed = options.seed ^
+                         (std::uint64_t(server.cls) << 8) ^
+                         (std::uint64_t(benchmark) << 16);
+    Rng rng(seed);
+
+    PerfMeasurement m;
+    if (workload->kind() == workloads::WorkloadKind::Interactive) {
+        auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(
+            *workload);
+        auto r = findSustainableRps(iw, st, options.search, rng);
+        m.interactive = true;
+        m.sustainableRps = r.sustainableRps;
+        m.perf = r.sustainableRps;
+        m.cpuUtilization = r.atSustainable.cpuUtilization;
+    } else {
+        auto &bw = dynamic_cast<workloads::BatchWorkload &>(*workload);
+        auto r = runBatch(bw, st, rng);
+        m.interactive = false;
+        m.makespanSeconds = r.makespanSeconds;
+        WSC_ASSERT(r.makespanSeconds > 0.0, "zero makespan");
+        m.perf = 1.0 / r.makespanSeconds;
+        m.cpuUtilization = r.cpuUtilization;
+    }
+    return m;
+}
+
+} // namespace perfsim
+} // namespace wsc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One-call performance evaluation of a (platform, benchmark) pair.
+ *
+ * Wraps station derivation, the sustainable-throughput search, and the
+ * batch runner behind a single facade returning the paper's "Perf"
+ * number: RPS-with-QoS for interactive workloads, reciprocal execution
+ * time for batch workloads.
+ */
+
+#ifndef WSC_PERFSIM_PERF_EVAL_HH
+#define WSC_PERFSIM_PERF_EVAL_HH
+
+#include <optional>
+
+#include "perfsim/batch_runner.hh"
+#include "perfsim/throughput.hh"
+#include "platform/server_config.hh"
+#include "workloads/suite.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Options altering the evaluated configuration. */
+struct PerfOptions {
+    /** Replace the platform's disk (e.g. remote laptop via SAN). */
+    std::optional<platform::DiskModel> diskOverride;
+    /**
+     * Extra disk access latency in milliseconds (e.g. SAN round trip
+     * for remote disks); added to the disk model's access time.
+     */
+    double extraDiskAccessMs = 0.0;
+    /**
+     * Fraction of disk accesses absorbed by a flash cache, on top of
+     * the workload's page-cache hit rate; see flashcache module.
+     */
+    double flashCacheHitRate = 0.0;
+    /** Flash-served access time (ms) and bandwidth (MB/s). */
+    double flashAccessMs = 0.2;
+    double flashReadMBs = 50.0;
+    /** Uniform service stretch (memory-blade remote-miss slowdown). */
+    double serviceSlowdown = 1.0;
+    /** RNG seed; fixed default for reproducibility. */
+    std::uint64_t seed = 12345;
+    SearchParams search;
+};
+
+/** Performance with measurement context. */
+struct PerfMeasurement {
+    double perf = 0.0;  //!< RPS (interactive) or 1/seconds (batch)
+    bool interactive = true;
+    double sustainableRps = 0.0;
+    double makespanSeconds = 0.0;
+    double cpuUtilization = 0.0;
+};
+
+/**
+ * Evaluates benchmarks against platforms with a fixed reference CPU
+ * (srvr1) for the calibration model.
+ */
+class PerfEvaluator
+{
+  public:
+    /** Uses srvr1's CPU as the calibration reference. */
+    PerfEvaluator();
+
+    /** Explicit reference CPU (for what-if studies). */
+    explicit PerfEvaluator(platform::CpuModel reference);
+
+    /** Measure one benchmark on one platform. */
+    PerfMeasurement measure(const platform::ServerConfig &server,
+                            workloads::Benchmark benchmark,
+                            const PerfOptions &options = {}) const;
+
+    /** Station derivation including the option overrides (exposed for
+     * tests and the flashcache module). */
+    StationConfig stationsFor(const platform::ServerConfig &server,
+                              const workloads::WorkloadTraits &traits,
+                              const PerfOptions &options) const;
+
+    const platform::CpuModel &reference() const { return ref; }
+
+  private:
+    platform::CpuModel ref;
+};
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_PERF_EVAL_HH

@@ -1,0 +1,153 @@
+#include "perfsim/server_sim.hh"
+
+#include <algorithm>
+
+#include "perfsim/calibration.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+StationConfig
+makeStations(const platform::ServerConfig &server,
+             const platform::CpuModel &ref,
+             const workloads::WorkloadTraits &traits)
+{
+    StationConfig s;
+    s.cpuCapacityGHz = effectiveCapability(server.cpu, ref, traits);
+    s.cpuSlots = server.cpu.totalCores();
+    double link_mbs = server.nic.gbps * 125.0; // 8 bits/byte
+    s.nicMBs = (traits.streamPacingCapMBs > 0.0)
+                   ? std::min(link_mbs, traits.streamPacingCapMBs)
+                   : link_mbs;
+    s.diskReadMBs = server.disk.bandwidthMBs;
+    s.diskWriteMBs = server.disk.writeBandwidthMBs;
+    s.diskAccessMs = server.disk.avgAccessMs;
+    s.diskCacheHitRate = traits.diskCacheHitRate;
+    return s;
+}
+
+bool
+SimResult::passes(const workloads::QosSpec &qos) const
+{
+    if (saturated)
+        return false;
+    // Stability: nearly everything offered must complete in-window.
+    if (offered == 0 ||
+        double(completed) < 0.97 * double(offered))
+        return false;
+    return qosViolationFraction <= (1.0 - qos.quantile);
+}
+
+SimResult
+simulateInteractive(workloads::InteractiveWorkload &workload,
+                    const StationConfig &st, double rps,
+                    const SimWindow &window, Rng &rng)
+{
+    WSC_ASSERT(rps > 0.0, "offered load must be positive");
+
+    sim::EventQueue eq;
+    sim::PsResource cpu(eq, "cpu", st.cpuCapacityGHz, st.cpuSlots);
+    sim::FifoResource disk(eq, "disk", 1);
+    sim::PsResource nic(eq, "nic", st.nicMBs, 1);
+
+    stats::PercentileTracker latencies;
+    stats::Summary latency_summary;
+    auto qos = workload.qos();
+
+    SimResult result;
+    result.offeredRps = rps;
+
+    double horizon = window.warmupSeconds + window.measureSeconds;
+    std::size_t in_flight = 0;
+    bool aborted = false;
+    std::uint64_t qos_violations = 0;
+
+    // One request's journey through the stations.
+    auto launch = [&](double arrival_time, bool measured) {
+        ++in_flight;
+        auto demand = workload.nextRequest(rng);
+        double cpu_work = demand.cpuWork * st.serviceSlowdown;
+
+        // Disk stage work, resolved now so the closure stays simple.
+        double disk_service = 0.0;
+        if (demand.diskReadBytes > 0.0 &&
+            !rng.bernoulli(st.diskCacheHitRate)) {
+            disk_service += st.diskAccessMs * 1e-3 +
+                            demand.diskReadBytes / (st.diskReadMBs * 1e6);
+        }
+        if (demand.diskWriteBytes > 0.0) {
+            disk_service +=
+                st.diskAccessMs * 1e-3 * writeAccessFactor +
+                demand.diskWriteBytes / (st.diskWriteMBs * 1e6);
+        }
+        double net_mb = demand.netBytes / 1e6;
+
+        auto finish = [&, arrival_time, measured] {
+            --in_flight;
+            double latency = eq.now() - arrival_time;
+            if (measured) {
+                latencies.add(latency);
+                latency_summary.add(latency);
+                ++result.completed;
+                if (latency > qos.latencyLimit)
+                    ++qos_violations;
+            }
+        };
+        auto net_stage = [&, net_mb, finish] {
+            if (net_mb > 0.0)
+                nic.submit(net_mb, finish);
+            else
+                finish();
+        };
+        auto disk_stage = [&, disk_service, net_stage] {
+            if (disk_service > 0.0)
+                disk.submit(disk_service, net_stage);
+            else
+                net_stage();
+        };
+        cpu.submit(cpu_work, disk_stage);
+    };
+
+    // Poisson arrival process.
+    std::function<void()> arrive = [&] {
+        if (aborted)
+            return;
+        if (in_flight > window.maxInFlight) {
+            aborted = true;
+            return;
+        }
+        double now = eq.now();
+        if (now < horizon) {
+            bool measured = now >= window.warmupSeconds;
+            if (measured)
+                ++result.offered;
+            launch(now, measured);
+            eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
+        }
+    };
+    eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
+
+    // Run to the horizon, then drain a grace period so in-flight
+    // requests can complete (or reveal saturation).
+    eq.run(horizon);
+    double grace = horizon + std::max(30.0, 5.0 * qos.latencyLimit);
+    while (!eq.empty() && eq.now() < grace && !aborted)
+        eq.step();
+
+    result.saturated = aborted || in_flight > 0;
+    if (latencies.count() > 0) {
+        result.p95Latency = latencies.quantile(0.95);
+        result.meanLatency = latency_summary.mean();
+    }
+    result.qosViolationFraction =
+        result.offered ? double(qos_violations) / double(result.offered)
+                       : 0.0;
+    result.cpuUtilization = cpu.utilization();
+    result.diskUtilization = disk.utilization();
+    result.nicUtilization = nic.utilization();
+    return result;
+}
+
+} // namespace perfsim
+} // namespace wsc

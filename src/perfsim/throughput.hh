@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sustainable-throughput search for interactive workloads.
+ *
+ * Finds the highest request rate that still meets the workload's QoS
+ * constraint — the paper's "RPS with QoS" metric — mirroring the
+ * adaptive client driver described in Section 2.1 (which grows the
+ * number of simultaneous clients until QoS degrades).
+ */
+
+#ifndef WSC_PERFSIM_THROUGHPUT_HH
+#define WSC_PERFSIM_THROUGHPUT_HH
+
+#include "perfsim/server_sim.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Search controls. */
+struct SearchParams {
+    unsigned iterations = 9;      //!< bisection steps after bracketing
+    double relativeFloor = 0.02;  //!< lowest probe, fraction of bound
+    SimWindow window;
+};
+
+/** Outcome of the search. */
+struct ThroughputResult {
+    double sustainableRps = 0.0;  //!< highest QoS-passing offered load
+    double analyticBoundRps = 0.0; //!< bottleneck-capacity upper bound
+    SimResult atSustainable;      //!< measurement at the returned rate
+};
+
+/**
+ * Analytic bottleneck bound: the service rate of the busiest station
+ * under mean demands. The true sustainable rate is below this (QoS
+ * shaves headroom); it seeds the bisection bracket.
+ */
+double analyticBound(const workloads::InteractiveWorkload &workload,
+                     const StationConfig &stations);
+
+/**
+ * Binary-search the sustainable RPS for @p workload on @p stations.
+ * Deterministic given @p rng's seed.
+ */
+ThroughputResult findSustainableRps(
+    workloads::InteractiveWorkload &workload,
+    const StationConfig &stations, const SearchParams &params, Rng &rng);
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_THROUGHPUT_HH

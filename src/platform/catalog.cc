@@ -1,0 +1,184 @@
+#include "platform/catalog.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace platform {
+
+namespace {
+
+DiskModel
+serverDisk15k()
+{
+    // srvr1: 15k RPM enterprise drive (Section 3.2). Sequential
+    // bandwidth is close to the desktop drive's (similar areal
+    // density); the enterprise advantages are access time and write
+    // caching.
+    DiskModel d;
+    d.cls = DiskClass::Server15k;
+    d.capacityGB = 300.0;
+    d.bandwidthMBs = 75.0;
+    d.writeBandwidthMBs = 65.0;
+    d.avgAccessMs = 2.5;
+    d.watts = 15.0;
+    d.dollars = 275.0;
+    return d;
+}
+
+DiskModel
+desktopDisk()
+{
+    // Table 3(a) desktop disk: 500 GB, 70 MB/s, 4 ms, 10 W, $120.
+    DiskModel d;
+    d.cls = DiskClass::Desktop72k;
+    d.capacityGB = 500.0;
+    d.bandwidthMBs = 70.0;
+    d.writeBandwidthMBs = 47.0;
+    d.avgAccessMs = 4.0;
+    d.watts = 10.0;
+    d.dollars = 120.0;
+    return d;
+}
+
+ServerConfig
+srvr1()
+{
+    ServerConfig s;
+    s.name = "srvr1";
+    s.cls = SystemClass::Srvr1;
+    s.cpu = {"Xeon MP / Opteron MP", 2, 4, 2.6, true, 64, 8192, 210.0,
+             1700.0};
+    s.memory = {MemTech::FBDIMM, 4.0, 25.0, 350.0, 0.9};
+    s.disk = serverDisk15k();
+    s.nic = {10.0};
+    s.boardMgmtWatts = 50.0;
+    s.boardMgmtDollars = 400.0;
+    s.powerFansWatts = 40.0;
+    s.powerFansDollars = 500.0;
+    return s;
+}
+
+ServerConfig
+srvr2()
+{
+    ServerConfig s;
+    s.name = "srvr2";
+    s.cls = SystemClass::Srvr2;
+    s.cpu = {"Xeon / Opteron", 1, 4, 2.6, true, 64, 8192, 105.0, 650.0};
+    s.memory = {MemTech::FBDIMM, 4.0, 25.0, 350.0, 0.9};
+    // Figure 1(a) lists srvr2's disk at $120/10 W: the desktop drive.
+    s.disk = desktopDisk();
+    s.nic = {1.0};
+    s.boardMgmtWatts = 40.0;
+    s.boardMgmtDollars = 250.0;
+    s.powerFansWatts = 35.0;
+    s.powerFansDollars = 250.0;
+    return s;
+}
+
+ServerConfig
+desk()
+{
+    ServerConfig s;
+    s.name = "desk";
+    s.cls = SystemClass::Desk;
+    s.cpu = {"Core 2 / Athlon 64", 1, 2, 2.2, true, 32, 2048, 65.0,
+             170.0};
+    s.memory = {MemTech::DDR2, 4.0, 20.0, 200.0, 0.9};
+    s.disk = desktopDisk();
+    s.nic = {1.0};
+    s.boardMgmtWatts = 25.0;
+    s.boardMgmtDollars = 150.0;
+    s.powerFansWatts = 15.0;
+    s.powerFansDollars = 140.0;
+    return s;
+}
+
+ServerConfig
+mobl()
+{
+    ServerConfig s;
+    s.name = "mobl";
+    s.cls = SystemClass::Mobl;
+    s.cpu = {"Core 2 Mobile / Turion", 1, 2, 2.0, true, 32, 2048, 25.0,
+             300.0};
+    // Low-power SODIMMs carry a small premium over desktop DDR2.
+    s.memory = {MemTech::DDR2, 4.0, 18.0, 220.0, 0.9};
+    s.disk = desktopDisk();
+    s.nic = {1.0};
+    s.boardMgmtWatts = 15.0;
+    s.boardMgmtDollars = 160.0;
+    s.powerFansWatts = 10.0;
+    s.powerFansDollars = 120.0;
+    return s;
+}
+
+ServerConfig
+emb1()
+{
+    ServerConfig s;
+    s.name = "emb1";
+    s.cls = SystemClass::Emb1;
+    s.cpu = {"PA Semi / Embedded Athlon 64", 1, 2, 1.2, true, 32, 1024,
+             13.0, 80.0};
+    s.memory = {MemTech::DDR2, 4.0, 12.0, 180.0, 0.9};
+    s.disk = desktopDisk();
+    s.nic = {1.0};
+    s.boardMgmtWatts = 10.0;
+    s.boardMgmtDollars = 30.0;
+    s.powerFansWatts = 7.0;
+    s.powerFansDollars = 20.0;
+    return s;
+}
+
+ServerConfig
+emb2()
+{
+    ServerConfig s;
+    s.name = "emb2";
+    s.cls = SystemClass::Emb2;
+    s.cpu = {"AMD Geode / VIA Eden-N", 1, 1, 0.6, false, 32, 128, 5.0,
+             40.0};
+    s.memory = {MemTech::DDR1, 4.0, 8.0, 120.0, 0.85};
+    s.disk = desktopDisk();
+    s.nic = {1.0};
+    s.boardMgmtWatts = 7.0;
+    s.boardMgmtDollars = 20.0;
+    s.powerFansWatts = 5.0;
+    s.powerFansDollars = 10.0;
+    return s;
+}
+
+} // namespace
+
+ServerConfig
+makeSystem(SystemClass cls)
+{
+    switch (cls) {
+      case SystemClass::Srvr1:
+        return srvr1();
+      case SystemClass::Srvr2:
+        return srvr2();
+      case SystemClass::Desk:
+        return desk();
+      case SystemClass::Mobl:
+        return mobl();
+      case SystemClass::Emb1:
+        return emb1();
+      case SystemClass::Emb2:
+        return emb2();
+    }
+    panic("unknown system class");
+}
+
+std::vector<ServerConfig>
+allSystems()
+{
+    std::vector<ServerConfig> out;
+    for (auto cls : allSystemClasses)
+        out.push_back(makeSystem(cls));
+    return out;
+}
+
+} // namespace platform
+} // namespace wsc

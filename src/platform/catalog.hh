@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The platform catalog: the six systems of Table 2.
+ *
+ * Aggregate dollars and watts follow the paper exactly (Figure 1(a) for
+ * srvr1/srvr2 line items; Table 2 totals for the rest). Where the paper
+ * publishes only per-system totals (desk, mobl, emb1, emb2), the
+ * per-component split is reconstructed to be consistent with those
+ * totals and with the narrative (CPU dominates the reduction; DDR2 is
+ * cheaper than FB-DIMM; every non-srvr1 system uses the $120/10 W
+ * desktop disk of Table 3(a); mobile parts carry a low-power premium).
+ */
+
+#ifndef WSC_PLATFORM_CATALOG_HH
+#define WSC_PLATFORM_CATALOG_HH
+
+#include <vector>
+
+#include "platform/server_config.hh"
+
+namespace wsc {
+namespace platform {
+
+/** Get the catalog entry for one system class. */
+ServerConfig makeSystem(SystemClass cls);
+
+/** All six Table 2 systems, in catalog order. */
+std::vector<ServerConfig> allSystems();
+
+} // namespace platform
+} // namespace wsc
+
+#endif // WSC_PLATFORM_CATALOG_HH

@@ -1,0 +1,39 @@
+#include "platform/components.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace platform {
+
+std::string
+to_string(MemTech t)
+{
+    switch (t) {
+      case MemTech::FBDIMM:
+        return "FB-DIMM";
+      case MemTech::DDR2:
+        return "DDR2";
+      case MemTech::DDR1:
+        return "DDR1";
+    }
+    panic("unknown memory technology");
+}
+
+std::string
+to_string(DiskClass c)
+{
+    switch (c) {
+      case DiskClass::Server15k:
+        return "15k-server";
+      case DiskClass::Desktop72k:
+        return "7.2k-desktop";
+      case DiskClass::Laptop:
+        return "laptop";
+      case DiskClass::Laptop2:
+        return "laptop-2";
+    }
+    panic("unknown disk class");
+}
+
+} // namespace platform
+} // namespace wsc

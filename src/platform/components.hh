@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware component descriptions for the platform catalog.
+ *
+ * These capture the attributes of Table 2 (CPU microarchitecture,
+ * memory technology, disk and NIC class) that the performance, power,
+ * and cost models consume.
+ */
+
+#ifndef WSC_PLATFORM_COMPONENTS_HH
+#define WSC_PLATFORM_COMPONENTS_HH
+
+#include <string>
+
+namespace wsc {
+namespace platform {
+
+/** CPU description (Table 2 columns). */
+struct CpuModel {
+    std::string similarTo;  //!< e.g. "Xeon MP / Opteron MP"
+    unsigned sockets = 1;
+    unsigned coresPerSocket = 1;
+    double freqGHz = 1.0;
+    bool outOfOrder = true;
+    unsigned l1KB = 32;      //!< per-core L1 (each of I and D)
+    unsigned l2KB = 1024;    //!< shared last-level cache
+    double watts = 0.0;      //!< package max operational power
+    double dollars = 0.0;    //!< all sockets
+
+    unsigned totalCores() const { return sockets * coresPerSocket; }
+};
+
+/** DRAM generations in the study. */
+enum class MemTech {
+    FBDIMM, //!< server fully-buffered DIMMs
+    DDR2,   //!< desktop/mobile commodity
+    DDR1    //!< low-end embedded
+};
+
+/** Memory subsystem description. */
+struct MemoryModel {
+    MemTech tech = MemTech::DDR2;
+    double capacityGB = 4.0;
+    double watts = 0.0;
+    double dollars = 0.0;
+    /** Active power-down saves >90% on DDR2 (paper Section 3.4). */
+    double powerDownFraction = 0.9;
+};
+
+/** Disk classes used across the study (Table 3a adds the laptop tiers). */
+enum class DiskClass {
+    Server15k,  //!< 15k RPM SAS (srvr1)
+    Desktop72k, //!< 7.2k RPM desktop SATA
+    Laptop,     //!< 2.5" 5.4k RPM laptop drive
+    Laptop2     //!< cheaper laptop drive tier
+};
+
+/** Disk description. */
+struct DiskModel {
+    DiskClass cls = DiskClass::Desktop72k;
+    double capacityGB = 500.0;
+    double bandwidthMBs = 70.0;      //!< sustained sequential read
+    double writeBandwidthMBs = 47.0; //!< sustained sequential write
+    double avgAccessMs = 4.0;    //!< average seek + rotational latency
+    double watts = 0.0;
+    double dollars = 0.0;
+    bool remote = false;         //!< attached via SAN rather than local
+};
+
+/** NIC description. */
+struct NicModel {
+    double gbps = 1.0;
+};
+
+/** Printable names. */
+std::string to_string(MemTech t);
+std::string to_string(DiskClass c);
+
+} // namespace platform
+} // namespace wsc
+
+#endif // WSC_PLATFORM_COMPONENTS_HH

@@ -1,0 +1,53 @@
+#include "platform/server_config.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace platform {
+
+std::string
+to_string(SystemClass c)
+{
+    switch (c) {
+      case SystemClass::Srvr1:
+        return "srvr1";
+      case SystemClass::Srvr2:
+        return "srvr2";
+      case SystemClass::Desk:
+        return "desk";
+      case SystemClass::Mobl:
+        return "mobl";
+      case SystemClass::Emb1:
+        return "emb1";
+      case SystemClass::Emb2:
+        return "emb2";
+    }
+    panic("unknown system class");
+}
+
+cost::ComponentCost
+ServerConfig::hardwareCost() const
+{
+    cost::ComponentCost c;
+    c.cpu = cpu.dollars;
+    c.memory = memory.dollars;
+    c.disk = disk.dollars;
+    c.boardMgmt = boardMgmtDollars;
+    c.powerFans = powerFansDollars;
+    return c;
+}
+
+power::ComponentPower
+ServerConfig::hardwarePower() const
+{
+    power::ComponentPower p;
+    p.cpu = cpu.watts;
+    p.memory = memory.watts;
+    p.disk = disk.watts;
+    p.boardMgmt = boardMgmtWatts;
+    p.powerFans = powerFansWatts;
+    return p;
+}
+
+} // namespace platform
+} // namespace wsc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Complete server platform description.
+ *
+ * A ServerConfig bundles the component models with the board-level cost
+ * and power line items, and converts to the cost/power models' component
+ * vectors. The six Table 2 systems are provided by the catalog.
+ */
+
+#ifndef WSC_PLATFORM_SERVER_CONFIG_HH
+#define WSC_PLATFORM_SERVER_CONFIG_HH
+
+#include <string>
+
+#include "cost/component_cost.hh"
+#include "platform/components.hh"
+#include "power/component_power.hh"
+
+namespace wsc {
+namespace platform {
+
+/** Identifier for the six Table 2 systems. */
+enum class SystemClass {
+    Srvr1, //!< mid-range server (Xeon MP / Opteron MP class)
+    Srvr2, //!< low-end server (Xeon / Opteron class)
+    Desk,  //!< desktop (Core 2 / Athlon 64 class)
+    Mobl,  //!< mobile (Core 2 Mobile / Turion class)
+    Emb1,  //!< mid-range embedded (PA Semi / embedded Athlon class)
+    Emb2   //!< low-end embedded (Geode / VIA Eden class)
+};
+
+/** All six classes in catalog order. */
+inline constexpr SystemClass allSystemClasses[] = {
+    SystemClass::Srvr1, SystemClass::Srvr2, SystemClass::Desk,
+    SystemClass::Mobl,  SystemClass::Emb1,  SystemClass::Emb2,
+};
+
+std::string to_string(SystemClass c);
+
+/** A complete per-server platform description. */
+struct ServerConfig {
+    std::string name;
+    SystemClass cls = SystemClass::Srvr2;
+
+    CpuModel cpu;
+    MemoryModel memory;
+    DiskModel disk;
+    NicModel nic;
+
+    // Board-level line items not owned by a specific component model.
+    double boardMgmtWatts = 0.0;
+    double boardMgmtDollars = 0.0;
+    double powerFansWatts = 0.0;
+    double powerFansDollars = 0.0;
+
+    /** Component hardware cost vector for the cost model. */
+    cost::ComponentCost hardwareCost() const;
+
+    /** Component max-operational power vector for the power model. */
+    power::ComponentPower hardwarePower() const;
+
+    /** Max operational watts, server only (Table 2 "Watt" column). */
+    double totalWatts() const { return hardwarePower().total(); }
+
+    /** Per-server hardware dollars (no rack share). */
+    double serverDollars() const { return hardwareCost().total(); }
+};
+
+} // namespace platform
+} // namespace wsc
+
+#endif // WSC_PLATFORM_SERVER_CONFIG_HH

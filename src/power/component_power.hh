@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-server component power specification.
+ *
+ * Mirrors the line items of the paper's Figure 1(a): CPU, memory, disk,
+ * board + management, and power-conversion + fans, in maximum
+ * operational watts. De-rating to sustained consumption is applied via
+ * the activity factor (paper Section 2.2).
+ */
+
+#ifndef WSC_POWER_COMPONENT_POWER_HH
+#define WSC_POWER_COMPONENT_POWER_HH
+
+namespace wsc {
+namespace power {
+
+/**
+ * Maximum operational power per server component, in watts.
+ *
+ * "boardMgmt" covers the motherboard, chipset, and management
+ * controller; "powerFans" covers power-supply conversion losses and
+ * server-internal fans, matching the paper's cost-model categories.
+ */
+struct ComponentPower {
+    double cpu = 0.0;       //!< all sockets/cores
+    double memory = 0.0;    //!< all DIMMs
+    double disk = 0.0;      //!< all spindles (or remote-share)
+    double boardMgmt = 0.0; //!< board + management controller
+    double powerFans = 0.0; //!< PSU losses + fans
+
+    /** Sum over all components (max operational watts per server). */
+    double
+    total() const
+    {
+        return cpu + memory + disk + boardMgmt + powerFans;
+    }
+
+    /** Component-wise sum. */
+    ComponentPower
+    operator+(const ComponentPower &o) const
+    {
+        return {cpu + o.cpu, memory + o.memory, disk + o.disk,
+                boardMgmt + o.boardMgmt, powerFans + o.powerFans};
+    }
+
+    /** Uniform scaling (e.g. applying an activity factor). */
+    ComponentPower
+    scaled(double f) const
+    {
+        return {cpu * f, memory * f, disk * f, boardMgmt * f,
+                powerFans * f};
+    }
+};
+
+} // namespace power
+} // namespace wsc
+
+#endif // WSC_POWER_COMPONENT_POWER_HH

@@ -1,0 +1,63 @@
+#include "power/proportional.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace power {
+
+double
+powerFractionAt(double u, const PowerCurve &curve)
+{
+    WSC_ASSERT(u >= 0.0 && u <= 1.0, "utilization out of [0, 1]: " << u);
+    WSC_ASSERT(curve.idleFraction >= 0.0 && curve.idleFraction <= 1.0,
+               "idle fraction out of [0, 1]");
+    double dynamic_range = 1.0 - curve.idleFraction;
+    double shape;
+    if (curve.useCalibrated) {
+        WSC_ASSERT(curve.calibrationExponent > 1.0,
+                   "calibration exponent must exceed 1");
+        shape = 2.0 * u - std::pow(u, curve.calibrationExponent);
+        // The calibrated form can slightly exceed 1 inside (0,1);
+        // clamp to the physical range.
+        shape = std::min(1.0, std::max(0.0, shape));
+    } else {
+        shape = u;
+    }
+    return curve.idleFraction + dynamic_range * shape;
+}
+
+double
+equivalentActivityFactor(double u, const PowerCurve &curve)
+{
+    return powerFractionAt(u, curve);
+}
+
+double
+utilizationForActivityFactor(double factor, const PowerCurve &curve)
+{
+    WSC_ASSERT(factor >= curve.idleFraction && factor <= 1.0,
+               "activity factor " << factor
+                                  << " unreachable by the curve");
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (powerFractionAt(mid, curve) < factor)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+proportionalityIndex(const PowerCurve &curve)
+{
+    WSC_ASSERT(curve.idleFraction >= 0.0 && curve.idleFraction <= 1.0,
+               "idle fraction out of [0, 1]");
+    return 1.0 - curve.idleFraction;
+}
+
+} // namespace power
+} // namespace wsc

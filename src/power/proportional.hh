@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Utilization-dependent server power (after Fan et al., which the
+ * paper cites for its power-provisioning data).
+ *
+ * The paper de-rates nameplate power with a flat activity factor of
+ * 0.75. Fan et al.'s measurements say more: a busy-era server draws
+ *
+ *   P(u) = P_idle + (P_peak - P_idle) * u        (linear model)
+ *   P(u) = P_idle + (P_peak - P_idle) * (2u - u^r) (calibrated model)
+ *
+ * with idle power around 60% of peak. This module provides both
+ * curves and the equivalent "activity factor" a given operating
+ * utilization implies, letting the TCO pipeline account energy at the
+ * measured operating point instead of a flat constant.
+ */
+
+#ifndef WSC_POWER_PROPORTIONAL_HH
+#define WSC_POWER_PROPORTIONAL_HH
+
+namespace wsc {
+namespace power {
+
+/** Utilization-to-power curve parameters. */
+struct PowerCurve {
+    double idleFraction = 0.6; //!< P_idle / P_peak (2008-era servers)
+    /** Exponent of Fan et al.'s calibrated empirical model. */
+    double calibrationExponent = 1.4;
+    bool useCalibrated = true; //!< false = plain linear model
+};
+
+/**
+ * Power at utilization @p u as a fraction of peak power, in [idle, 1].
+ * @param u Utilization in [0, 1].
+ */
+double powerFractionAt(double u, const PowerCurve &curve);
+
+/**
+ * The activity factor equivalent to operating at utilization @p u:
+ * feeding this into the flat-factor TCO model reproduces the curve's
+ * energy.
+ */
+double equivalentActivityFactor(double u, const PowerCurve &curve);
+
+/**
+ * Utilization at which the curve draws the paper's flat 0.75 activity
+ * factor (bisection; shows what operating point the paper's constant
+ * implicitly assumes).
+ */
+double utilizationForActivityFactor(double factor,
+                                    const PowerCurve &curve);
+
+/**
+ * Energy proportionality index: 1 - idleFraction. 0 for a server that
+ * burns peak power at idle; 1 for a perfectly proportional one.
+ */
+double proportionalityIndex(const PowerCurve &curve);
+
+} // namespace power
+} // namespace wsc
+
+#endif // WSC_POWER_PROPORTIONAL_HH

@@ -1,0 +1,36 @@
+#include "power/rack_power.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace power {
+
+RackPower::RackPower(ComponentPower server, RackPowerParams params)
+    : server(server), rack(params)
+{
+    WSC_ASSERT(rack.serversPerRack >= 1, "rack needs at least one server");
+    WSC_ASSERT(rack.switchWatts >= 0.0, "negative switch power");
+}
+
+double
+RackPower::perServerWithSwitch() const
+{
+    return server.total() + rack.switchWatts / double(rack.serversPerRack);
+}
+
+double
+RackPower::rackWatts() const
+{
+    return server.total() * double(rack.serversPerRack) + rack.switchWatts;
+}
+
+double
+RackPower::sustainedPerServer(double activity_factor) const
+{
+    WSC_ASSERT(activity_factor > 0.0 && activity_factor <= 1.0,
+               "activity factor out of (0, 1]: " << activity_factor);
+    return perServerWithSwitch() * activity_factor;
+}
+
+} // namespace power
+} // namespace wsc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Rack-level power aggregation.
+ *
+ * The paper accounts power at the per-server level plus a rack switch
+ * shared by all servers in the rack (Figure 1a: 40 W switch across 40
+ * servers).
+ */
+
+#ifndef WSC_POWER_RACK_POWER_HH
+#define WSC_POWER_RACK_POWER_HH
+
+#include "power/component_power.hh"
+
+namespace wsc {
+namespace power {
+
+/** Rack-level power parameters. */
+struct RackPowerParams {
+    unsigned serversPerRack = 40; //!< systems sharing one rack/switch
+    double switchWatts = 40.0;    //!< top-of-rack switch power
+};
+
+/**
+ * Rack power aggregation over identical servers.
+ */
+class RackPower
+{
+  public:
+    RackPower(ComponentPower server, RackPowerParams params);
+
+    /** Max operational watts for one server excluding the switch. */
+    double serverWatts() const { return server.total(); }
+
+    /** Per-server watts including the amortized switch share. */
+    double perServerWithSwitch() const;
+
+    /** Whole-rack max operational watts. */
+    double rackWatts() const;
+
+    /** Sustained per-server watts (incl. switch share) after de-rating. */
+    double sustainedPerServer(double activity_factor) const;
+
+    const ComponentPower &components() const { return server; }
+    const RackPowerParams &params() const { return rack; }
+
+  private:
+    ComponentPower server;
+    RackPowerParams rack;
+};
+
+} // namespace power
+} // namespace wsc
+
+#endif // WSC_POWER_RACK_POWER_HH

@@ -1,0 +1,144 @@
+#include "sim/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace sim {
+
+UniformDist::UniformDist(double lo, double hi) : lo(lo), hi(hi)
+{
+    WSC_ASSERT(hi > lo, "uniform range empty");
+}
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean)
+{
+    WSC_ASSERT(mean > 0.0, "exponential mean must be positive");
+}
+
+LognormalDist::LognormalDist(double mean, double cov) : mean_(mean)
+{
+    WSC_ASSERT(mean > 0.0, "lognormal mean must be positive");
+    WSC_ASSERT(cov > 0.0, "lognormal cov must be positive");
+    // mean = exp(mu + sigma^2/2); cov^2 = exp(sigma^2) - 1.
+    double sigma2 = std::log(1.0 + cov * cov);
+    sigma = std::sqrt(sigma2);
+    mu = std::log(mean) - 0.5 * sigma2;
+}
+
+BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
+    : lo(lo), hi(hi), alpha(alpha)
+{
+    WSC_ASSERT(lo > 0.0 && hi > lo, "bounded pareto needs 0 < lo < hi");
+    WSC_ASSERT(alpha > 0.0, "pareto shape must be positive");
+}
+
+double
+BoundedParetoDist::sample(Rng &rng)
+{
+    // Inverse CDF of the bounded Pareto.
+    double u = rng.uniform();
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    return std::clamp(x, lo, hi);
+}
+
+double
+BoundedParetoDist::mean() const
+{
+    if (std::abs(alpha - 1.0) < 1e-12) {
+        double la = 1.0 / lo, ha = 1.0 / hi;
+        return std::log(hi / lo) / (la - ha);
+    }
+    double la = std::pow(lo, alpha);
+    double num = la * alpha *
+                 (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha));
+    double den = (alpha - 1.0) * (1.0 - std::pow(lo / hi, alpha));
+    return num / den;
+}
+
+ZipfDist::ZipfDist(std::uint64_t n, double s) : n(n), s(s)
+{
+    WSC_ASSERT(n >= 1, "zipf needs at least one rank");
+    WSC_ASSERT(s > 0.0, "zipf exponent must be positive");
+    cdf.resize(n);
+    double acc = 0.0;
+    double mean_acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        double p = std::pow(double(k), -s);
+        acc += p;
+        mean_acc += double(k) * p;
+        cdf[k - 1] = acc;
+    }
+    double norm = acc;
+    for (auto &c : cdf)
+        c /= norm;
+    cdf.back() = 1.0; // guard FP drift
+    mean_ = mean_acc / norm;
+}
+
+double
+ZipfDist::sample(Rng &rng)
+{
+    return double(sampleRank(rng));
+}
+
+std::uint64_t
+ZipfDist::sampleRank(Rng &rng)
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return std::uint64_t(it - cdf.begin()) + 1;
+}
+
+double
+ZipfDist::pmf(std::uint64_t k) const
+{
+    WSC_ASSERT(k >= 1 && k <= n, "zipf pmf rank out of range: " << k);
+    double prev = (k == 1) ? 0.0 : cdf[k - 2];
+    return cdf[k - 1] - prev;
+}
+
+EmpiricalDist::EmpiricalDist(std::vector<double> values_in,
+                             std::vector<double> weights)
+    : values(std::move(values_in))
+{
+    WSC_ASSERT(!values.empty(), "empirical distribution needs outcomes");
+    WSC_ASSERT(values.size() == weights.size(),
+               "values/weights size mismatch");
+    double total = 0.0;
+    for (double w : weights) {
+        WSC_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    WSC_ASSERT(total > 0.0, "weights sum to zero");
+    cdf.resize(values.size());
+    double acc = 0.0;
+    mean_ = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        acc += weights[i] / total;
+        cdf[i] = acc;
+        mean_ += values[i] * weights[i] / total;
+    }
+    cdf.back() = 1.0;
+}
+
+double
+EmpiricalDist::sample(Rng &rng)
+{
+    return values[sampleIndex(rng)];
+}
+
+std::size_t
+EmpiricalDist::sampleIndex(Rng &rng)
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return std::size_t(it - cdf.begin());
+}
+
+} // namespace sim
+} // namespace wsc

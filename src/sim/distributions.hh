@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Random distributions used by the workload generators.
+ *
+ * The benchmark suite leans on a few specific shapes: Zipf for search
+ * keywords and video popularity (paper Section 2.1), lognormal for mail
+ * and attachment sizes, exponential think times, and empirical tables
+ * for measured mixes.
+ */
+
+#ifndef WSC_SIM_DISTRIBUTIONS_HH
+#define WSC_SIM_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace wsc {
+namespace sim {
+
+/** Polymorphic scalar distribution. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample using @p rng. */
+    virtual double sample(Rng &rng) = 0;
+
+    /** Expected value (exact where closed-form, else documented approx). */
+    virtual double mean() const = 0;
+};
+
+/** Degenerate point mass: always returns the same value. */
+class ConstantDist : public Distribution
+{
+  public:
+    explicit ConstantDist(double value) : value(value) {}
+    double sample(Rng &) override { return value; }
+    double mean() const override { return value; }
+
+  private:
+    double value;
+};
+
+/** Uniform over [lo, hi). */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(double lo, double hi);
+    double sample(Rng &rng) override { return rng.uniform(lo, hi); }
+    double mean() const override { return 0.5 * (lo + hi); }
+
+  private:
+    double lo, hi;
+};
+
+/** Exponential with the given mean. */
+class ExponentialDist : public Distribution
+{
+  public:
+    explicit ExponentialDist(double mean);
+    double sample(Rng &rng) override { return rng.exponential(mean_); }
+    double mean() const override { return mean_; }
+
+  private:
+    double mean_;
+};
+
+/**
+ * Lognormal parameterized by its own mean and coefficient of variation
+ * (more natural for size distributions than mu/sigma).
+ */
+class LognormalDist : public Distribution
+{
+  public:
+    /**
+     * @param mean Desired distribution mean (> 0).
+     * @param cov Coefficient of variation (stddev/mean, > 0).
+     */
+    LognormalDist(double mean, double cov);
+    double sample(Rng &rng) override { return rng.lognormal(mu, sigma); }
+    double mean() const override { return mean_; }
+
+  private:
+    double mean_, mu, sigma;
+};
+
+/** Bounded Pareto over [lo, hi] with shape alpha. */
+class BoundedParetoDist : public Distribution
+{
+  public:
+    BoundedParetoDist(double lo, double hi, double alpha);
+    double sample(Rng &rng) override;
+    double mean() const override;
+
+  private:
+    double lo, hi, alpha;
+};
+
+/**
+ * Zipf distribution over ranks 1..n with exponent s:
+ * P(rank = k) proportional to 1/k^s.
+ *
+ * Sampling uses an explicit inverse-CDF table, O(log n) per draw; the
+ * table is built once at construction. Suitable for the catalog sizes
+ * the workloads use (up to a few million items).
+ */
+class ZipfDist : public Distribution
+{
+  public:
+    /**
+     * @param n Number of ranks (>= 1).
+     * @param s Exponent (> 0); s around 0.8-1.0 matches web traces.
+     */
+    ZipfDist(std::uint64_t n, double s);
+
+    /** Draw a rank in [1, n]; lower ranks are more popular. */
+    double sample(Rng &rng) override;
+
+    /** Draw as an integer rank. */
+    std::uint64_t sampleRank(Rng &rng);
+
+    double mean() const override { return mean_; }
+
+    /** Probability of exactly rank k. */
+    double pmf(std::uint64_t k) const;
+
+    std::uint64_t size() const { return n; }
+
+  private:
+    std::uint64_t n;
+    double s;
+    double mean_;
+    /** cdf[i] = P(rank <= i+1). */
+    std::vector<double> cdf;
+};
+
+/**
+ * Empirical discrete distribution over (value, weight) pairs.
+ * Used for measured mixes, e.g. the webmail action mix.
+ */
+class EmpiricalDist : public Distribution
+{
+  public:
+    /**
+     * @param values Outcome values.
+     * @param weights Relative weights (>= 0, not all zero), same length.
+     */
+    EmpiricalDist(std::vector<double> values, std::vector<double> weights);
+
+    double sample(Rng &rng) override;
+
+    /** Draw the index of the chosen outcome. */
+    std::size_t sampleIndex(Rng &rng);
+
+    double mean() const override { return mean_; }
+
+  private:
+    std::vector<double> values;
+    std::vector<double> cdf;
+    double mean_;
+};
+
+} // namespace sim
+} // namespace wsc
+
+#endif // WSC_SIM_DISTRIBUTIONS_HH

@@ -1,0 +1,77 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace sim {
+
+EventId
+EventQueue::schedule(Time when, std::function<void()> action)
+{
+    WSC_ASSERT(when >= now_, "event scheduled in the past: " << when
+                                                             << " < "
+                                                             << now_);
+    WSC_ASSERT(action, "null event action");
+    EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(action)});
+    pendingIds.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return pendingIds.erase(id) > 0;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty() && !pendingIds.count(heap.top().id))
+        heap.pop();
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap.empty())
+        return false;
+    // Move the entry out before popping so the action survives dispatch
+    // even if the action schedules further events.
+    Entry e = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    pendingIds.erase(e.id);
+    now_ = e.when;
+    ++dispatched_;
+    e.action();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Time until)
+{
+    std::uint64_t n = 0;
+    while (true) {
+        skipCancelled();
+        if (heap.empty() || heap.top().when > until)
+            break;
+        step();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+} // namespace sim
+} // namespace wsc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: event queue and simulation clock.
+ *
+ * The performance model is a request-level discrete-event simulation;
+ * this kernel provides deterministic, stable-ordered event dispatch.
+ */
+
+#ifndef WSC_SIM_EVENT_QUEUE_HH
+#define WSC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace wsc {
+namespace sim {
+
+/** Simulation time, in seconds. */
+using Time = double;
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events at equal timestamps dispatch in scheduling order (FIFO), which
+ * keeps runs reproducible across platforms. Cancellation is lazy: a
+ * cancelled event stays in the heap but is skipped at dispatch.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    // The queue holds closures that frequently capture `this` of model
+    // objects; copying would dangle. Non-copyable, non-movable.
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p action at absolute time @p when.
+     * @return id usable with cancel().
+     * Scheduling in the past is a caller bug and panics.
+     */
+    EventId schedule(Time when, std::function<void()> action);
+
+    /** Schedule @p action @p delay seconds from now. */
+    EventId
+    scheduleAfter(Time delay, std::function<void()> action)
+    {
+        return schedule(now_ + delay, std::move(action));
+    }
+
+    /** Cancel a pending event. Returns false if already run/cancelled. */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pendingIds.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pendingIds.size(); }
+
+    /**
+     * Dispatch the next event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or the clock passes @p until.
+     * Events scheduled at exactly @p until still execute; the clock is
+     * advanced to @p until if the queue drains earlier.
+     * @return number of events dispatched.
+     */
+    std::uint64_t run(Time until);
+
+    /** Run until the queue drains completely. */
+    std::uint64_t runAll();
+
+    /** Total events dispatched over the queue's lifetime. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry {
+        Time when;
+        EventId id;
+        std::function<void()> action;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            // Min-heap on (time, id); id breaks ties FIFO.
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /** Ids scheduled but not yet dispatched or cancelled. */
+    std::unordered_set<EventId> pendingIds;
+    Time now_ = 0.0;
+    EventId nextId = 1;
+    std::uint64_t dispatched_ = 0;
+
+    /** Pop cancelled entries off the heap top. */
+    void skipCancelled();
+};
+
+} // namespace sim
+} // namespace wsc
+
+#endif // WSC_SIM_EVENT_QUEUE_HH

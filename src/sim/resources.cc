@@ -1,0 +1,204 @@
+#include "sim/resources.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace sim {
+
+namespace {
+
+/** Absolute floor for the finished-work threshold. */
+constexpr double workEpsilonFloor = 1e-12;
+
+/**
+ * Finished-work threshold relative to accumulated progress. Progress
+ * grows monotonically (capacity * time), so an absolute epsilon
+ * eventually drops below the representable resolution of both the
+ * progress counter and the event clock; scaling with progress keeps
+ * "remaining work" distinguishable from FP residue at any sim length.
+ */
+double
+workEpsilon(double progress)
+{
+    return std::max(workEpsilonFloor, progress * 1e-9);
+}
+
+} // namespace
+
+PsResource::PsResource(EventQueue &eq, std::string name, double capacity,
+                       unsigned slots)
+    : eq(eq), name_(std::move(name)), cap(capacity), slots(slots),
+      lastUpdate(eq.now()), createdAt(eq.now())
+{
+    WSC_ASSERT(capacity > 0.0, "PS resource capacity must be positive");
+    WSC_ASSERT(slots >= 1, "PS resource needs at least one slot");
+}
+
+double
+PsResource::perJobRate(std::size_t n) const
+{
+    if (n == 0)
+        return 0.0;
+    double per_slot = cap / double(slots);
+    double share = std::min(1.0, double(slots) / double(n));
+    return per_slot * share;
+}
+
+void
+PsResource::advance()
+{
+    Time now = eq.now();
+    double dt = now - lastUpdate;
+    if (dt > 0.0 && !heap.empty()) {
+        double rate = perJobRate(heap.size());
+        progress += rate * dt;
+        double used = rate * double(heap.size());
+        busyIntegral += (used / cap) * dt;
+    }
+    lastUpdate = now;
+}
+
+void
+PsResource::reschedule()
+{
+    if (completionEvent) {
+        eq.cancel(completionEvent);
+        completionEvent = 0;
+    }
+    if (heap.empty())
+        return;
+    double remaining = heap.top().finishMark - progress;
+    double rate = perJobRate(heap.size());
+    double dt =
+        (remaining <= workEpsilon(progress)) ? 0.0 : remaining / rate;
+    completionEvent = eq.scheduleAfter(dt, [this] { onCompletion(); });
+}
+
+void
+PsResource::submit(double work, Completion done)
+{
+    WSC_ASSERT(work >= 0.0, "negative work submitted to " << name_);
+    WSC_ASSERT(done, "null completion for " << name_);
+    advance();
+    heap.push(Job{progress + work, nextSeq++, std::move(done)});
+    reschedule();
+}
+
+void
+PsResource::onCompletion()
+{
+    completionEvent = 0;
+    advance();
+    // Collect finished jobs first: their callbacks may resubmit into
+    // this resource, so restore invariants before invoking any of them.
+    std::vector<Completion> finished;
+    auto pop_top = [&] {
+        finished.push_back(std::move(const_cast<Job &>(heap.top()).done));
+        heap.pop();
+        ++completed_;
+    };
+    while (!heap.empty() &&
+           heap.top().finishMark - progress <= workEpsilon(progress)) {
+        pop_top();
+    }
+    if (finished.empty() && !heap.empty()) {
+        // Defensive guard against a zero-progress spin: if the head
+        // job's remaining service cannot advance the event clock by
+        // even one representable tick, it is FP residue - retire it.
+        double remaining = heap.top().finishMark - progress;
+        double dt = remaining / perJobRate(heap.size());
+        if (eq.now() + dt == eq.now())
+            pop_top();
+    }
+    reschedule();
+    for (auto &f : finished)
+        f();
+}
+
+double
+PsResource::utilization() const
+{
+    Time now = eq.now();
+    double span = now - createdAt;
+    if (span <= 0.0)
+        return 0.0;
+    double integral = busyIntegral;
+    // Account for the in-progress interval since the last update.
+    double dt = now - lastUpdate;
+    if (dt > 0.0 && !heap.empty()) {
+        double used = perJobRate(heap.size()) * double(heap.size());
+        integral += (used / cap) * dt;
+    }
+    return integral / span;
+}
+
+FifoResource::FifoResource(EventQueue &eq, std::string name,
+                           unsigned servers)
+    : eq(eq), name_(std::move(name)), servers(servers),
+      lastUpdate(eq.now()), createdAt(eq.now())
+{
+    WSC_ASSERT(servers >= 1, "FIFO resource needs at least one server");
+}
+
+void
+FifoResource::accumulate()
+{
+    Time now = eq.now();
+    double dt = now - lastUpdate;
+    if (dt > 0.0)
+        busyIntegral += dt * double(busy) / double(servers);
+    lastUpdate = now;
+}
+
+void
+FifoResource::startService(Pending p)
+{
+    accumulate();
+    ++busy;
+    auto done = std::make_shared<Completion>(std::move(p.done));
+    eq.scheduleAfter(p.serviceTime, [this, done] {
+        accumulate();
+        --busy;
+        ++completed_;
+        // Start the next queued request before running the callback so
+        // a resubmitting callback queues behind existing work.
+        if (!queue.empty()) {
+            Pending next = std::move(queue.front());
+            queue.pop_front();
+            startService(std::move(next));
+        }
+        (*done)();
+    });
+}
+
+void
+FifoResource::submit(double service_time, Completion done)
+{
+    WSC_ASSERT(service_time >= 0.0,
+               "negative service time submitted to " << name_);
+    WSC_ASSERT(done, "null completion for " << name_);
+    if (busy < servers) {
+        startService(Pending{service_time, std::move(done)});
+    } else {
+        queue.push_back(Pending{service_time, std::move(done)});
+    }
+}
+
+double
+FifoResource::utilization() const
+{
+    Time now = eq.now();
+    double span = now - createdAt;
+    if (span <= 0.0)
+        return 0.0;
+    double integral =
+        busyIntegral + (now - lastUpdate) * double(busy) / double(servers);
+    return integral / span;
+}
+
+} // namespace sim
+} // namespace wsc

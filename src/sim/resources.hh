@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Queueing resources for the request-level server model.
+ *
+ * Two service disciplines cover the stations the server model needs:
+ *
+ *  - PsResource: egalitarian processor sharing across a fixed number of
+ *    service slots. Models CPUs (slots = cores) and, with one slot,
+ *    fair-shared bandwidth links (NIC, PCIe, memory channels).
+ *  - FifoResource: first-come-first-served with a fixed number of
+ *    servers. Models disks (one outstanding op at a time per spindle).
+ */
+
+#ifndef WSC_SIM_RESOURCES_HH
+#define WSC_SIM_RESOURCES_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace wsc {
+namespace sim {
+
+/** Completion callback for resource requests. */
+using Completion = std::function<void()>;
+
+/**
+ * Processor-sharing resource.
+ *
+ * Capacity is expressed in work units per second, split evenly over
+ * @p slots service slots. With n active jobs each job progresses at
+ * (capacity / slots) * min(1, slots / n) work units per second: below
+ * saturation each job owns a full slot; above saturation all jobs share
+ * the machine equally, which is the standard model for time-shared CPUs.
+ *
+ * Implementation: since all active jobs progress at the same rate, a
+ * global progress counter plus a min-heap of per-job finish marks gives
+ * O(log n) submit/complete regardless of the active population.
+ */
+class PsResource
+{
+  public:
+    /**
+     * @param eq Event queue driving this resource.
+     * @param name Diagnostic name.
+     * @param capacity Aggregate work units per second (> 0).
+     * @param slots Number of parallel service slots (>= 1).
+     */
+    PsResource(EventQueue &eq, std::string name, double capacity,
+               unsigned slots);
+
+    PsResource(const PsResource &) = delete;
+    PsResource &operator=(const PsResource &) = delete;
+
+    /**
+     * Submit a job requiring @p work units; @p done fires at completion.
+     * Zero-work jobs complete via a zero-delay event.
+     */
+    void submit(double work, Completion done);
+
+    /** Jobs currently in service. */
+    std::size_t active() const { return heap.size(); }
+
+    /** Total jobs completed. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Time-integrated utilization in [0, 1] since construction. */
+    double utilization() const;
+
+    /** Aggregate capacity in work units per second. */
+    double capacity() const { return cap; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Job {
+        double finishMark; //!< global progress at which the job is done
+        std::uint64_t seq; //!< FIFO tie-break
+        Completion done;
+    };
+
+    struct LaterFinish {
+        bool
+        operator()(const Job &a, const Job &b) const
+        {
+            if (a.finishMark != b.finishMark)
+                return a.finishMark > b.finishMark;
+            return a.seq > b.seq;
+        }
+    };
+
+    EventQueue &eq;
+    std::string name_;
+    double cap;
+    unsigned slots;
+    std::priority_queue<Job, std::vector<Job>, LaterFinish> heap;
+    /** Progress every active job has accumulated since time zero. */
+    double progress = 0.0;
+    EventId completionEvent = 0;
+    Time lastUpdate = 0.0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t nextSeq = 0;
+    double busyIntegral = 0.0; //!< integral of (rate in use / capacity)
+    Time createdAt;
+
+    /** Per-job service rate given the current job count. */
+    double perJobRate(std::size_t n) const;
+
+    /** Advance global progress to the current time. */
+    void advance();
+
+    /** (Re)schedule the next completion event. */
+    void reschedule();
+
+    /** Completion event body: retire finished jobs. */
+    void onCompletion();
+};
+
+/**
+ * First-come-first-served multi-server resource.
+ *
+ * Each request occupies one server for an explicit service time.
+ */
+class FifoResource
+{
+  public:
+    /**
+     * @param eq Event queue driving this resource.
+     * @param name Diagnostic name.
+     * @param servers Number of parallel servers (>= 1).
+     */
+    FifoResource(EventQueue &eq, std::string name, unsigned servers);
+
+    FifoResource(const FifoResource &) = delete;
+    FifoResource &operator=(const FifoResource &) = delete;
+
+    /**
+     * Submit a request with the given @p service_time seconds; @p done
+     * fires when service finishes (after any queueing delay).
+     */
+    void submit(double service_time, Completion done);
+
+    /** Requests waiting (not yet in service). */
+    std::size_t queued() const { return queue.size(); }
+
+    /** Requests in service. */
+    unsigned inService() const { return busy; }
+
+    std::uint64_t completed() const { return completed_; }
+
+    /** Time-integrated utilization in [0, 1] since construction. */
+    double utilization() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Pending {
+        double serviceTime;
+        Completion done;
+    };
+
+    EventQueue &eq;
+    std::string name_;
+    unsigned servers;
+    unsigned busy = 0;
+    std::deque<Pending> queue;
+    std::uint64_t completed_ = 0;
+    double busyIntegral = 0.0;
+    Time lastUpdate = 0.0;
+    Time createdAt;
+
+    void accumulate();
+    void startService(Pending p);
+};
+
+} // namespace sim
+} // namespace wsc
+
+#endif // WSC_SIM_RESOURCES_HH

@@ -1,0 +1,74 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo(lo), hi(hi), width((hi - lo) / double(bins)), counts(bins, 0)
+{
+    WSC_ASSERT(hi > lo, "histogram range empty: [" << lo << ", " << hi
+                                                   << ")");
+    WSC_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    if (x >= hi) {
+        ++over;
+        return;
+    }
+    auto idx = std::size_t((x - lo) / width);
+    if (idx >= counts.size())
+        idx = counts.size() - 1; // guard against FP edge rounding
+    ++counts[idx];
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    WSC_ASSERT(i < counts.size(), "bin index " << i << " out of range");
+    return counts[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo + width * double(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return lo + width * double(i + 1);
+}
+
+std::string
+Histogram::str() const
+{
+    std::ostringstream ss;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (!counts[i])
+            continue;
+        ss << "[" << binLow(i) << ", " << binHigh(i) << "): " << counts[i]
+           << "\n";
+    }
+    if (under)
+        ss << "underflow: " << under << "\n";
+    if (over)
+        ss << "overflow: " << over << "\n";
+    return ss.str();
+}
+
+} // namespace stats
+} // namespace wsc

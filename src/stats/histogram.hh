@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-bin histogram for distribution inspection.
+ */
+
+#ifndef WSC_STATS_HISTOGRAM_HH
+#define WSC_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc {
+namespace stats {
+
+/**
+ * Uniform-width histogram over [lo, hi) with underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed @p lo.
+     * @param bins Number of uniform bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bin @p i (0-based). */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Samples below the range. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Samples at or above the upper edge. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Total samples including under/overflow. */
+    std::uint64_t total() const { return total_; }
+
+    std::size_t binCountTotal() const { return counts.size(); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+
+    /** Render a compact text sketch (one line per non-empty bin). */
+    std::string str() const;
+
+  private:
+    double lo, hi, width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0, over = 0, total_ = 0;
+};
+
+} // namespace stats
+} // namespace wsc
+
+#endif // WSC_STATS_HISTOGRAM_HH

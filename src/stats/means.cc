@@ -1,0 +1,65 @@
+#include "stats/means.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace stats {
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    WSC_ASSERT(!values.empty(), "harmonic mean of empty set");
+    double inv_sum = 0.0;
+    for (double v : values) {
+        WSC_ASSERT(v > 0.0, "harmonic mean requires positive values, got "
+                                << v);
+        inv_sum += 1.0 / v;
+    }
+    return double(values.size()) / inv_sum;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    WSC_ASSERT(!values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        WSC_ASSERT(v > 0.0, "geometric mean requires positive values, got "
+                                << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    WSC_ASSERT(!values.empty(), "arithmetic mean of empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double
+weightedHarmonicMean(const std::vector<double> &values,
+                     const std::vector<double> &weights)
+{
+    WSC_ASSERT(values.size() == weights.size(),
+               "values/weights size mismatch");
+    WSC_ASSERT(!values.empty(), "weighted harmonic mean of empty set");
+    double wsum = 0.0, inv = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        WSC_ASSERT(values[i] > 0.0, "requires positive values");
+        WSC_ASSERT(weights[i] >= 0.0, "requires non-negative weights");
+        wsum += weights[i];
+        inv += weights[i] / values[i];
+    }
+    WSC_ASSERT(wsum > 0.0, "weights sum to zero");
+    return wsum / inv;
+}
+
+} // namespace stats
+} // namespace wsc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Cross-workload aggregation helpers.
+ *
+ * The paper aggregates per-workload ratios (throughput, or reciprocal
+ * execution time) across the suite with the harmonic mean (Section 3.2).
+ */
+
+#ifndef WSC_STATS_MEANS_HH
+#define WSC_STATS_MEANS_HH
+
+#include <vector>
+
+namespace wsc {
+namespace stats {
+
+/** Harmonic mean of strictly positive values. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Geometric mean of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Weighted harmonic mean; weights need not be normalized. */
+double weightedHarmonicMean(const std::vector<double> &values,
+                            const std::vector<double> &weights);
+
+} // namespace stats
+} // namespace wsc
+
+#endif // WSC_STATS_MEANS_HH

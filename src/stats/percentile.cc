@@ -1,0 +1,62 @@
+#include "stats/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace stats {
+
+void
+PercentileTracker::add(double x)
+{
+    samples.push_back(x);
+    sorted = false;
+}
+
+void
+PercentileTracker::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+PercentileTracker::quantile(double q) const
+{
+    WSC_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+    WSC_ASSERT(!samples.empty(), "quantile of empty tracker");
+    ensureSorted();
+    if (q <= 0.0)
+        return samples.front();
+    // Nearest-rank: ceil(q * n) converted to a zero-based index.
+    std::size_t rank = std::size_t(std::ceil(q * double(samples.size())));
+    if (rank == 0)
+        rank = 1;
+    if (rank > samples.size())
+        rank = samples.size();
+    return samples[rank - 1];
+}
+
+double
+PercentileTracker::fractionAbove(double threshold) const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples.begin(), samples.end(), threshold);
+    return double(samples.end() - it) / double(samples.size());
+}
+
+void
+PercentileTracker::clear()
+{
+    samples.clear();
+    sorted = true;
+}
+
+} // namespace stats
+} // namespace wsc

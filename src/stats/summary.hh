@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Streaming summary statistics (count/mean/variance/min/max).
+ */
+
+#ifndef WSC_STATS_SUMMARY_HH
+#define WSC_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wsc {
+namespace stats {
+
+/**
+ * Welford-style streaming accumulator for scalar samples.
+ *
+ * Numerically stable single-pass mean/variance; O(1) memory.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n;
+        double delta = x - mean_;
+        mean_ += delta / double(n);
+        m2 += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void
+    merge(const Summary &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        std::uint64_t total = n + other.n;
+        double delta = other.mean_ - mean_;
+        double new_mean = mean_ + delta * double(other.n) / double(total);
+        m2 += other.m2 +
+              delta * delta * double(n) * double(other.n) / double(total);
+        mean_ = new_mean;
+        n = total;
+        sum_ += other.sum_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return sum_; }
+    double mean() const { return n ? mean_ : 0.0; }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const { return n > 1 ? m2 / double(n) : 0.0; }
+
+    /** Sample (Bessel-corrected) variance. */
+    double
+    sampleVariance() const
+    {
+        return n > 1 ? m2 / double(n - 1) : 0.0;
+    }
+
+    double min() const { return n ? min_ : 0.0; }
+    double max() const { return n ? max_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset() { *this = Summary(); }
+
+  private:
+    std::uint64_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace stats
+} // namespace wsc
+
+#endif // WSC_STATS_SUMMARY_HH

@@ -1,0 +1,71 @@
+#include "thermal/airflow.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace thermal {
+
+FlowPath
+FlowPath::series(const std::vector<FlowPath> &paths)
+{
+    WSC_ASSERT(!paths.empty(), "series of zero paths");
+    FlowPath out{0.0};
+    for (const auto &p : paths)
+        out.k += p.k;
+    return out;
+}
+
+FlowPath
+FlowPath::parallel(const std::vector<FlowPath> &paths)
+{
+    WSC_ASSERT(!paths.empty(), "parallel of zero paths");
+    double inv_sqrt_sum = 0.0;
+    for (const auto &p : paths) {
+        WSC_ASSERT(p.k > 0.0, "non-positive flow resistance");
+        inv_sqrt_sum += 1.0 / std::sqrt(p.k);
+    }
+    return FlowPath{1.0 / (inv_sqrt_sum * inv_sqrt_sum)};
+}
+
+FlowPath
+FlowPath::duct(double lengthM, double areaM2, double kRef,
+               double lengthRef, double areaRef)
+{
+    WSC_ASSERT(lengthM > 0.0 && areaM2 > 0.0, "invalid duct geometry");
+    double k = kRef * (lengthM / lengthRef) *
+               (areaRef / areaM2) * (areaRef / areaM2);
+    return FlowPath{k};
+}
+
+double
+requiredFlow(double watts, double deltaT, const AirProperties &air)
+{
+    WSC_ASSERT(watts >= 0.0, "negative heat load");
+    WSC_ASSERT(deltaT > 0.0, "temperature rise must be positive");
+    return watts / (air.densityKgM3 * air.cpJPerKgK * deltaT);
+}
+
+double
+fanPower(const FlowPath &path, double q, double efficiency)
+{
+    WSC_ASSERT(q >= 0.0, "negative flow");
+    WSC_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+               "fan efficiency out of (0, 1]");
+    return path.pressureDrop(q) * q / efficiency;
+}
+
+double
+coolingEfficiency(const FlowPath &path, double watts, double deltaT,
+                  double efficiency, const AirProperties &air)
+{
+    WSC_ASSERT(watts > 0.0, "need a positive heat load");
+    double q = requiredFlow(watts, deltaT, air);
+    double fp = fanPower(path, q, efficiency);
+    WSC_ASSERT(fp > 0.0, "zero fan power");
+    return watts / fp;
+}
+
+} // namespace thermal
+} // namespace wsc

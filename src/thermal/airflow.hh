@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lumped airflow network model for enclosure cooling analysis.
+ *
+ * First-order treatment used to evaluate the paper's packaging ideas
+ * (Section 3.3): air moving through an enclosure sees a flow
+ * resistance; the pressure drop across a path scales with the square
+ * of the volumetric flow (turbulent regime), and fan electrical power
+ * is deltaP * Q / efficiency. Heat removal follows the sensible-heat
+ * equation P = rho * cp * Q * deltaT.
+ *
+ * Two structural results drive the paper's designs:
+ *  - halving the flow length halves the path resistance (shorter
+ *    traversal, lower pre-heat), and
+ *  - feeding blades in parallel (dual-entry plenums) divides the flow
+ *    per path, dropping the quadratic pressure term sharply.
+ */
+
+#ifndef WSC_THERMAL_AIRFLOW_HH
+#define WSC_THERMAL_AIRFLOW_HH
+
+#include <vector>
+
+namespace wsc {
+namespace thermal {
+
+/** Air properties at datacenter inlet conditions. */
+struct AirProperties {
+    double densityKgM3 = 1.16;       //!< at ~30 C
+    double cpJPerKgK = 1007.0;       //!< specific heat
+};
+
+/**
+ * A flow path with quadratic pressure-flow characteristic:
+ * deltaP = k * Q^2, with k proportional to the traversed length and
+ * inversely to the cross-section area squared.
+ */
+struct FlowPath {
+    /** Resistance coefficient k in Pa / (m^3/s)^2. */
+    double k = 1.0e5;
+
+    /** Pressure drop at volumetric flow @p q (m^3/s). */
+    double pressureDrop(double q) const { return k * q * q; }
+
+    /** Series combination: resistances add. */
+    static FlowPath series(const std::vector<FlowPath> &paths);
+
+    /**
+     * Parallel combination: at equal pressure, flows add;
+     * k_eq = 1 / (sum_i 1/sqrt(k_i))^2.
+     */
+    static FlowPath parallel(const std::vector<FlowPath> &paths);
+
+    /**
+     * Resistance of a duct of given flow length and cross-section
+     * area, relative to a reference geometry. k scales linearly with
+     * length and with 1/area^2.
+     */
+    static FlowPath duct(double lengthM, double areaM2,
+                         double kRef = 2.0e4, double lengthRef = 0.75,
+                         double areaRef = 0.0019);
+};
+
+/**
+ * Volumetric flow (m^3/s) needed to remove @p watts with an air
+ * temperature rise of @p deltaT kelvin.
+ */
+double requiredFlow(double watts, double deltaT,
+                    const AirProperties &air = {});
+
+/**
+ * Fan electrical power to push flow @p q through @p path.
+ * @param efficiency Combined fan/motor efficiency (default 0.35).
+ */
+double fanPower(const FlowPath &path, double q,
+                double efficiency = 0.35);
+
+/**
+ * Cooling efficiency: watts of heat removed per watt of fan power,
+ * for a path sized to remove @p watts at @p deltaT.
+ */
+double coolingEfficiency(const FlowPath &path, double watts,
+                         double deltaT, double efficiency = 0.35,
+                         const AirProperties &air = {});
+
+} // namespace thermal
+} // namespace wsc
+
+#endif // WSC_THERMAL_AIRFLOW_HH

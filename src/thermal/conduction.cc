@@ -1,0 +1,55 @@
+#include "thermal/conduction.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace thermal {
+
+double
+Spreader::resistance() const
+{
+    WSC_ASSERT(conductivity > 0.0 && lengthM > 0.0 && areaM2 > 0.0,
+               "invalid spreader parameters");
+    return lengthM / (conductivity * areaM2);
+}
+
+Spreader
+Spreader::heatPipe(double lengthM, double areaM2)
+{
+    return Spreader{3.0 * copperConductivity, lengthM, areaM2};
+}
+
+Spreader
+Spreader::copper(double lengthM, double areaM2)
+{
+    return Spreader{copperConductivity, lengthM, areaM2};
+}
+
+double
+HeatSink::resistance(double qRel) const
+{
+    WSC_ASSERT(qRel > 0.0, "relative flow must be positive");
+    WSC_ASSERT(finAreaM2 > 0.0 && hBase > 0.0, "invalid sink");
+    double h = hBase * std::pow(qRel, flowExponent);
+    return 1.0 / (h * finAreaM2);
+}
+
+double
+moduleResistance(const Spreader &spreader, const HeatSink &sink,
+                 double qRel)
+{
+    return spreader.resistance() + sink.resistance(qRel);
+}
+
+double
+maxDissipation(const Spreader &spreader, const HeatSink &sink,
+               double deltaT, double qRel)
+{
+    WSC_ASSERT(deltaT > 0.0, "temperature budget must be positive");
+    return deltaT / moduleResistance(spreader, sink, qRel);
+}
+
+} // namespace thermal
+} // namespace wsc

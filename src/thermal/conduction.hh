@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Conduction-side thermal models: heat sinks and planar heat pipes.
+ *
+ * The aggregated-cooling design (paper Figure 3b) intersperses small
+ * server modules with planar heat pipes of effective conductivity
+ * three times copper, moving the heat to one large optimized sink.
+ * Aggregation wins twice: the heat pipe lowers spreading resistance,
+ * and one big sink has more fin area (and a better operating point)
+ * than several small ones.
+ */
+
+#ifndef WSC_THERMAL_CONDUCTION_HH
+#define WSC_THERMAL_CONDUCTION_HH
+
+namespace wsc {
+namespace thermal {
+
+/** Thermal conductivity of copper, W/(m K). */
+constexpr double copperConductivity = 400.0;
+
+/** A planar conduction element (spreader or heat pipe). */
+struct Spreader {
+    double conductivity = copperConductivity; //!< W/(m K)
+    double lengthM = 0.05;   //!< conduction path length
+    double areaM2 = 2.0e-4;  //!< cross-section
+
+    /** Conduction resistance, K/W. */
+    double resistance() const;
+
+    /** Planar heat pipe: 3x copper effective conductivity (paper). */
+    static Spreader heatPipe(double lengthM, double areaM2);
+
+    /** Copper spreader of the same geometry, for comparison. */
+    static Spreader copper(double lengthM, double areaM2);
+};
+
+/** A finned heat sink characterized by area and airflow. */
+struct HeatSink {
+    double finAreaM2 = 0.05;  //!< total convective area
+    /** Convective coefficient grows with local air velocity. */
+    double hBase = 25.0;      //!< W/(m^2 K) at the reference flow
+    double flowExponent = 0.6; //!< h ~ q^exp
+
+    /**
+     * Sink-to-air resistance at relative flow @p qRel (1.0 = the
+     * reference operating point), K/W.
+     */
+    double resistance(double qRel = 1.0) const;
+};
+
+/**
+ * Junction-to-air resistance of a module: spreader + sink in series.
+ */
+double moduleResistance(const Spreader &spreader, const HeatSink &sink,
+                        double qRel = 1.0);
+
+/**
+ * Maximum power a module can dissipate with junction-ambient budget
+ * @p deltaT through the given spreader and sink.
+ */
+double maxDissipation(const Spreader &spreader, const HeatSink &sink,
+                      double deltaT, double qRel = 1.0);
+
+} // namespace thermal
+} // namespace wsc
+
+#endif // WSC_THERMAL_CONDUCTION_HH

@@ -1,0 +1,42 @@
+#include "thermal/cooling_cost.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace thermal {
+
+cost::BurdenedPowerParams
+applyCoolingGain(const cost::BurdenedPowerParams &base, double gain)
+{
+    WSC_ASSERT(gain > 0.0, "cooling gain must be positive");
+    cost::BurdenedPowerParams out = base;
+    out.l1 = base.l1 / gain;
+    return out;
+}
+
+cost::BurdenedPowerParams
+applyCooling(const cost::BurdenedPowerParams &base,
+             PackagingDesign design)
+{
+    return applyCoolingGain(base, coolingGainOverBaseline(design));
+}
+
+PackagingHardware
+packagingHardware(PackagingDesign design)
+{
+    switch (design) {
+      case PackagingDesign::Conventional1U:
+        return {1.0, 1.0};
+      case PackagingDesign::DualEntry:
+        // Shared enclosure fans replace per-chassis fans; PSUs are
+        // consolidated at the enclosure.
+        return {0.8, 0.85};
+      case PackagingDesign::AggregatedMicroblade:
+        // One sink and fan set per carrier blade across 4 modules.
+        return {0.5, 0.6};
+    }
+    panic("unknown packaging design");
+}
+
+} // namespace thermal
+} // namespace wsc

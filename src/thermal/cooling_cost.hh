@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Mapping from packaging/cooling design to burdened-cost parameters.
+ *
+ * The burdened power-and-cooling model (cost/burdened_power.hh) charges
+ * L1 watts of cooling per watt of IT power plus amortized cooling
+ * capital (K2 on top of L1). A packaging design with an N-fold
+ * cooling-efficiency gain divides the cooling electricity — and, by
+ * shrinking the required cooling plant, its capital share — by N.
+ */
+
+#ifndef WSC_THERMAL_COOLING_COST_HH
+#define WSC_THERMAL_COOLING_COST_HH
+
+#include "cost/burdened_power.hh"
+#include "thermal/enclosure.hh"
+
+namespace wsc {
+namespace thermal {
+
+/**
+ * Burdened-cost parameters adjusted for a packaging design: the
+ * cooling load factor L1 is divided by the design's efficiency gain
+ * over the conventional baseline.
+ */
+cost::BurdenedPowerParams applyCooling(
+    const cost::BurdenedPowerParams &base, PackagingDesign design);
+
+/** Same, with an explicit efficiency gain. */
+cost::BurdenedPowerParams applyCoolingGain(
+    const cost::BurdenedPowerParams &base, double gain);
+
+/**
+ * Fan/PSU hardware cost and power scaling of a design relative to the
+ * conventional chassis: aggregation shares fans and sinks across
+ * servers.
+ */
+struct PackagingHardware {
+    double fanCostFactor = 1.0;  //!< scales the power+fans cost item
+    double fanPowerFactor = 1.0; //!< scales the power+fans power item
+};
+
+PackagingHardware packagingHardware(PackagingDesign design);
+
+} // namespace thermal
+} // namespace wsc
+
+#endif // WSC_THERMAL_COOLING_COST_HH

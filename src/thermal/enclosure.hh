@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Enclosure-level packaging designs (paper Section 3.3, Figure 3).
+ *
+ * Three designs are modeled:
+ *
+ *  - Conventional 1U "pizza box": front-to-back airflow along the full
+ *    chassis depth; 40 servers in a 42U rack.
+ *  - Dual-entry enclosure with directed airflow: blades insert from
+ *    front and back onto a midplane; inlet/exhaust plenums direct cold
+ *    air vertically through all blades in parallel (a parallel rather
+ *    than serial connection of flow resistances). Shorter flow length,
+ *    no pre-heat, lower pressure drop: ~2x cooling-efficiency gain and
+ *    40 x 75 W blades per 5U enclosure (320 systems/rack).
+ *  - Aggregated micro-blade cooling: small 25 W modules interspersed
+ *    with planar heat pipes (3x copper) feeding one large optimized
+ *    sink; ~4x gain and ~1250 systems/rack.
+ */
+
+#ifndef WSC_THERMAL_ENCLOSURE_HH
+#define WSC_THERMAL_ENCLOSURE_HH
+
+#include <string>
+
+#include "thermal/airflow.hh"
+#include "thermal/conduction.hh"
+
+namespace wsc {
+namespace thermal {
+
+/** The three packaging designs. */
+enum class PackagingDesign {
+    Conventional1U,
+    DualEntry,
+    AggregatedMicroblade
+};
+
+std::string to_string(PackagingDesign d);
+
+/** Physical/thermal description of one design. */
+struct EnclosureModel {
+    PackagingDesign design;
+    double flowLengthM;      //!< air traversal distance
+    double ductAreaM2;       //!< per-server flow cross-section
+    double allowableDeltaT;  //!< inlet-to-exhaust rise budget (K)
+    unsigned serversPerEnclosure;
+    unsigned enclosureUnitsU;   //!< rack units per enclosure
+    double serverPowerBudgetW;  //!< per supported system
+
+    /** Per-server flow path. */
+    FlowPath serverPath() const;
+
+    /** Cooling efficiency (heat W per fan W) at the power budget. */
+    double coolingEfficiency() const;
+
+    /** Systems per 42U rack (2U reserved for the rack switch). */
+    unsigned systemsPerRack() const;
+
+    /** Fan power per server at the power budget. */
+    double fanPowerPerServer() const;
+};
+
+/** Catalog entry for one design. */
+EnclosureModel makeEnclosure(PackagingDesign d);
+
+/**
+ * Cooling-efficiency gain of @p d over the conventional baseline.
+ * Used to scale the burdened-cost cooling load factor L1.
+ */
+double coolingGainOverBaseline(PackagingDesign d);
+
+/**
+ * Aggregated-cooling sanity model: dissipation headroom of a micro
+ * blade using a heat pipe + one shared sink versus discrete copper
+ * spreaders and per-module sinks.
+ */
+struct AggregationAnalysis {
+    double discreteMaxW;   //!< per module, copper + small sink
+    double aggregatedMaxW; //!< per module, heat pipe + shared sink
+};
+
+AggregationAnalysis analyzeAggregation(unsigned modulesPerBlade = 4);
+
+} // namespace thermal
+} // namespace wsc
+
+#endif // WSC_THERMAL_ENCLOSURE_HH

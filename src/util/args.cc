@@ -1,0 +1,126 @@
+#include "util/args.hh"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wsc {
+
+ArgParser::ArgParser(std::string program_in, std::string description_in)
+    : program(std::move(program_in)),
+      description(std::move(description_in))
+{
+}
+
+ArgParser &
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     const std::string &defaultValue)
+{
+    WSC_ASSERT(!options.count(name), "duplicate option --" << name);
+    options[name] = Option{help, defaultValue, false, false};
+    order.push_back(name);
+    return *this;
+}
+
+ArgParser &
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    WSC_ASSERT(!options.count(name), "duplicate flag --" << name);
+    options[name] = Option{help, "false", true, false};
+    order.push_back(name);
+    return *this;
+}
+
+ArgParser::Option &
+ArgParser::find(const std::string &name)
+{
+    auto it = options.find(name);
+    WSC_ASSERT(it != options.end(), "unregistered option --" << name);
+    return it->second;
+}
+
+const ArgParser::Option &
+ArgParser::find(const std::string &name) const
+{
+    auto it = options.find(name);
+    WSC_ASSERT(it != options.end(), "unregistered option --" << name);
+    return it->second;
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument '" + arg + "'\n" + usage());
+        std::string name = arg.substr(2);
+        auto it = options.find(name);
+        if (it == options.end())
+            fatal("unknown option '" + arg + "'\n" + usage());
+        if (it->second.isFlag) {
+            it->second.value = "true";
+            it->second.set = true;
+        } else {
+            if (i + 1 >= argc)
+                fatal("option '" + arg + "' needs a value\n" + usage());
+            it->second.value = argv[++i];
+            it->second.set = true;
+        }
+    }
+    return true;
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    return find(name).value;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const auto &v = get(name);
+    try {
+        std::size_t consumed = 0;
+        double d = std::stod(v, &consumed);
+        if (consumed != v.size())
+            throw std::invalid_argument("trailing characters");
+        return d;
+    } catch (const std::exception &) {
+        fatal("option --" + name + " expects a number, got '" + v +
+              "'");
+    }
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    return find(name).value == "true";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream ss;
+    ss << program << " - " << description << "\n\nOptions:\n";
+    for (const auto &name : order) {
+        const auto &opt = options.at(name);
+        ss << "  --" << name;
+        if (!opt.isFlag)
+            ss << " <value>";
+        ss << "\n        " << opt.help;
+        if (!opt.isFlag)
+            ss << " (default: " << opt.value << ")";
+        ss << "\n";
+    }
+    ss << "  --help\n        Show this message.\n";
+    return ss.str();
+}
+
+} // namespace wsc

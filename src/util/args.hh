@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools.
+ *
+ * Supports `--name value` options with defaults, `--flag` booleans,
+ * and `--help`. Unknown arguments raise FatalError with a usage
+ * message, keeping the tools honest about their surface.
+ */
+
+#ifndef WSC_UTIL_ARGS_HH
+#define WSC_UTIL_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsc {
+
+/** Declarative option/flag parser. */
+class ArgParser
+{
+  public:
+    ArgParser(std::string program, std::string description);
+
+    /** Register a value option with a default. */
+    ArgParser &addOption(const std::string &name,
+                         const std::string &help,
+                         const std::string &defaultValue);
+
+    /** Register a boolean flag (defaults to false). */
+    ArgParser &addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse the command line.
+     * @return false when --help was requested (usage printed).
+     * @throws FatalError on unknown options or missing values.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Value of an option (its default if unset). */
+    const std::string &get(const std::string &name) const;
+
+    /** Option parsed as double. */
+    double getDouble(const std::string &name) const;
+
+    /** Flag state. */
+    bool flag(const std::string &name) const;
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Option {
+        std::string help;
+        std::string value;
+        bool isFlag = false;
+        bool set = false;
+    };
+
+    std::string program;
+    std::string description;
+    std::vector<std::string> order; //!< declaration order for usage
+    std::map<std::string, Option> options;
+
+    Option &find(const std::string &name);
+    const Option &find(const std::string &name) const;
+};
+
+} // namespace wsc
+
+#endif // WSC_UTIL_ARGS_HH

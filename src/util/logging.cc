@@ -1,0 +1,68 @@
+#include "util/logging.hh"
+
+#include <iostream>
+
+namespace wsc {
+
+LogLevel Logger::_level = LogLevel::Warn;
+std::uint64_t Logger::_warnCount = 0;
+
+LogLevel
+Logger::level()
+{
+    return _level;
+}
+
+void
+Logger::setLevel(LogLevel level)
+{
+    _level = level;
+}
+
+std::uint64_t
+Logger::warnCount()
+{
+    return _warnCount;
+}
+
+void
+Logger::resetWarnCount()
+{
+    _warnCount = 0;
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    ++Logger::_warnCount;
+    if (Logger::level() >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (Logger::level() >= LogLevel::Inform)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (Logger::level() >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+} // namespace wsc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 convention in spirit: panic() for internal invariant
+ * violations (library bugs), fatal() for user errors that make
+ * continuing impossible, warn()/inform() for advisory output. Because
+ * this is a library rather than a standalone simulator binary, panic()
+ * and fatal() throw typed exceptions instead of calling abort()/exit(),
+ * so embedding applications and tests can intercept them.
+ */
+
+#ifndef WSC_UTIL_LOGGING_HH
+#define WSC_UTIL_LOGGING_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wsc {
+
+/** Thrown by panic(): an internal library invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/** Thrown by fatal(): user input or configuration makes progress impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Silent,   //!< suppress everything
+    Warn,     //!< warnings only
+    Inform,   //!< warnings and informational messages
+    Debug     //!< everything, including debug trace output
+};
+
+/**
+ * Process-wide logging configuration.
+ *
+ * The evaluator is single-threaded per simulation; the logger keeps a
+ * plain global level with no synchronization.
+ */
+class Logger
+{
+  public:
+    /** Current verbosity. Defaults to LogLevel::Warn. */
+    static LogLevel level();
+
+    /** Set the verbosity for the whole process. */
+    static void setLevel(LogLevel level);
+
+    /** Count of warnings emitted so far (useful in tests). */
+    static std::uint64_t warnCount();
+
+    /** Reset warning counter (tests only). */
+    static void resetWarnCount();
+
+  private:
+    friend void warn(const std::string &);
+    static std::uint64_t _warnCount;
+    static LogLevel _level;
+};
+
+/**
+ * Report an internal invariant violation. Throws PanicError; never
+ * returns normally.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user/configuration error. Throws FatalError;
+ * never returns normally.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Emit a warning to stderr (subject to the global log level). */
+void warn(const std::string &msg);
+
+/** Emit an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Emit a debug message to stderr. */
+void debugLog(const std::string &msg);
+
+/**
+ * Assert a library invariant; calls panic() with location info when the
+ * condition is false. Enabled in all build types.
+ */
+#define WSC_ASSERT(cond, msg)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            std::ostringstream wsc_assert_ss;                            \
+            wsc_assert_ss << "assertion '" #cond "' failed at "          \
+                          << __FILE__ << ":" << __LINE__ << ": " << msg; \
+            ::wsc::panic(wsc_assert_ss.str());                           \
+        }                                                                \
+    } while (0)
+
+} // namespace wsc
+
+#endif // WSC_UTIL_LOGGING_HH

@@ -1,0 +1,62 @@
+#include "util/strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace wsc {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream ss(s);
+    while (std::getline(ss, field, delim))
+        out.push_back(field);
+    // getline drops a trailing empty field; restore it for symmetry.
+    if (!s.empty() && s.back() == delim)
+        out.emplace_back();
+    if (s.empty())
+        out.emplace_back();
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &delim)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += delim;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto b = std::find_if_not(s.begin(), s.end(), is_space);
+    auto e = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+    return (b < e) ? std::string(b, e) : std::string();
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+} // namespace wsc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+
+#ifndef WSC_UTIL_STRINGS_HH
+#define WSC_UTIL_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace wsc {
+
+/** Split @p s on @p delim; empty fields are preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join @p parts with @p delim between fields. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &delim);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace wsc
+
+#endif // WSC_UTIL_STRINGS_HH

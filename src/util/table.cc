@@ -1,0 +1,147 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wsc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    WSC_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    WSC_ASSERT(row.size() == header_.size(),
+               "row has " << row.size() << " cells, header has "
+                          << header_.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            // Left-align the first column, right-align the numeric rest.
+            if (c == 0)
+                os << std::left << std::setw(int(widths[c])) << r[c];
+            else
+                os << std::right << std::setw(int(widths[c])) << r[c];
+        }
+        os << " |\n";
+    };
+
+    auto print_sep = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|-" : "-|-");
+            os << std::string(widths[c], '-');
+        }
+        os << "-|\n";
+    };
+
+    print_row(header_);
+    print_sep();
+    for (const auto &r : rows) {
+        if (r.empty())
+            print_sep();
+        else
+            print_row(r);
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas.
+            if (r[c].find(',') != std::string::npos)
+                os << '"' << r[c] << '"';
+            else
+                os << r[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &r : rows)
+        if (!r.empty())
+            emit(r);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream ss;
+    print(ss);
+    return ss.str();
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << v;
+    return ss.str();
+}
+
+std::string
+fmtPct(double ratio, int decimals)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(decimals) << (ratio * 100.0)
+       << "%";
+    return ss.str();
+}
+
+std::string
+fmtDollars(double v)
+{
+    bool neg = v < 0;
+    long long cents = llround(std::abs(v));
+    std::string digits = std::to_string(cents);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return (neg ? "-$" : "$") + out;
+}
+
+} // namespace wsc

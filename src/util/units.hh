@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used throughout the library.
+ *
+ * Quantities are plain doubles with the unit encoded in the name
+ * (wattage, dollars, seconds, bytes). The helpers here centralize the
+ * handful of conversions the cost and performance models need, so the
+ * magic numbers (hours per year, bytes per GB, ...) live in one place.
+ */
+
+#ifndef WSC_UTIL_UNITS_HH
+#define WSC_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace wsc {
+namespace units {
+
+/** Hours in one (average Julian-calendar) year. */
+constexpr double hoursPerYear = 365.0 * 24.0;
+
+/** Seconds in one hour. */
+constexpr double secondsPerHour = 3600.0;
+
+/** Watt-hours per megawatt-hour. */
+constexpr double whPerMWh = 1.0e6;
+
+constexpr double kiB = 1024.0;
+constexpr double MiB = 1024.0 * kiB;
+constexpr double GiB = 1024.0 * MiB;
+
+/** Disk-vendor (decimal) units, used for capacities quoted in GB. */
+constexpr double kB = 1000.0;
+constexpr double MB = 1000.0 * kB;
+constexpr double GB = 1000.0 * MB;
+
+constexpr double microseconds = 1.0e-6;
+constexpr double milliseconds = 1.0e-3;
+
+/** Convert a sustained wattage over a duration in hours to MWh. */
+constexpr double
+wattHoursToMWh(double watts, double hours)
+{
+    return watts * hours / whPerMWh;
+}
+
+/** Energy (MWh) drawn by @p watts sustained for @p years years. */
+constexpr double
+energyMWh(double watts, double years)
+{
+    return wattHoursToMWh(watts, years * hoursPerYear);
+}
+
+} // namespace units
+} // namespace wsc
+
+#endif // WSC_UTIL_UNITS_HH

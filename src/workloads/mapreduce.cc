@@ -1,0 +1,57 @@
+#include "workloads/mapreduce.hh"
+
+#include <cmath>
+
+#include "sim/distributions.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace workloads {
+
+MapReduce::MapReduce(MapReduceApp app, MapReduceParams params)
+    : app_(app), p(params)
+{
+    WSC_ASSERT(p.splitMB > 0.0, "split size must be positive");
+}
+
+unsigned
+MapReduce::mapTaskCount() const
+{
+    double total_mb = (app_ == MapReduceApp::WordCount)
+                          ? p.wcCorpusGB * 1024.0
+                          : p.wrOutputGB * 1024.0;
+    return unsigned(std::ceil(total_mb / p.splitMB));
+}
+
+std::vector<BatchTask>
+MapReduce::tasks(Rng &rng) const
+{
+    std::vector<BatchTask> out;
+    sim::LognormalDist jitter(1.0, p.taskJitterCov);
+    unsigned maps = mapTaskCount();
+    double split_bytes = p.splitMB * 1.0e6;
+    for (unsigned i = 0; i < maps; ++i) {
+        BatchTask t;
+        if (app_ == MapReduceApp::WordCount) {
+            t.cpuWork = p.wcCpuPerTask * jitter.sample(rng);
+            t.diskReadBytes = split_bytes;
+        } else {
+            t.cpuWork = p.wrCpuPerTask * jitter.sample(rng);
+            t.diskWriteBytes = split_bytes;
+        }
+        out.push_back(t);
+    }
+    if (app_ == MapReduceApp::WordCount) {
+        for (unsigned i = 0; i < p.wcReduceTasks; ++i) {
+            BatchTask t;
+            t.isReduce = true;
+            t.cpuWork = p.wcReduceCpu * jitter.sample(rng);
+            t.diskWriteBytes = p.wcReduceWriteMB * 1.0e6;
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+} // namespace workloads
+} // namespace wsc

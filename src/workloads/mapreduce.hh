@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The mapreduce benchmark: web-as-a-platform batch processing.
+ *
+ * Models the paper's Hadoop v0.14 setup (4 worker threads per CPU,
+ * 1.5 GB heap) running two applications:
+ *
+ *  - mapred-wc: word count over a 5 GB corpus. Map tasks stream 64 MB
+ *    splits from disk and are CPU-heavy (tokenize + combine); a small
+ *    reduce phase writes the counts.
+ *  - mapred-wr: distributed file write populating the filesystem with
+ *    randomly generated words; map tasks generate data on the CPU and
+ *    write 64 MB outputs.
+ *
+ * Performance is execution time (Table 1).
+ */
+
+#ifndef WSC_WORKLOADS_MAPREDUCE_HH
+#define WSC_WORKLOADS_MAPREDUCE_HH
+
+#include "workloads/workload.hh"
+
+namespace wsc {
+namespace workloads {
+
+/** Which of the two paper applications to run. */
+enum class MapReduceApp {
+    WordCount, //!< mapred-wc
+    FileWrite  //!< mapred-wr
+};
+
+/** Configuration knobs for the mapreduce job generator. */
+struct MapReduceParams {
+    double splitMB = 64.0;       //!< HDFS split / map input size
+    // Word count: 5 GB corpus (paper Section 2.1).
+    double wcCorpusGB = 5.0;
+    double wcCpuPerTask = 6.1;   //!< GHz-seconds per map task
+    unsigned wcReduceTasks = 8;
+    double wcReduceCpu = 2.0;    //!< GHz-seconds per reduce task
+    double wcReduceWriteMB = 12.5;
+    // File write: 2 GB generated output.
+    double wrOutputGB = 2.0;
+    double wrCpuPerTask = 6.8;   //!< GHz-seconds per map task
+    /** Relative jitter applied to per-task work (stragglers). */
+    double taskJitterCov = 0.12;
+};
+
+/**
+ * MapReduce batch job description.
+ */
+class MapReduce : public BatchWorkload
+{
+  public:
+    explicit MapReduce(MapReduceApp app, MapReduceParams params = {});
+
+    std::string
+    name() const override
+    {
+        return app_ == MapReduceApp::WordCount ? "mapred-wc"
+                                               : "mapred-wr";
+    }
+
+    WorkloadTraits
+    traits() const override
+    {
+        WorkloadTraits t;
+        // Fitted against Figure 2(c) mapreduce rows; see
+        // perfsim/calibration.hh.
+        t.cacheBeta = 0.05;
+        t.cpuScalingGamma = 0.8;
+        t.diskCacheHitRate = 0.0; // streaming IO defeats the cache
+        return t;
+    }
+
+    std::vector<BatchTask> tasks(Rng &rng) const override;
+
+    MapReduceApp app() const { return app_; }
+    const MapReduceParams &params() const { return p; }
+
+    /** Number of map tasks the job materializes. */
+    unsigned mapTaskCount() const;
+
+  private:
+    MapReduceApp app_;
+    MapReduceParams p;
+};
+
+} // namespace workloads
+} // namespace wsc
+
+#endif // WSC_WORKLOADS_MAPREDUCE_HH

@@ -1,0 +1,49 @@
+#include "workloads/suite.hh"
+
+#include "util/logging.hh"
+#include "workloads/mapreduce.hh"
+#include "workloads/webmail.hh"
+#include "workloads/websearch.hh"
+#include "workloads/ytube.hh"
+
+namespace wsc {
+namespace workloads {
+
+std::unique_ptr<Workload>
+makeBenchmark(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::Websearch:
+        return std::make_unique<Websearch>();
+      case Benchmark::Webmail:
+        return std::make_unique<Webmail>();
+      case Benchmark::Ytube:
+        return std::make_unique<Ytube>();
+      case Benchmark::MapredWc:
+        return std::make_unique<MapReduce>(MapReduceApp::WordCount);
+      case Benchmark::MapredWr:
+        return std::make_unique<MapReduce>(MapReduceApp::FileWrite);
+    }
+    panic("unknown benchmark");
+}
+
+std::string
+to_string(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::Websearch:
+        return "websearch";
+      case Benchmark::Webmail:
+        return "webmail";
+      case Benchmark::Ytube:
+        return "ytube";
+      case Benchmark::MapredWc:
+        return "mapred-wc";
+      case Benchmark::MapredWr:
+        return "mapred-wr";
+    }
+    panic("unknown benchmark");
+}
+
+} // namespace workloads
+} // namespace wsc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The complete benchmark suite (paper Table 1).
+ */
+
+#ifndef WSC_WORKLOADS_SUITE_HH
+#define WSC_WORKLOADS_SUITE_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace wsc {
+namespace workloads {
+
+/** Identifiers for the five benchmark instances. */
+enum class Benchmark {
+    Websearch,
+    Webmail,
+    Ytube,
+    MapredWc,
+    MapredWr
+};
+
+/** All five, in the paper's reporting order. */
+inline constexpr Benchmark allBenchmarks[] = {
+    Benchmark::Websearch, Benchmark::Webmail, Benchmark::Ytube,
+    Benchmark::MapredWc,  Benchmark::MapredWr,
+};
+
+/** Instantiate one benchmark workload. */
+std::unique_ptr<Workload> makeBenchmark(Benchmark b);
+
+/** Printable benchmark name (matches the paper's labels). */
+std::string to_string(Benchmark b);
+
+} // namespace workloads
+} // namespace wsc
+
+#endif // WSC_WORKLOADS_SUITE_HH

@@ -1,0 +1,163 @@
+#include "workloads/webmail.hh"
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace workloads {
+
+namespace {
+
+// Heavy-usage action mix modeled after the MS Exchange 2003 LoadSim
+// heavy-user profile: reads dominate, with regular folder listings and
+// a steady stream of composed/replied messages.
+const double actionValues[] = {0, 1, 2, 3, 4, 5, 6, 7};
+const double actionWeights[] = {
+    0.04, // Login
+    0.22, // ListFolder
+    0.34, // ReadMessage
+    0.08, // ReadAttachment
+    0.12, // Reply
+    0.10, // Compose
+    0.06, // Delete
+    0.04, // MoveMessage
+};
+
+} // namespace
+
+Webmail::Webmail(WebmailParams params)
+    : p(params),
+      actionDist(std::vector<double>(std::begin(actionValues),
+                                     std::end(actionValues)),
+                 std::vector<double>(std::begin(actionWeights),
+                                     std::end(actionWeights))),
+      messageSize(p.meanMessageKB, p.covMessage),
+      attachmentSize(p.attachmentMeanKB, p.covAttachment)
+{
+}
+
+MailAction
+Webmail::sampleAction(Rng &rng)
+{
+    return MailAction(actionDist.sampleIndex(rng));
+}
+
+ServiceDemand
+Webmail::demandFor(MailAction a, Rng &rng)
+{
+    ServiceDemand d;
+    sim::LognormalDist shape(1.0, p.covCpu);
+    double body_kb = 0.0;
+    double disk_read = 0.0, disk_write = 0.0;
+    switch (a) {
+      case MailAction::Login:
+        body_kb = 4.0;
+        disk_read = p.mailboxReadBytes;
+        break;
+      case MailAction::ListFolder:
+        body_kb = 12.0;
+        disk_read = p.mailboxReadBytes;
+        break;
+      case MailAction::ReadMessage:
+        body_kb = messageSize.sample(rng);
+        disk_read = body_kb * 1024.0;
+        break;
+      case MailAction::ReadAttachment:
+        body_kb = attachmentSize.sample(rng);
+        disk_read = body_kb * 1024.0;
+        break;
+      case MailAction::Reply:
+        body_kb = messageSize.sample(rng);
+        disk_write = body_kb * 1024.0;
+        break;
+      case MailAction::Compose:
+        body_kb = messageSize.sample(rng);
+        disk_write = body_kb * 1024.0;
+        break;
+      case MailAction::Delete:
+        body_kb = 2.0;
+        disk_write = 4096.0;
+        break;
+      case MailAction::MoveMessage:
+        body_kb = 2.0;
+        disk_write = 8192.0;
+        break;
+    }
+    d.cpuWork =
+        (p.cpuWorkBase + p.cpuWorkPerKB * body_kb) * shape.sample(rng);
+    d.diskReadBytes = disk_read;
+    d.diskWriteBytes = disk_write;
+    // Frontend response plus IMAP/SMTP backend chatter.
+    d.netBytes = body_kb * 1024.0 * (1.0 + p.backendFactor) + 6144.0;
+    return d;
+}
+
+ServiceDemand
+Webmail::nextRequest(Rng &rng)
+{
+    return demandFor(sampleAction(rng), rng);
+}
+
+ServiceDemand
+Webmail::meanDemand() const
+{
+    // Expected body KB over the action mix.
+    double mean_body = 0.0;
+    double mean_read = 0.0, mean_write = 0.0;
+    auto body_of = [&](MailAction a) -> double {
+        switch (a) {
+          case MailAction::Login:
+            return 4.0;
+          case MailAction::ListFolder:
+            return 12.0;
+          case MailAction::ReadMessage:
+          case MailAction::Reply:
+          case MailAction::Compose:
+            return p.meanMessageKB;
+          case MailAction::ReadAttachment:
+            return p.attachmentMeanKB;
+          case MailAction::Delete:
+          case MailAction::MoveMessage:
+            return 2.0;
+        }
+        return 0.0;
+    };
+    for (int i = 0; i < 8; ++i) {
+        auto a = MailAction(i);
+        double w = actionWeights[i];
+        double body = body_of(a);
+        mean_body += w * body;
+        switch (a) {
+          case MailAction::Login:
+          case MailAction::ListFolder:
+            mean_read += w * p.mailboxReadBytes;
+            break;
+          case MailAction::ReadMessage:
+          case MailAction::ReadAttachment:
+            mean_read += w * body * 1024.0;
+            break;
+          case MailAction::Reply:
+          case MailAction::Compose:
+            mean_write += w * body * 1024.0;
+            break;
+          case MailAction::Delete:
+            mean_write += w * 4096.0;
+            break;
+          case MailAction::MoveMessage:
+            mean_write += w * 8192.0;
+            break;
+        }
+    }
+    ServiceDemand d;
+    d.cpuWork = p.cpuWorkBase + p.cpuWorkPerKB * mean_body;
+    d.diskReadBytes = mean_read;
+    d.diskWriteBytes = mean_write;
+    // Actions with any read (login/list/read/attach) and any write
+    // (reply/compose/delete/move), from the mix weights.
+    d.diskReadOps = 0.04 + 0.22 + 0.34 + 0.08;
+    d.diskWriteOps = 0.12 + 0.10 + 0.06 + 0.04;
+    d.netBytes = mean_body * 1024.0 * (1.0 + p.backendFactor) + 6144.0;
+    return d;
+}
+
+} // namespace workloads
+} // namespace wsc

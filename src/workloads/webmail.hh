@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The webmail benchmark: interactive web2.0 mail serving.
+ *
+ * Models the paper's SquirrelMail/Apache/PHP stack with courier-imap
+ * and exim backends. Clients run sessions of actions (login, read,
+ * reply, compose, ...) following the MS Exchange LoadSim "heavy user"
+ * profile; message and attachment sizes follow lognormal distributions
+ * fitted to the University of Michigan statistics the paper cites.
+ * Requests generate substantial backend network traffic (IMAP/SMTP on
+ * a separate machine).
+ *
+ * QoS (Table 1): >95% of requests complete within 0.8 seconds.
+ */
+
+#ifndef WSC_WORKLOADS_WEBMAIL_HH
+#define WSC_WORKLOADS_WEBMAIL_HH
+
+#include "sim/distributions.hh"
+#include "workloads/workload.hh"
+
+namespace wsc {
+namespace workloads {
+
+/** Session actions in the LoadSim-style heavy-usage mix. */
+enum class MailAction {
+    Login,
+    ListFolder,
+    ReadMessage,
+    ReadAttachment,
+    Reply,
+    Compose,
+    Delete,
+    MoveMessage
+};
+
+/** Configuration knobs for the webmail generator. */
+struct WebmailParams {
+    /** CPU work for PHP templating per action, GHz-seconds. */
+    double cpuWorkBase = 22.0e-3;
+    /** Extra CPU work per KB of message body processed. */
+    double cpuWorkPerKB = 0.35e-3;
+    double covCpu = 0.9;
+    double meanMessageKB = 24.0;     //!< lognormal mean body size
+    double covMessage = 2.0;
+    double attachmentMeanKB = 380.0; //!< lognormal mean attachment
+    double covAttachment = 1.6;
+    double mailboxReadBytes = 8.0 * 1024; //!< maildir metadata read
+    double backendFactor = 1.6; //!< backend bytes per frontend byte
+};
+
+/**
+ * Webmail request generator. Each request is one session action drawn
+ * from the heavy-usage mix.
+ */
+class Webmail : public InteractiveWorkload
+{
+  public:
+    explicit Webmail(WebmailParams params = {});
+
+    std::string name() const override { return "webmail"; }
+
+    WorkloadTraits
+    traits() const override
+    {
+        WorkloadTraits t;
+        // Fitted against Figure 2(c) webmail row (the suite's most
+        // CPU-sensitive workload); see perfsim/calibration.hh.
+        t.cacheBeta = 0.05;
+        t.cpuScalingGamma = 1.06;
+        t.diskCacheHitRate = 0.7; // hot mailboxes largely cached
+        return t;
+    }
+
+    QosSpec
+    qos() const override
+    {
+        return QosSpec{0.95, 0.8};
+    }
+
+    ServiceDemand nextRequest(Rng &rng) override;
+    ServiceDemand meanDemand() const override;
+
+    /** Draw the next session action from the heavy-usage mix. */
+    MailAction sampleAction(Rng &rng);
+
+    const WebmailParams &params() const { return p; }
+
+  private:
+    WebmailParams p;
+    sim::EmpiricalDist actionDist;
+    sim::LognormalDist messageSize;
+    sim::LognormalDist attachmentSize;
+
+    /** Demand construction for one concrete action. */
+    ServiceDemand demandFor(MailAction a, Rng &rng);
+};
+
+} // namespace workloads
+} // namespace wsc
+
+#endif // WSC_WORKLOADS_WEBMAIL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+
+ArgParser
+makeParser()
+{
+    ArgParser p("tool", "test tool");
+    p.addOption("system", "platform", "srvr2")
+        .addOption("tariff", "dollars per MWh", "100")
+        .addFlag("csv", "emit csv");
+    return p;
+}
+
+TEST(Args, DefaultsApply)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool"};
+    EXPECT_TRUE(p.parse(1, argv));
+    EXPECT_EQ(p.get("system"), "srvr2");
+    EXPECT_DOUBLE_EQ(p.getDouble("tariff"), 100.0);
+    EXPECT_FALSE(p.flag("csv"));
+}
+
+TEST(Args, OptionsAndFlagsParsed)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--system", "emb1", "--csv",
+                          "--tariff", "170"};
+    EXPECT_TRUE(p.parse(6, argv));
+    EXPECT_EQ(p.get("system"), "emb1");
+    EXPECT_TRUE(p.flag("csv"));
+    EXPECT_DOUBLE_EQ(p.getDouble("tariff"), 170.0);
+}
+
+TEST(Args, HelpShortCircuits)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--help"};
+    EXPECT_FALSE(p.parse(2, argv));
+    const char *argv2[] = {"tool", "-h"};
+    EXPECT_FALSE(makeParser().parse(2, argv2));
+}
+
+TEST(Args, UnknownOptionFatal)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--bogus", "1"};
+    EXPECT_THROW(p.parse(3, argv), FatalError);
+}
+
+TEST(Args, MissingValueFatal)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--system"};
+    EXPECT_THROW(p.parse(2, argv), FatalError);
+}
+
+TEST(Args, PositionalRejected)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "emb1"};
+    EXPECT_THROW(p.parse(2, argv), FatalError);
+}
+
+TEST(Args, NonNumericDoubleFatal)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--tariff", "cheap"};
+    EXPECT_TRUE(p.parse(3, argv));
+    EXPECT_THROW(p.getDouble("tariff"), FatalError);
+}
+
+TEST(Args, UsageListsEverything)
+{
+    auto p = makeParser();
+    auto usage = p.usage();
+    EXPECT_NE(usage.find("--system"), std::string::npos);
+    EXPECT_NE(usage.find("--csv"), std::string::npos);
+    EXPECT_NE(usage.find("default: srvr2"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(Args, DuplicateRegistrationPanics)
+{
+    ArgParser p("tool", "t");
+    p.addOption("x", "h", "1");
+    EXPECT_THROW(p.addOption("x", "h", "2"), PanicError);
+    EXPECT_THROW(p.addFlag("x", "h"), PanicError);
+}
+
+TEST(Args, UnregisteredLookupPanics)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool"};
+    p.parse(1, argv);
+    EXPECT_THROW(p.get("nope"), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the closed-loop adaptive client driver, including its
+ * agreement with the open-loop bisection (the paper's methodology
+ * check).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfsim/closed_loop.hh"
+#include "perfsim/perf_eval.hh"
+#include "perfsim/throughput.hh"
+#include "platform/catalog.hh"
+#include "util/logging.hh"
+#include "workloads/ytube.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+StationConfig
+ytubeOnSrvr2()
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    return ev.stationsFor(platform::makeSystem(
+                              platform::SystemClass::Srvr2),
+                          yt.traits(), {});
+}
+
+TEST(ClosedLoop, ProducesPositiveSustainedThroughput)
+{
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    Rng rng(31);
+    ClosedLoopParams p;
+    p.epochSeconds = 10.0;
+    p.epochs = 10;
+    auto r = runClosedLoop(yt, st, p, rng);
+    EXPECT_GT(r.sustainedRps, 0.0);
+    EXPECT_GE(r.clientsAtBest, 1u);
+    EXPECT_EQ(r.epochRps.size(), 10u);
+    EXPECT_EQ(r.epochPassed.size(), 10u);
+}
+
+TEST(ClosedLoop, PopulationGrowsWhileQosHolds)
+{
+    // At tiny initial populations the first epochs must pass QoS and
+    // throughput must trend upward.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    Rng rng(32);
+    ClosedLoopParams p;
+    p.initialClients = 2;
+    p.epochSeconds = 10.0;
+    p.epochs = 8;
+    auto r = runClosedLoop(yt, st, p, rng);
+    ASSERT_GE(r.epochRps.size(), 4u);
+    EXPECT_TRUE(r.epochPassed[0]);
+    EXPECT_GT(r.epochRps[3], r.epochRps[0]);
+}
+
+TEST(ClosedLoop, AgreesWithOpenLoopSearch)
+{
+    // The adaptive driver and the open-loop bisection are independent
+    // estimators of the same quantity; they must land within ~25%.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+
+    Rng rng_open(33);
+    SearchParams sp;
+    sp.iterations = 7;
+    sp.window.warmupSeconds = 3.0;
+    sp.window.measureSeconds = 15.0;
+    auto open = findSustainableRps(yt, st, sp, rng_open);
+
+    Rng rng_closed(34);
+    ClosedLoopParams cp;
+    cp.epochSeconds = 12.0;
+    cp.epochs = 16;
+    auto closed = runClosedLoop(yt, st, cp, rng_closed);
+
+    ASSERT_GT(open.sustainableRps, 0.0);
+    ASSERT_GT(closed.sustainedRps, 0.0);
+    double ratio = closed.sustainedRps / open.sustainableRps;
+    EXPECT_GT(ratio, 0.75) << "closed=" << closed.sustainedRps
+                           << " open=" << open.sustainableRps;
+    EXPECT_LT(ratio, 1.25) << "closed=" << closed.sustainedRps
+                           << " open=" << open.sustainableRps;
+}
+
+TEST(ClosedLoop, ThinkTimeBoundsThroughput)
+{
+    // N clients with think time Z can offer at most N/Z requests per
+    // second; with a huge think time the server is never the limit.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    Rng rng(35);
+    ClosedLoopParams p;
+    p.initialClients = 10;
+    p.maxClients = 10; // fixed population
+    p.thinkTimeMean = 10.0;
+    p.epochSeconds = 20.0;
+    p.epochs = 3;
+    auto r = runClosedLoop(yt, st, p, rng);
+    for (double rps : r.epochRps)
+        EXPECT_LE(rps, 10.0 / 10.0 * 1.5); // N/Z with slack
+}
+
+TEST(ClosedLoop, InvalidParamsPanic)
+{
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    Rng rng(36);
+    ClosedLoopParams p;
+    p.initialClients = 0;
+    EXPECT_THROW(runClosedLoop(yt, st, p, rng), PanicError);
+    ClosedLoopParams q;
+    q.growFactor = 1.0;
+    EXPECT_THROW(runClosedLoop(yt, st, q, rng), PanicError);
+}
+
+} // namespace

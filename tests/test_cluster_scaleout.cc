@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for cluster planning, scale-out limits, and the diurnal
+ * energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/diurnal.hh"
+#include "core/scaleout.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+
+TEST(Cluster, BaselineAgainstItselfIsIdentity)
+{
+    ClusterPlanner planner;
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto plan =
+        planner.plan(s1, s1, 40, workloads::Benchmark::MapredWc);
+    EXPECT_NEAR(plan.perfPerServer, 1.0, 1e-9);
+    EXPECT_NEAR(plan.serversNeeded, 40.0, 1e-9);
+    EXPECT_EQ(plan.racks, 1u);
+    // 40 servers at 341 W = 13.6 kW.
+    EXPECT_NEAR(plan.totalPowerKW, 13.64, 0.01);
+}
+
+TEST(Cluster, EqualPerformanceN2ClusterSmallerCheaper)
+{
+    // Section 3.6: at equal performance, N2 cuts power and cost.
+    ClusterPlanner planner;
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto n2 = DesignConfig::n2();
+    auto base =
+        planner.plan(s1, s1, 40, workloads::Benchmark::MapredWc);
+    auto plan =
+        planner.plan(n2, s1, 40, workloads::Benchmark::MapredWc);
+    EXPECT_GT(plan.serversNeeded, 40.0); // slower nodes, more of them
+    EXPECT_LT(plan.totalPowerKW, base.totalPowerKW * 0.6);
+    EXPECT_LT(plan.totalDollars(), base.totalDollars() * 0.6);
+    EXPECT_LE(plan.racks, base.racks);
+}
+
+TEST(Cluster, RealEstateChargedPerRack)
+{
+    ClusterParams cp;
+    cp.realEstatePerRackYear = 3000.0;
+    ClusterPlanner planner(cp);
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto plan =
+        planner.plan(s1, s1, 80, workloads::Benchmark::MapredWc);
+    EXPECT_EQ(plan.racks, 2u);
+    EXPECT_NEAR(plan.realEstateDollars, 2 * 3000.0 * 3.0, 1e-9);
+}
+
+TEST(ScaleOut, PerfectScalingWithoutFriction)
+{
+    ScaleOutParams none;
+    EXPECT_DOUBLE_EQ(uslThroughput(2.0, 100.0, none), 200.0);
+    EXPECT_DOUBLE_EQ(uslEfficiency(1000.0, none), 1.0);
+}
+
+TEST(ScaleOut, SigmaCapsThroughput)
+{
+    // With kappa = 0 the USL tends to p/sigma as n grows.
+    ScaleOutParams p{0.02, 0.0};
+    double huge = uslThroughput(1.0, 1e6, p);
+    EXPECT_NEAR(huge, 1.0 / 0.02, 1.0);
+    EXPECT_LT(uslEfficiency(100.0, p), 1.0);
+}
+
+TEST(ScaleOut, KappaCausesRetrograde)
+{
+    // Crosstalk makes throughput peak and then fall.
+    ScaleOutParams p{0.0, 1e-4};
+    double at100 = uslThroughput(1.0, 100.0, p);
+    double at400 = uslThroughput(1.0, 400.0, p);
+    EXPECT_GT(at100, at400);
+}
+
+TEST(ScaleOut, PenaltyIsOneWithoutFriction)
+{
+    EXPECT_NEAR(penalizedPerfRatio(0.25, 100.0, ScaleOutParams{}),
+                0.25, 1e-12);
+}
+
+TEST(ScaleOut, SmallerNodesPayMoreFriction)
+{
+    // A design needing 4x the nodes loses more to sigma than the
+    // baseline does.
+    ScaleOutParams p{0.001, 0.0};
+    double penalized = penalizedPerfRatio(0.25, 100.0, p);
+    EXPECT_LT(penalized, 0.25);
+    EXPECT_GT(penalized, 0.15);
+}
+
+TEST(ScaleOut, BreakEvenSigmaBisection)
+{
+    double sigma = breakEvenSigma(0.25, 100.0, 2.0);
+    ASSERT_GT(sigma, 0.0);
+    ASSERT_LT(sigma, 1.0);
+    // At the break-even sigma the surviving fraction is 1/advantage.
+    ScaleOutParams p{sigma, 0.0};
+    double surviving =
+        penalizedPerfRatio(0.25, 100.0, p) / 0.25;
+    EXPECT_NEAR(surviving, 0.5, 0.01);
+}
+
+TEST(Diurnal, ProfilesWellFormed)
+{
+    auto p = DiurnalProfile::internetService();
+    double peak = 0.0;
+    for (double h : p.hourly) {
+        EXPECT_GT(h, 0.0);
+        EXPECT_LE(h, 1.0);
+        peak = std::max(peak, h);
+    }
+    EXPECT_DOUBLE_EQ(peak, 1.0);
+    EXPECT_LT(p.meanLoad(), 1.0);
+    EXPECT_DOUBLE_EQ(DiurnalProfile::flat().meanLoad(), 1.0);
+}
+
+TEST(Diurnal, FlatLoadGivesNoSavings)
+{
+    EnsembleEnergyParams params;
+    auto flat = DiurnalProfile::flat();
+    auto off = dailyEnergy(flat, PowerPolicy::PowerOff, params);
+    EXPECT_NEAR(off.savingsVsAlwaysOn, 0.0, 0.02);
+}
+
+TEST(Diurnal, PowerOffSavesOnDiurnalLoad)
+{
+    EnsembleEnergyParams params;
+    auto profile = DiurnalProfile::internetService();
+    auto on = dailyEnergy(profile, PowerPolicy::AlwaysOn, params);
+    auto off = dailyEnergy(profile, PowerPolicy::PowerOff, params);
+    EXPECT_GT(off.savingsVsAlwaysOn, 0.10);
+    EXPECT_LT(off.kWhPerDay, on.kWhPerDay);
+    EXPECT_LT(off.meanActiveServers, double(params.servers));
+}
+
+TEST(Diurnal, ConsolidationAloneBarelyHelps)
+{
+    // With the linear (non-energy-proportional) power curve of
+    // 2008-era servers, packing without power-off changes little.
+    EnsembleEnergyParams params;
+    auto profile = DiurnalProfile::internetService();
+    auto cons =
+        dailyEnergy(profile, PowerPolicy::ConsolidateIdle, params);
+    EXPECT_NEAR(cons.savingsVsAlwaysOn, 0.0, 0.02);
+}
+
+TEST(Diurnal, SavingsGrowWithEnergyProportionality)
+{
+    // Lower idle power (more energy-proportional hardware) increases
+    // the power-off win less than it increases the always-on win:
+    // the gap between policies narrows.
+    auto profile = DiurnalProfile::internetService();
+    EnsembleEnergyParams leaky;
+    leaky.idlePowerFraction = 0.8;
+    EnsembleEnergyParams proportional;
+    proportional.idlePowerFraction = 0.1;
+    auto off_leaky =
+        dailyEnergy(profile, PowerPolicy::PowerOff, leaky);
+    auto off_prop =
+        dailyEnergy(profile, PowerPolicy::PowerOff, proportional);
+    EXPECT_GT(off_leaky.savingsVsAlwaysOn,
+              off_prop.savingsVsAlwaysOn);
+}
+
+TEST(Diurnal, PolicyNames)
+{
+    EXPECT_EQ(to_string(PowerPolicy::AlwaysOn), "always-on");
+    EXPECT_EQ(to_string(PowerPolicy::PowerOff), "power-off");
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the multi-server cluster simulation (the paper's
+ * aggregation-assumption validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfsim/cluster_sim.hh"
+#include "perfsim/perf_eval.hh"
+#include "platform/catalog.hh"
+#include "util/logging.hh"
+#include "workloads/ytube.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+StationConfig
+stations()
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    return ev.stationsFor(platform::makeSystem(
+                              platform::SystemClass::Emb1),
+                          yt.traits(), {});
+}
+
+SimWindow
+fastWindow()
+{
+    SimWindow w;
+    w.warmupSeconds = 3.0;
+    w.measureSeconds = 15.0;
+    return w;
+}
+
+TEST(ClusterSim, LowLoadPassesOnAllPolicies)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    for (auto policy :
+         {DispatchPolicy::RoundRobin, DispatchPolicy::Random,
+          DispatchPolicy::LeastOutstanding}) {
+        Rng rng(41);
+        auto r = simulateCluster(yt, st, 4, policy, 40.0, fastWindow(),
+                                 rng);
+        EXPECT_TRUE(r.passes(yt.qos())) << to_string(policy);
+        EXPECT_GT(r.completed, 300u);
+        EXPECT_FALSE(r.saturated);
+    }
+}
+
+TEST(ClusterSim, OverloadFailsQos)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    Rng rng(42);
+    // Single emb1 sustains ~85 rps on ytube; 4 servers cannot do 800.
+    auto r = simulateCluster(yt, st, 4, DispatchPolicy::RoundRobin,
+                             800.0, fastWindow(), rng);
+    EXPECT_FALSE(r.passes(yt.qos()));
+}
+
+TEST(ClusterSim, LoadSpreadAcrossServers)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    Rng rng(43);
+    auto r = simulateCluster(yt, st, 4, DispatchPolicy::RoundRobin,
+                             100.0, fastWindow(), rng);
+    // Utilization roughly even: the max is close to the mean.
+    EXPECT_GT(r.meanCpuUtilization, 0.0);
+    EXPECT_LT(r.maxCpuUtilization,
+              2.0 * r.meanCpuUtilization + 0.05);
+}
+
+TEST(ClusterSim, ScalingNearLinearWithGoodDispatch)
+{
+    // The paper's aggregation assumption: a 4-node cluster sustains
+    // close to 4x the single-node rate under sensible dispatch.
+    workloads::Ytube yt;
+    auto st = stations();
+    Rng rng(44);
+    SearchParams sp;
+    sp.iterations = 6;
+    sp.window = fastWindow();
+    auto scaling = measureClusterScaling(
+        yt, st, 4, DispatchPolicy::LeastOutstanding, sp, rng);
+    EXPECT_GT(scaling.scalingEfficiency, 0.85);
+    EXPECT_LE(scaling.scalingEfficiency, 1.1);
+}
+
+TEST(ClusterSim, RandomDispatchNoBetterThanLeastOutstanding)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    SearchParams sp;
+    sp.iterations = 5;
+    sp.window = fastWindow();
+    Rng r1(45), r2(45);
+    auto lo = measureClusterScaling(
+        yt, st, 4, DispatchPolicy::LeastOutstanding, sp, r1);
+    auto rnd = measureClusterScaling(yt, st, 4,
+                                     DispatchPolicy::Random, sp, r2);
+    EXPECT_LE(rnd.scalingEfficiency, lo.scalingEfficiency + 0.08);
+}
+
+TEST(ClusterSim, SingleServerClusterMatchesSingleSearch)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    SearchParams sp;
+    sp.iterations = 6;
+    sp.window = fastWindow();
+    Rng rng(46);
+    auto scaling = measureClusterScaling(
+        yt, st, 1, DispatchPolicy::RoundRobin, sp, rng);
+    EXPECT_NEAR(scaling.scalingEfficiency, 1.0, 0.15);
+}
+
+TEST(ClusterSim, InvalidArgsPanic)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    Rng rng(47);
+    EXPECT_THROW(simulateCluster(yt, st, 0, DispatchPolicy::RoundRobin,
+                                 10.0, fastWindow(), rng),
+                 PanicError);
+    EXPECT_THROW(simulateCluster(yt, st, 2, DispatchPolicy::RoundRobin,
+                                 0.0, fastWindow(), rng),
+                 PanicError);
+}
+
+} // namespace

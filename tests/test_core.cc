@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the core module: metrics, designs, evaluator.
+ *
+ * Interactive throughput searches are slow, so evaluator tests here
+ * stick to batch benchmarks and cost/power paths; the end-to-end
+ * interactive results are covered by test_integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "core/metrics.hh"
+#include "core/report.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+
+EfficiencyMetrics
+sample(double perf, double watts, double inf, double pc)
+{
+    EfficiencyMetrics m;
+    m.perf = perf;
+    m.watts = watts;
+    m.infDollars = inf;
+    m.pcDollars = pc;
+    m.tcoDollars = inf + pc;
+    return m;
+}
+
+TEST(Metrics, DerivedRatios)
+{
+    auto m = sample(100.0, 50.0, 1000.0, 500.0);
+    EXPECT_DOUBLE_EQ(m.perfPerWatt(), 2.0);
+    EXPECT_DOUBLE_EQ(m.perfPerInfDollar(), 0.1);
+    EXPECT_DOUBLE_EQ(m.perfPerPcDollar(), 0.2);
+    EXPECT_NEAR(m.perfPerTcoDollar(), 100.0 / 1500.0, 1e-12);
+}
+
+TEST(Metrics, RelativeToBaseline)
+{
+    auto base = sample(100.0, 50.0, 1000.0, 500.0);
+    auto target = sample(50.0, 10.0, 250.0, 100.0);
+    auto r = relativeTo(target, base);
+    EXPECT_DOUBLE_EQ(r.perf, 0.5);
+    EXPECT_DOUBLE_EQ(r.perfPerWatt, 2.5);
+    EXPECT_DOUBLE_EQ(r.perfPerInfDollar, 2.0);
+    EXPECT_DOUBLE_EQ(r.perfPerPcDollar, 2.5);
+    // TCO: (50/350) / (100/1500) = 15/7.
+    EXPECT_NEAR(r.perfPerTcoDollar, 15.0 / 7.0, 1e-12);
+}
+
+TEST(Metrics, HarmonicAggregate)
+{
+    RelativeMetrics a{1.0, 1.0, 1.0, 1.0, 1.0};
+    RelativeMetrics b{2.0, 4.0, 2.0, 2.0, 2.0};
+    auto h = harmonicAggregate({a, b});
+    EXPECT_NEAR(h.perf, 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(h.perfPerWatt, 1.6);
+}
+
+TEST(Metrics, ZeroDenominatorPanics)
+{
+    auto base = sample(100.0, 0.0, 1000.0, 500.0);
+    EXPECT_THROW(base.perfPerWatt(), PanicError);
+}
+
+TEST(Design, BaselineUsesCatalogPlatform)
+{
+    auto d = DesignConfig::baseline(platform::SystemClass::Srvr2);
+    EXPECT_EQ(d.name, "srvr2");
+    EXPECT_EQ(d.packaging, thermal::PackagingDesign::Conventional1U);
+    EXPECT_FALSE(d.memorySharing.has_value());
+    EXPECT_FALSE(d.storage.has_value());
+}
+
+TEST(Design, N1CompositionMatchesPaper)
+{
+    auto d = DesignConfig::n1();
+    EXPECT_EQ(d.server.cls, platform::SystemClass::Mobl);
+    EXPECT_EQ(d.packaging, thermal::PackagingDesign::DualEntry);
+    EXPECT_FALSE(d.memorySharing.has_value()); // N1 skips sharing
+    EXPECT_FALSE(d.storage.has_value());       // and flash caching
+}
+
+TEST(Design, N2CompositionMatchesPaper)
+{
+    auto d = DesignConfig::n2();
+    EXPECT_EQ(d.server.cls, platform::SystemClass::Emb1);
+    EXPECT_EQ(d.packaging,
+              thermal::PackagingDesign::AggregatedMicroblade);
+    ASSERT_TRUE(d.memorySharing.has_value());
+    EXPECT_EQ(*d.memorySharing, memblade::Provisioning::Dynamic);
+    ASSERT_TRUE(d.storage.has_value());
+    EXPECT_TRUE(d.storage->hasFlashCache);
+    EXPECT_TRUE(d.storage->disk.remote);
+}
+
+TEST(Evaluator, AdjustedServerAppliesAllDeltas)
+{
+    DesignEvaluator ev;
+    auto n2 = DesignConfig::n2();
+    auto adj = ev.adjustedServer(n2);
+    auto raw = n2.server;
+    EXPECT_LT(adj.memory.dollars, raw.memory.dollars);
+    EXPECT_LT(adj.memory.watts, raw.memory.watts);
+    EXPECT_DOUBLE_EQ(adj.disk.dollars, 80.0); // remote laptop
+    EXPECT_GT(adj.boardMgmtDollars, raw.boardMgmtDollars); // + flash
+    EXPECT_LT(adj.powerFansDollars, raw.powerFansDollars);
+}
+
+TEST(Evaluator, BurdenReducedByPackaging)
+{
+    DesignEvaluator ev;
+    auto base = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto n2 = DesignConfig::n2();
+    EXPECT_LT(ev.burdenFor(n2).burdenMultiplier(),
+              ev.burdenFor(base).burdenMultiplier());
+}
+
+TEST(Evaluator, BatchMetricsAndCaching)
+{
+    DesignEvaluator ev;
+    auto desk = DesignConfig::baseline(platform::SystemClass::Desk);
+    auto m1 = ev.evaluate(desk, workloads::Benchmark::MapredWc);
+    auto m2 = ev.evaluate(desk, workloads::Benchmark::MapredWc);
+    EXPECT_DOUBLE_EQ(m1.perf, m2.perf); // perf cache
+    EXPECT_GT(m1.perf, 0.0);
+    EXPECT_NEAR(m1.infDollars, 849.0, 1.0); // Table 2
+    EXPECT_NEAR(m1.watts, 136.0, 1.0); // max operational w/ switch
+}
+
+TEST(Evaluator, RelativeBatchOrderingMatchesFigure2)
+{
+    DesignEvaluator ev;
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto r = ev.evaluateRelative(e1, s1, workloads::Benchmark::MapredWc);
+    // Figure 2(c): emb1 mapred-wc perf ~51%, Perf/TCO ~3.6x.
+    EXPECT_NEAR(r.perf, 0.51, 0.08);
+    EXPECT_GT(r.perfPerTcoDollar, 2.5);
+    EXPECT_GT(r.perfPerWatt, 2.5);
+}
+
+TEST(Evaluator, SlowdownAppliedForMemorySharing)
+{
+    DesignEvaluator ev;
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto shared = e1;
+    shared.name = "emb1+memblade";
+    shared.memorySharing = memblade::Provisioning::Static;
+    double p0 =
+        ev.evaluate(e1, workloads::Benchmark::MapredWc).perf;
+    double p1 =
+        ev.evaluate(shared, workloads::Benchmark::MapredWc).perf;
+    EXPECT_LT(p1, p0);
+    EXPECT_NEAR(p1 / p0, 1.0 / 1.02, 0.01); // the assumed 2% slowdown
+}
+
+TEST(Evaluator, MemorySharingImprovesTcoEfficiency)
+{
+    // Figure 4(c): both provisioning schemes pay off on Perf/TCO-$.
+    DesignEvaluator ev;
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    for (auto scheme : {memblade::Provisioning::Static,
+                        memblade::Provisioning::Dynamic}) {
+        auto shared = e1;
+        shared.name = "emb1+" + memblade::to_string(scheme);
+        shared.memorySharing = scheme;
+        auto r = ev.evaluateRelative(shared, e1,
+                                     workloads::Benchmark::MapredWc);
+        EXPECT_GT(r.perfPerTcoDollar, 1.0)
+            << memblade::to_string(scheme);
+        EXPECT_GT(r.perfPerWatt, 1.05);
+    }
+}
+
+TEST(Report, MetricNamesAndValues)
+{
+    RelativeMetrics m{0.5, 1.5, 2.0, 2.5, 3.0};
+    EXPECT_DOUBLE_EQ(metricValue(m, Metric::Perf), 0.5);
+    EXPECT_DOUBLE_EQ(metricValue(m, Metric::PerfPerWatt), 1.5);
+    EXPECT_DOUBLE_EQ(metricValue(m, Metric::PerfPerInfDollar), 2.0);
+    EXPECT_DOUBLE_EQ(metricValue(m, Metric::PerfPerPcDollar), 2.5);
+    EXPECT_DOUBLE_EQ(metricValue(m, Metric::PerfPerTcoDollar), 3.0);
+    EXPECT_EQ(to_string(Metric::PerfPerTcoDollar), "Perf/TCO-$");
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for design-space enumeration and Pareto analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/design_space.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+
+TEST(DesignSpace, FullEnumerationSize)
+{
+    // 6 platforms x 3 packagings x 3 sharing x 4 storage = 216.
+    auto all = enumerateDesigns();
+    EXPECT_EQ(all.size(), 216u);
+}
+
+TEST(DesignSpace, NamesUnique)
+{
+    auto all = enumerateDesigns();
+    std::set<std::string> names;
+    for (const auto &d : all)
+        names.insert(d.name);
+    EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(DesignSpace, ContainsThePaperDesignPoints)
+{
+    auto all = enumerateDesigns();
+    auto find = [&](const std::string &name) {
+        for (const auto &d : all)
+            if (d.name == name)
+                return true;
+        return false;
+    };
+    // The six baselines and the N1/N2 compositions (under their
+    // systematic names).
+    EXPECT_TRUE(find("srvr1/conventional-1U"));
+    EXPECT_TRUE(find("mobl/dual-entry"));
+    EXPECT_TRUE(find(
+        "emb1/aggregated-microblade/mem-dynamic/laptop-flash"));
+}
+
+TEST(DesignSpace, RestrictedAxes)
+{
+    DesignSpaceOptions opts;
+    opts.allPackaging = false;
+    opts.allMemorySharing = false;
+    opts.allStorage = false;
+    auto some = enumerateDesigns(opts);
+    EXPECT_EQ(some.size(), 6u); // platforms only
+    for (const auto &d : some) {
+        EXPECT_EQ(d.packaging, thermal::PackagingDesign::Conventional1U);
+        EXPECT_FALSE(d.memorySharing.has_value());
+        EXPECT_FALSE(d.storage.has_value());
+    }
+}
+
+TEST(Pareto, SimpleFrontier)
+{
+    // Points: (objective, cost). C dominates B (better, cheaper).
+    std::vector<double> obj{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> cost{1.0, 3.0, 2.0, 4.0};
+    auto f = paretoFrontier(obj, cost);
+    // A (cheap), C (dominates B), D (best objective).
+    EXPECT_EQ(f, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(Pareto, DominatedPointRemoved)
+{
+    std::vector<double> obj{5.0, 4.0};
+    std::vector<double> cost{1.0, 2.0};
+    auto f = paretoFrontier(obj, cost);
+    EXPECT_EQ(f, (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, TiesKeepTheBetterObjective)
+{
+    std::vector<double> obj{1.0, 3.0};
+    std::vector<double> cost{2.0, 2.0};
+    auto f = paretoFrontier(obj, cost);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], 1u);
+}
+
+TEST(Pareto, AllNonDominatedSurvive)
+{
+    std::vector<double> obj{1.0, 2.0, 3.0};
+    std::vector<double> cost{1.0, 2.0, 3.0};
+    auto f = paretoFrontier(obj, cost);
+    EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Pareto, MismatchedInputsPanic)
+{
+    EXPECT_THROW(paretoFrontier({1.0}, {1.0, 2.0}), PanicError);
+    EXPECT_THROW(paretoFrontier({}, {}), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for the workload distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sim/distributions.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::sim;
+
+TEST(Constant, AlwaysSameValue)
+{
+    Rng r(1);
+    ConstantDist d(4.2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(d.sample(r), 4.2);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.2);
+}
+
+TEST(Uniform, InRangeAndMean)
+{
+    Rng r(2);
+    UniformDist d(2.0, 6.0);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double x = d.sample(r);
+        ASSERT_GE(x, 2.0);
+        ASSERT_LT(x, 6.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, d.mean(), 0.02);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+}
+
+TEST(Exponential, SampleMeanMatches)
+{
+    Rng r(3);
+    ExponentialDist d(0.25);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(r);
+    EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(Lognormal, MeanAndCovRecovered)
+{
+    Rng r(4);
+    LognormalDist d(10.0, 0.5);
+    double sum = 0, sumsq = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        double x = d.sample(r);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.02);
+}
+
+TEST(BoundedPareto, RespectsBounds)
+{
+    Rng r(5);
+    BoundedParetoDist d(1.0, 100.0, 1.3);
+    for (int i = 0; i < 50000; ++i) {
+        double x = d.sample(r);
+        ASSERT_GE(x, 1.0);
+        ASSERT_LE(x, 100.0);
+    }
+}
+
+TEST(BoundedPareto, SampleMeanMatchesClosedForm)
+{
+    Rng r(6);
+    BoundedParetoDist d(1.0, 1000.0, 1.5);
+    double sum = 0;
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(r);
+    EXPECT_NEAR(sum / n, d.mean(), d.mean() * 0.03);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfDist d(1000, 0.9);
+    double total = 0;
+    for (std::uint64_t k = 1; k <= 1000; ++k)
+        total += d.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOneIsMostPopular)
+{
+    ZipfDist d(100, 1.0);
+    EXPECT_GT(d.pmf(1), d.pmf(2));
+    EXPECT_GT(d.pmf(2), d.pmf(50));
+    EXPECT_GT(d.pmf(50), d.pmf(100));
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksPmf)
+{
+    Rng r(7);
+    ZipfDist d(50, 0.8);
+    std::map<std::uint64_t, int> counts;
+    const int n = 300000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sampleRank(r)];
+    for (std::uint64_t k : {1ull, 2ull, 10ull, 50ull}) {
+        double expected = d.pmf(k);
+        double observed = double(counts[k]) / n;
+        EXPECT_NEAR(observed, expected, 0.15 * expected + 0.001)
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng r(8);
+    ZipfDist d(10, 1.2);
+    for (int i = 0; i < 10000; ++i) {
+        auto k = d.sampleRank(r);
+        ASSERT_GE(k, 1u);
+        ASSERT_LE(k, 10u);
+    }
+}
+
+TEST(Zipf, SingleRankDegenerate)
+{
+    Rng r(9);
+    ZipfDist d(1, 1.0);
+    EXPECT_EQ(d.sampleRank(r), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(d.pmf(1), 1.0);
+}
+
+TEST(Zipf, InvalidArgsPanic)
+{
+    EXPECT_THROW(ZipfDist(0, 1.0), PanicError);
+    EXPECT_THROW(ZipfDist(10, 0.0), PanicError);
+}
+
+TEST(Empirical, FrequenciesMatchWeights)
+{
+    Rng r(10);
+    EmpiricalDist d({1.0, 2.0, 3.0}, {1.0, 2.0, 7.0});
+    std::map<double, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sample(r)];
+    EXPECT_NEAR(double(counts[1.0]) / n, 0.1, 0.01);
+    EXPECT_NEAR(double(counts[2.0]) / n, 0.2, 0.01);
+    EXPECT_NEAR(double(counts[3.0]) / n, 0.7, 0.01);
+    EXPECT_NEAR(d.mean(), 0.1 + 0.4 + 2.1, 1e-12);
+}
+
+TEST(Empirical, ZeroWeightOutcomeNeverDrawn)
+{
+    Rng r(11);
+    EmpiricalDist d({5.0, 6.0}, {0.0, 1.0});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_DOUBLE_EQ(d.sample(r), 6.0);
+}
+
+TEST(Empirical, InvalidArgsPanic)
+{
+    EXPECT_THROW(EmpiricalDist({}, {}), PanicError);
+    EXPECT_THROW(EmpiricalDist({1.0}, {1.0, 2.0}), PanicError);
+    EXPECT_THROW(EmpiricalDist({1.0}, {0.0}), PanicError);
+    EXPECT_THROW(EmpiricalDist({1.0, 2.0}, {1.0, -1.0}), PanicError);
+}
+
+/**
+ * Property sweep over Zipf exponents: the head of the distribution
+ * (top 10% of ranks) must hold a share of mass that grows with s.
+ */
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ZipfSkewTest, HeadMassGrowsWithExponent)
+{
+    double s = GetParam();
+    ZipfDist d(1000, s);
+    double head = 0;
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        head += d.pmf(k);
+    ZipfDist d_flatter(1000, s * 0.5);
+    double head_flatter = 0;
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        head_flatter += d_flatter.pmf(k);
+    EXPECT_GT(head, head_flatter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkewTest,
+                         ::testing::Values(0.6, 0.8, 1.0, 1.2, 1.5));
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::sim;
+
+TEST(EventQueue, DispatchInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TiesDispatchFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1.0, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    double fired_at = -1.0;
+    eq.schedule(2.0, [&] {
+        eq.scheduleAfter(0.5, [&] { fired_at = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(1.0, [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // second cancel is a no-op
+    eq.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelAfterDispatchReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(1.0, [] {});
+    eq.runAll();
+    EXPECT_FALSE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1.0, [&] { ++count; });
+    eq.schedule(2.0, [&] { ++count; });
+    eq.schedule(2.0000001, [&] { ++count; });
+    auto n = eq.run(2.0);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.run(10.0);
+    EXPECT_DOUBLE_EQ(eq.now(), 10.0);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [] {});
+    eq.runAll();
+    EXPECT_THROW(eq.schedule(1.0, [] {}), PanicError);
+}
+
+TEST(EventQueue, NullActionPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1.0, std::function<void()>()), PanicError);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void()> next = [&] {
+        if (++chain < 100)
+            eq.scheduleAfter(0.1, next);
+    };
+    eq.schedule(0.0, next);
+    eq.runAll();
+    EXPECT_EQ(chain, 100);
+    EXPECT_NEAR(eq.now(), 9.9, 1e-9);
+}
+
+TEST(EventQueue, PendingTracksLiveEvents)
+{
+    EventQueue eq;
+    auto a = eq.schedule(1.0, [] {});
+    eq.schedule(2.0, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.step();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.dispatched(), 1u);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+}
+
+} // namespace

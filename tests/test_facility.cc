@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the facility model deriving K1/L1/K2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/facility.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::cost;
+
+TEST(Facility, DefaultsReproducePaperConstants)
+{
+    auto derived =
+        deriveBurdenedParams(FacilityParams{}, BurdenedPowerParams{});
+    EXPECT_NEAR(derived.k1, 1.33, 0.01);
+    EXPECT_NEAR(derived.l1, 0.8, 1e-12);
+    EXPECT_NEAR(derived.k2, 0.667, 0.01);
+    EXPECT_NEAR(derived.burdenMultiplier(),
+                BurdenedPowerParams{}.burdenMultiplier(), 0.02);
+}
+
+TEST(Facility, EconomicFieldsCarriedThrough)
+{
+    BurdenedPowerParams economic;
+    economic.tariffPerMWh = 170.0;
+    economic.activityFactor = 0.5;
+    economic.years = 4.0;
+    auto derived = deriveBurdenedParams(FacilityParams{}, economic);
+    EXPECT_DOUBLE_EQ(derived.tariffPerMWh, 170.0);
+    EXPECT_DOUBLE_EQ(derived.activityFactor, 0.5);
+    EXPECT_DOUBLE_EQ(derived.years, 4.0);
+}
+
+TEST(Facility, HigherTariffLowersCapexRatios)
+{
+    // More expensive electricity makes the same capex a smaller
+    // multiple of it: K1 and K2 fall.
+    BurdenedPowerParams cheap;
+    cheap.tariffPerMWh = 50.0;
+    BurdenedPowerParams costly;
+    costly.tariffPerMWh = 170.0;
+    auto k_cheap = deriveBurdenedParams(FacilityParams{}, cheap);
+    auto k_costly = deriveBurdenedParams(FacilityParams{}, costly);
+    EXPECT_GT(k_cheap.k1, k_costly.k1);
+    EXPECT_GT(k_cheap.k2, k_costly.k2);
+    EXPECT_DOUBLE_EQ(k_cheap.l1, k_costly.l1); // COP-only
+}
+
+TEST(Facility, BetterCopLowersL1AndPue)
+{
+    FacilityParams efficient;
+    efficient.cop = 2.5;
+    auto derived =
+        deriveBurdenedParams(efficient, BurdenedPowerParams{});
+    EXPECT_NEAR(derived.l1, 0.4, 1e-12);
+    EXPECT_NEAR(impliedPue(efficient), 1.4, 1e-12);
+    EXPECT_NEAR(impliedPue(FacilityParams{}), 1.8, 1e-12);
+}
+
+TEST(Facility, DistributionLossesChargeIntoL1)
+{
+    FacilityParams f;
+    f.distributionLossFraction = 0.08;
+    auto derived = deriveBurdenedParams(f, BurdenedPowerParams{});
+    EXPECT_NEAR(derived.l1, 0.88, 1e-12);
+    EXPECT_NEAR(impliedPue(f), 1.88, 1e-12);
+}
+
+TEST(Facility, CopForL1RoundTrips)
+{
+    EXPECT_NEAR(copForL1(0.8), 1.25, 1e-12);
+    FacilityParams f;
+    f.cop = copForL1(0.4);
+    auto derived = deriveBurdenedParams(f, BurdenedPowerParams{});
+    EXPECT_NEAR(derived.l1, 0.4, 1e-12);
+}
+
+TEST(Facility, PackagingGainAsPlantEquivalent)
+{
+    // The paper's 4x aggregated-cooling gain (L1: 0.8 -> 0.2) is
+    // equivalent to raising the plant COP from 1.25 to 5 - the kind
+    // of statement facility engineers can check.
+    EXPECT_NEAR(copForL1(0.8 / 4.0), 5.0, 1e-12);
+}
+
+TEST(Facility, InvalidInputsPanic)
+{
+    FacilityParams bad;
+    bad.cop = 0.0;
+    EXPECT_THROW(deriveBurdenedParams(bad, BurdenedPowerParams{}),
+                 PanicError);
+    EXPECT_THROW(impliedPue(bad), PanicError);
+    EXPECT_THROW(copForL1(0.0), PanicError);
+    FacilityParams neg;
+    neg.infraLifeYears = -1.0;
+    EXPECT_THROW(deriveBurdenedParams(neg, BurdenedPowerParams{}),
+                 PanicError);
+}
+
+/** Capex sweep: K1 scales linearly in power capex. */
+class CapexSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CapexSweep, K1LinearInCapex)
+{
+    FacilityParams f;
+    f.powerCapexPerWatt = GetParam();
+    FacilityParams f2;
+    f2.powerCapexPerWatt = 2.0 * GetParam();
+    auto a = deriveBurdenedParams(f, BurdenedPowerParams{});
+    auto b = deriveBurdenedParams(f2, BurdenedPowerParams{});
+    EXPECT_NEAR(b.k1, 2.0 * a.k1, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capex, CapexSweep,
+                         ::testing::Values(5.0, 10.0, 15.0, 25.0));
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the hybrid DRAM/flash memory blade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memblade/hybrid.hh"
+#include "platform/catalog.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::memblade;
+
+TEST(Hybrid, StatsAreConsistent)
+{
+    auto profile = profileFor(workloads::Benchmark::Websearch);
+    auto s = replayHybrid(profile, 0.25, HybridParams{},
+                          PolicyKind::Random, 500000, 3);
+    EXPECT_EQ(s.local.hits + s.local.misses, s.local.accesses);
+    // Warm misses split between the two blade tiers.
+    EXPECT_EQ(s.dramHits + s.flashHits,
+              s.local.misses - s.local.coldMisses);
+}
+
+TEST(Hybrid, DramTierAbsorbsHotRemotePages)
+{
+    auto profile = profileFor(workloads::Benchmark::Websearch);
+    auto s = replayHybrid(profile, 0.25, HybridParams{},
+                          PolicyKind::Lru, 800000, 4);
+    // The local tier filters most reuse out of the remote stream (the
+    // classic multi-level locality-filtering effect), but a
+    // 25%-of-remote DRAM tier still catches a nonzero share.
+    EXPECT_GT(s.dramHitRate(), 0.05);
+    EXPECT_LT(s.dramHitRate(), 0.6);
+}
+
+TEST(Hybrid, BiggerDramTierCatchesMore)
+{
+    auto profile = profileFor(workloads::Benchmark::Websearch);
+    HybridParams small;
+    small.dramTierFraction = 0.1;
+    HybridParams big;
+    big.dramTierFraction = 0.5;
+    auto s_small = replayHybrid(profile, 0.25, small,
+                                PolicyKind::Lru, 500000, 5);
+    auto s_big = replayHybrid(profile, 0.25, big, PolicyKind::Lru,
+                              500000, 5);
+    EXPECT_GT(s_big.dramHitRate(), s_small.dramHitRate());
+}
+
+TEST(Hybrid, SlowdownBetweenPureDramAndPureFlash)
+{
+    auto profile = profileFor(workloads::Benchmark::Websearch);
+    HybridParams p;
+    auto s = replayHybrid(profile, 0.25, p, PolicyKind::Random,
+                          800000, 6);
+    double hybrid_sd = hybridSlowdown(s, profile, p);
+
+    // Pure-DRAM bound: every warm miss at the DRAM stall.
+    auto flat = replayProfile(profile, 0.25, PolicyKind::Random,
+                              800000, 6);
+    double dram_sd = slowdown(flat, profile, p.dramLink);
+    RemoteLink flash_link{"flash", p.flashStallSeconds};
+    double flash_sd = slowdown(flat, profile, flash_link);
+
+    EXPECT_GT(hybrid_sd, 0.9 * dram_sd);
+    EXPECT_LT(hybrid_sd, flash_sd);
+}
+
+TEST(Hybrid, CostBelowPlainSharing)
+{
+    auto emb1 = platform::makeSystem(platform::SystemClass::Emb1);
+    auto plain = applyMemorySharing(emb1, BladeParams{},
+                                    Provisioning::Static);
+    auto hybrid = applyHybridSharing(emb1, BladeParams{},
+                                     Provisioning::Static,
+                                     HybridParams{});
+    EXPECT_LT(hybrid.memoryDollars, plain.memoryDollars);
+    EXPECT_LT(hybrid.memoryWatts, plain.memoryWatts);
+}
+
+TEST(Hybrid, FullDramTierMatchesPlainSharing)
+{
+    auto emb1 = platform::makeSystem(platform::SystemClass::Emb1);
+    HybridParams all_dram;
+    all_dram.dramTierFraction = 1.0;
+    auto plain = applyMemorySharing(emb1, BladeParams{},
+                                    Provisioning::Dynamic);
+    auto hybrid = applyHybridSharing(emb1, BladeParams{},
+                                     Provisioning::Dynamic, all_dram);
+    EXPECT_NEAR(hybrid.memoryDollars, plain.memoryDollars, 1e-9);
+    EXPECT_NEAR(hybrid.memoryWatts, plain.memoryWatts, 1e-9);
+}
+
+TEST(Hybrid, InvalidParamsPanic)
+{
+    auto profile = profileFor(workloads::Benchmark::Ytube);
+    HybridParams bad;
+    bad.dramTierFraction = 0.0;
+    EXPECT_THROW(replayHybrid(profile, 0.25, bad, PolicyKind::Lru,
+                              1000, 1),
+                 PanicError);
+    EXPECT_THROW(replayHybrid(profile, 1.5, HybridParams{},
+                              PolicyKind::Lru, 1000, 1),
+                 PanicError);
+}
+
+} // namespace

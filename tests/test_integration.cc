@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cross-module integration tests reproducing the paper's headline
+ * claims end-to-end. These run real (small-window) throughput
+ * searches, so they use the cheaper platforms where possible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "core/report.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+
+EvaluatorParams
+fastParams()
+{
+    EvaluatorParams p;
+    p.search.iterations = 6;
+    p.search.window.warmupSeconds = 3.0;
+    p.search.window.measureSeconds = 15.0;
+    return p;
+}
+
+TEST(Integration, YtubeIsIoBoundAcrossMidRange)
+{
+    // Figure 2(c): ytube performance barely degrades from srvr2 down
+    // to emb1 (NIC/disk bound), then falls off a cliff on emb2.
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto e2 = DesignConfig::baseline(platform::SystemClass::Emb2);
+    auto r_e1 =
+        ev.evaluateRelative(e1, s1, workloads::Benchmark::Ytube);
+    auto r_e2 =
+        ev.evaluateRelative(e2, s1, workloads::Benchmark::Ytube);
+    EXPECT_GT(r_e1.perf, 0.75);
+    EXPECT_LT(r_e2.perf, 0.45);
+}
+
+TEST(Integration, EmbeddedWinsPerfPerTcoOnYtube)
+{
+    // Figure 2(c): emb1 achieves ~6x Perf/TCO-$ on ytube vs srvr1.
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto r = ev.evaluateRelative(e1, s1, workloads::Benchmark::Ytube);
+    EXPECT_GT(r.perfPerTcoDollar, 3.5);
+}
+
+TEST(Integration, N2BeatsN1OnBatchEfficiency)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto n1 = DesignConfig::n1();
+    auto n2 = DesignConfig::n2();
+    auto r1 =
+        ev.evaluateRelative(n1, s1, workloads::Benchmark::MapredWc);
+    auto r2 =
+        ev.evaluateRelative(n2, s1, workloads::Benchmark::MapredWc);
+    // Figure 5: both unified designs improve mapreduce Perf/TCO-$
+    // by 2x or more.
+    EXPECT_GT(r1.perfPerTcoDollar, 2.0);
+    EXPECT_GT(r2.perfPerTcoDollar, 2.0);
+}
+
+TEST(Integration, WebmailDegradesOnUnifiedDesigns)
+{
+    // Figure 5: webmail sees net Perf/TCO-$ degradation on N1 (~40%
+    // loss) and a smaller one on N2 (~20% loss).
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto n1 = DesignConfig::n1();
+    auto r =
+        ev.evaluateRelative(n1, s1, workloads::Benchmark::Webmail);
+    EXPECT_LT(r.perfPerTcoDollar, 1.0);
+    EXPECT_GT(r.perfPerTcoDollar, 0.35);
+}
+
+TEST(Integration, RelativeTableShape)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e2 = DesignConfig::baseline(platform::SystemClass::Emb2);
+    auto table = relativeTable(ev, {e2}, s1, Metric::Perf);
+    // 5 workloads + HMean row.
+    EXPECT_EQ(table.rowCount(), 6u);
+    auto s = table.str();
+    EXPECT_NE(s.find("websearch"), std::string::npos);
+    EXPECT_NE(s.find("HMean"), std::string::npos);
+    EXPECT_NE(s.find("emb2"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for workload mixes and best-design selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mix.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+using workloads::Benchmark;
+
+EvaluatorParams
+fastParams()
+{
+    EvaluatorParams p;
+    p.search.iterations = 5;
+    p.search.window.warmupSeconds = 2.0;
+    p.search.window.measureSeconds = 10.0;
+    return p;
+}
+
+TEST(Mix, WeightsNormalized)
+{
+    WorkloadMix mix({{Benchmark::Websearch, 3.0},
+                     {Benchmark::Webmail, 1.0}});
+    EXPECT_DOUBLE_EQ(mix.weight(Benchmark::Websearch), 0.75);
+    EXPECT_DOUBLE_EQ(mix.weight(Benchmark::Webmail), 0.25);
+    EXPECT_DOUBLE_EQ(mix.weight(Benchmark::Ytube), 0.0);
+    EXPECT_EQ(mix.active().size(), 2u);
+}
+
+TEST(Mix, InvalidWeightsPanic)
+{
+    EXPECT_THROW(WorkloadMix({{Benchmark::Ytube, -1.0}}), PanicError);
+    EXPECT_THROW(WorkloadMix({{Benchmark::Ytube, 0.0}}), PanicError);
+    EXPECT_THROW(WorkloadMix({}), PanicError);
+}
+
+TEST(Mix, PresetsSumToOne)
+{
+    for (const auto &mix :
+         {WorkloadMix::uniform(), WorkloadMix::searchHeavy(),
+          WorkloadMix::mailHeavy(), WorkloadMix::mediaHeavy(),
+          WorkloadMix::batchHeavy()}) {
+        double total = 0.0;
+        for (auto b : workloads::allBenchmarks)
+            total += mix.weight(b);
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+    EXPECT_DOUBLE_EQ(WorkloadMix::mailHeavy().weight(Benchmark::Webmail),
+                     0.6);
+}
+
+TEST(Mix, UniformMatchesAggregateRelative)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto desk = DesignConfig::baseline(platform::SystemClass::Desk);
+    auto via_mix =
+        mixRelative(ev, desk, s1, WorkloadMix::uniform());
+    auto via_agg = ev.aggregateRelative(desk, s1);
+    // Same evaluator -> cached per-benchmark results -> identical.
+    EXPECT_NEAR(via_mix.perf, via_agg.perf, 1e-9);
+    EXPECT_NEAR(via_mix.perfPerTcoDollar, via_agg.perfPerTcoDollar,
+                1e-9);
+}
+
+TEST(Mix, SingleWorkloadMixMatchesCell)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    WorkloadMix only_wc({{Benchmark::MapredWc, 1.0}});
+    auto via_mix = mixRelative(ev, e1, s1, only_wc);
+    auto cell = ev.evaluateRelative(e1, s1, Benchmark::MapredWc);
+    EXPECT_NEAR(via_mix.perfPerTcoDollar, cell.perfPerTcoDollar, 1e-9);
+}
+
+TEST(Mix, MailHeavyPenalizesEmbeddedDesigns)
+{
+    // Figure 5's caveat as a mix statement: the embedded design's
+    // advantage shrinks (or flips) when webmail dominates.
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    auto e1 = DesignConfig::baseline(platform::SystemClass::Emb1);
+    auto media = mixRelative(ev, e1, s1, WorkloadMix::mediaHeavy());
+    auto mail = mixRelative(ev, e1, s1, WorkloadMix::mailHeavy());
+    EXPECT_GT(media.perfPerTcoDollar, mail.perfPerTcoDollar);
+}
+
+TEST(Mix, BestDesignTracksTheMix)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    std::vector<DesignConfig> candidates{
+        DesignConfig::baseline(platform::SystemClass::Srvr2),
+        DesignConfig::baseline(platform::SystemClass::Emb1)};
+    auto media =
+        bestDesignFor(ev, candidates, s1, WorkloadMix::mediaHeavy(),
+                      Metric::PerfPerTcoDollar);
+    EXPECT_EQ(media.bestName, "emb1"); // IO-bound: embedded wins big
+    EXPECT_GT(media.bestValue, 1.0);
+    auto mail =
+        bestDesignFor(ev, candidates, s1, WorkloadMix::mailHeavy(),
+                      Metric::PerfPerTcoDollar);
+    // Mail-heavy: the CPU-strong low-end server closes the gap.
+    EXPECT_GT(media.bestValue, mail.bestValue);
+}
+
+TEST(Mix, BestDesignRejectsEmptyCandidates)
+{
+    DesignEvaluator ev(fastParams());
+    auto s1 = DesignConfig::baseline(platform::SystemClass::Srvr1);
+    EXPECT_THROW(bestDesignFor(ev, {}, s1, WorkloadMix::uniform(),
+                               Metric::Perf),
+                 PanicError);
+}
+
+} // namespace

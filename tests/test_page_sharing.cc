@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for content-based page sharing and compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memblade/page_sharing.hh"
+#include "platform/catalog.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::memblade;
+
+TEST(PageSharing, DisabledIsIdentity)
+{
+    ContentParams p;
+    p.enableSharing = false;
+    p.enableCompression = false;
+    EXPECT_DOUBLE_EQ(physicalPerLogical(p), 1.0);
+}
+
+TEST(PageSharing, DefaultsReducePhysicalCapacity)
+{
+    ContentParams p;
+    double f = physicalPerLogical(p);
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.3); // not magic
+    // Hand computation: 0.15/3 + 0.85*(0.6/2 + 0.4) = 0.05 + 0.595.
+    EXPECT_NEAR(f, 0.645, 1e-12);
+}
+
+TEST(PageSharing, SharingOnlyComponent)
+{
+    ContentParams p;
+    p.enableCompression = false;
+    // 0.15/3 + 0.85 = 0.90.
+    EXPECT_NEAR(physicalPerLogical(p), 0.90, 1e-12);
+}
+
+TEST(PageSharing, CompressionOnlyComponent)
+{
+    ContentParams p;
+    p.enableSharing = false;
+    // 0.6/2 + 0.4 = 0.70.
+    EXPECT_NEAR(physicalPerLogical(p), 0.70, 1e-12);
+}
+
+TEST(PageSharing, DecompressionLatencyFoldedIntoLink)
+{
+    ContentParams p;
+    auto link = linkWith(p, RemoteLink::pcieX4());
+    EXPECT_NEAR(link.stallSecondsPerMiss, 4.3e-6, 1e-12);
+    p.enableCompression = false;
+    auto same = linkWith(p, RemoteLink::pcieX4());
+    EXPECT_DOUBLE_EQ(same.stallSecondsPerMiss, 4.0e-6);
+}
+
+TEST(PageSharing, ContentReductionLowersBladeCost)
+{
+    auto emb1 = platform::makeSystem(platform::SystemClass::Emb1);
+    auto plain = applyMemorySharing(emb1, BladeParams{},
+                                    Provisioning::Static);
+    auto reduced = applyMemorySharingWithContent(
+        emb1, BladeParams{}, Provisioning::Static, ContentParams{});
+    EXPECT_LT(reduced.memoryDollars, plain.memoryDollars);
+    EXPECT_LT(reduced.memoryWatts, plain.memoryWatts);
+    // Local memory and the PCIe tax are untouched: the saving is
+    // bounded by the remote tier's cost.
+    double remote_cost = 180.0 * 0.75 * 0.76;
+    EXPECT_GT(reduced.memoryDollars,
+              plain.memoryDollars - remote_cost);
+}
+
+TEST(PageSharing, DisabledContentMatchesPlainSharing)
+{
+    auto emb1 = platform::makeSystem(platform::SystemClass::Emb1);
+    ContentParams off;
+    off.enableSharing = false;
+    off.enableCompression = false;
+    auto plain = applyMemorySharing(emb1, BladeParams{},
+                                    Provisioning::Dynamic);
+    auto same = applyMemorySharingWithContent(
+        emb1, BladeParams{}, Provisioning::Dynamic, off);
+    EXPECT_NEAR(same.memoryDollars, plain.memoryDollars, 1e-9);
+    EXPECT_NEAR(same.memoryWatts, plain.memoryWatts, 1e-9);
+}
+
+TEST(PageSharing, InvalidParamsPanic)
+{
+    ContentParams p;
+    p.dupFraction = 1.0;
+    EXPECT_THROW(physicalPerLogical(p), PanicError);
+    ContentParams q;
+    q.compressionRatio = 0.5;
+    EXPECT_THROW(physicalPerLogical(q), PanicError);
+}
+
+/** Dedup-factor sweep: physical capacity is monotone in class size. */
+class DupClassSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DupClassSweep, LargerClassesSaveMore)
+{
+    ContentParams a, b;
+    a.dupClassSize = GetParam();
+    b.dupClassSize = GetParam() + 1.0;
+    EXPECT_GT(physicalPerLogical(a), physicalPerLogical(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassSizes, DupClassSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0));
+
+} // namespace

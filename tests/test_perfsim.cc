@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the performance simulator: calibration, stations,
+ * analytic bounds, batch runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfsim/batch_runner.hh"
+#include "perfsim/calibration.hh"
+#include "perfsim/perf_eval.hh"
+#include "perfsim/throughput.hh"
+#include "platform/catalog.hh"
+#include "workloads/mapreduce.hh"
+#include "workloads/websearch.hh"
+#include "workloads/ytube.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::perfsim;
+using namespace wsc::platform;
+
+CpuModel
+refCpu()
+{
+    return makeSystem(SystemClass::Srvr1).cpu;
+}
+
+TEST(Calibration, RawCapabilityScalesWithCoresAndFreq)
+{
+    workloads::WorkloadTraits t;
+    t.cacheBeta = 0.0;
+    CpuModel a{"", 1, 2, 2.0, true, 32, 2048, 0, 0};
+    CpuModel b{"", 1, 4, 2.0, true, 32, 2048, 0, 0};
+    CpuModel c{"", 1, 2, 1.0, true, 32, 2048, 0, 0};
+    EXPECT_DOUBLE_EQ(rawCapability(b, t), 2.0 * rawCapability(a, t));
+    EXPECT_DOUBLE_EQ(rawCapability(c, t), 0.5 * rawCapability(a, t));
+}
+
+TEST(Calibration, InOrderPenaltyApplied)
+{
+    workloads::WorkloadTraits t;
+    t.cacheBeta = 0.0;
+    t.inorderIpcFactor = 0.6;
+    CpuModel ooo{"", 1, 1, 1.0, true, 32, 1024, 0, 0};
+    CpuModel ino{"", 1, 1, 1.0, false, 32, 1024, 0, 0};
+    EXPECT_DOUBLE_EQ(rawCapability(ino, t),
+                     0.6 * rawCapability(ooo, t));
+}
+
+TEST(Calibration, CacheBetaShrinksSmallCaches)
+{
+    workloads::WorkloadTraits t;
+    t.cacheBeta = 0.1;
+    CpuModel big{"", 1, 1, 1.0, true, 32, 8192, 0, 0};
+    CpuModel small = big;
+    small.l2KB = 1024;
+    EXPECT_LT(rawCapability(small, t), rawCapability(big, t));
+    EXPECT_GT(rawCapability(small, t), 0.7 * rawCapability(big, t));
+}
+
+TEST(Calibration, GammaIsIdentityAtReference)
+{
+    workloads::WorkloadTraits t;
+    t.cpuScalingGamma = 0.55;
+    auto ref = refCpu();
+    EXPECT_NEAR(effectiveCapability(ref, ref, t),
+                rawCapability(ref, t), 1e-9);
+}
+
+TEST(Calibration, GammaFlattensBelowOne)
+{
+    // With gamma < 1 a weaker platform's effective capability exceeds
+    // its raw capability (software bottlenecks flatten differences).
+    workloads::WorkloadTraits t;
+    t.cpuScalingGamma = 0.55;
+    auto ref = refCpu();
+    auto weak = makeSystem(SystemClass::Emb2).cpu;
+    EXPECT_GT(effectiveCapability(weak, ref, t),
+              rawCapability(weak, t));
+    EXPECT_LT(effectiveCapability(weak, ref, t),
+              rawCapability(ref, t));
+}
+
+TEST(Calibration, PaperWebsearchRatios)
+{
+    // The fitted calibration must reproduce Figure 2(c)'s websearch
+    // CPU-capability ratios: srvr2/srvr1 = 68%, within tolerance.
+    workloads::Websearch ws;
+    auto t = ws.traits();
+    auto ref = refCpu();
+    auto ratio = [&](SystemClass c) {
+        return effectiveCapability(makeSystem(c).cpu, ref, t) /
+               effectiveCapability(ref, ref, t);
+    };
+    EXPECT_NEAR(ratio(SystemClass::Srvr2), 0.68, 0.03);
+    EXPECT_NEAR(ratio(SystemClass::Desk), 0.36, 0.06);
+    EXPECT_NEAR(ratio(SystemClass::Emb1), 0.24, 0.05);
+}
+
+TEST(Stations, DerivedFromPlatformAndTraits)
+{
+    PerfEvaluator ev;
+    workloads::Websearch ws;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             ws.traits(), {});
+    EXPECT_EQ(st.cpuSlots, 8u);
+    EXPECT_NEAR(st.cpuCapacityGHz, 20.8, 0.01);
+    EXPECT_DOUBLE_EQ(st.nicMBs, 1250.0); // 10 GbE
+    EXPECT_DOUBLE_EQ(st.diskAccessMs, 2.5);
+}
+
+TEST(Stations, StreamPacingCapsNic)
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             yt.traits(), {});
+    EXPECT_DOUBLE_EQ(st.nicMBs, 135.0); // capped despite 10 GbE
+    auto st2 = ev.stationsFor(makeSystem(SystemClass::Srvr2),
+                              yt.traits(), {});
+    EXPECT_DOUBLE_EQ(st2.nicMBs, 125.0); // 1 GbE below the cap
+}
+
+TEST(Stations, FlashBlendImprovesDisk)
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    PerfOptions base;
+    PerfOptions with_flash;
+    with_flash.flashCacheHitRate = 0.8;
+    auto st0 = ev.stationsFor(makeSystem(SystemClass::Emb1),
+                              yt.traits(), base);
+    auto st1 = ev.stationsFor(makeSystem(SystemClass::Emb1),
+                              yt.traits(), with_flash);
+    // Flash wins on access time; bandwidth blends between the flash
+    // (50 MB/s) and disk (70 MB/s) device rates.
+    EXPECT_LT(st1.diskAccessMs, st0.diskAccessMs);
+    EXPECT_GT(st1.diskReadMBs, 50.0);
+    EXPECT_LT(st1.diskReadMBs, st0.diskReadMBs);
+}
+
+TEST(AnalyticBound, MatchesBottleneckHandComputation)
+{
+    workloads::Ytube yt;
+    StationConfig st;
+    st.cpuCapacityGHz = 100.0; // CPU never binds
+    st.cpuSlots = 4;
+    st.nicMBs = 125.0;
+    st.diskReadMBs = 1e9;
+    st.diskCacheHitRate = 1.0; // disk never binds
+    double bound = analyticBound(yt, st);
+    // NIC-bound: 125 MB/s over 1.5 MB mean transfers.
+    EXPECT_NEAR(bound, 125.0 / 1.5, 1.0);
+}
+
+TEST(AnalyticBound, SlowdownReducesBound)
+{
+    workloads::Websearch ws;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), ws.traits(),
+                             {});
+    double b0 = analyticBound(ws, st);
+    st.serviceSlowdown = 1.5;
+    double b1 = analyticBound(ws, st);
+    EXPECT_LT(b1, b0);
+}
+
+TEST(SimulateInteractive, LowLoadMeetsQos)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr2),
+                             yt.traits(), {});
+    Rng rng(21);
+    SimWindow w;
+    w.warmupSeconds = 2.0;
+    w.measureSeconds = 20.0;
+    auto r = simulateInteractive(yt, st, 10.0, w, rng);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_TRUE(r.passes(yt.qos()));
+    EXPECT_GT(r.completed, 100u);
+    EXPECT_LT(r.p95Latency, yt.qos().latencyLimit);
+}
+
+TEST(SimulateInteractive, OverloadDetected)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr2),
+                             yt.traits(), {});
+    Rng rng(22);
+    SimWindow w;
+    w.warmupSeconds = 2.0;
+    w.measureSeconds = 20.0;
+    // 3x the NIC bound: must fail QoS/stability.
+    auto r = simulateInteractive(yt, st, 3.0 * 125.0 / 1.5, w, rng);
+    EXPECT_FALSE(r.passes(yt.qos()));
+}
+
+TEST(Throughput, SearchBracketsBelowAnalyticBound)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), yt.traits(),
+                             {});
+    Rng rng(23);
+    SearchParams sp;
+    sp.iterations = 6;
+    sp.window.warmupSeconds = 2.0;
+    sp.window.measureSeconds = 15.0;
+    auto r = findSustainableRps(yt, st, sp, rng);
+    EXPECT_GT(r.sustainableRps, 0.0);
+    EXPECT_LE(r.sustainableRps, r.analyticBoundRps * 1.05);
+    // The sustained point itself passed QoS.
+    EXPECT_TRUE(r.atSustainable.passes(yt.qos()));
+}
+
+TEST(BatchRunner, MakespanMatchesBottleneck)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             wc.traits(), {});
+    Rng rng(24);
+    auto r = runBatch(wc, st, rng);
+    EXPECT_EQ(r.tasksRun, 88u);
+    // srvr1 word count is disk-bound: 5 GB at 75 MB/s plus access
+    // overheads is about 70 s.
+    EXPECT_GT(r.makespanSeconds, 55.0);
+    EXPECT_LT(r.makespanSeconds, 95.0);
+    EXPECT_GT(r.diskUtilization, 0.8);
+}
+
+TEST(BatchRunner, CpuBoundOnWeakPlatform)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), wc.traits(),
+                             {});
+    Rng rng(25);
+    auto r = runBatch(wc, st, rng);
+    // emb2's CPU takes ~700 s for 485 GHz-seconds of map work.
+    EXPECT_GT(r.makespanSeconds, 400.0);
+    EXPECT_GT(r.cpuUtilization, 0.8);
+}
+
+TEST(BatchRunner, SlowdownStretchesMakespan)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), wc.traits(),
+                             {});
+    Rng a(26), b(26);
+    auto r0 = runBatch(wc, st, a);
+    st.serviceSlowdown = 1.2;
+    auto r1 = runBatch(wc, st, b);
+    EXPECT_NEAR(r1.makespanSeconds / r0.makespanSeconds, 1.2, 0.05);
+}
+
+TEST(PerfEvaluator, BatchMeasurementDeterministic)
+{
+    PerfEvaluator ev;
+    auto s = makeSystem(SystemClass::Desk);
+    auto m1 = ev.measure(s, workloads::Benchmark::MapredWc);
+    auto m2 = ev.measure(s, workloads::Benchmark::MapredWc);
+    EXPECT_DOUBLE_EQ(m1.perf, m2.perf);
+    EXPECT_FALSE(m1.interactive);
+    EXPECT_GT(m1.makespanSeconds, 0.0);
+}
+
+TEST(PerfEvaluator, MapreduceOrderingAcrossPlatforms)
+{
+    // Figure 2(c) ordering: srvr1 fastest, emb2 slowest by far.
+    PerfEvaluator ev;
+    auto perf = [&](SystemClass c) {
+        return ev.measure(makeSystem(c), workloads::Benchmark::MapredWc)
+            .perf;
+    };
+    double s1 = perf(SystemClass::Srvr1);
+    double e1 = perf(SystemClass::Emb1);
+    double e2 = perf(SystemClass::Emb2);
+    EXPECT_GT(s1, e1);
+    EXPECT_GT(e1, 3.0 * e2); // the emb1 -> emb2 cliff
+}
+
+} // namespace

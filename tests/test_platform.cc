@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the platform catalog against Table 2 / Figure 1(a).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/tco.hh"
+#include "platform/catalog.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::platform;
+
+TEST(Catalog, HasAllSixSystems)
+{
+    auto all = allSystems();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0].name, "srvr1");
+    EXPECT_EQ(all[5].name, "emb2");
+    for (const auto &s : all)
+        EXPECT_EQ(s.name, to_string(s.cls));
+}
+
+TEST(Catalog, Table2WattTotals)
+{
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Srvr1).totalWatts(), 340.0);
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Srvr2).totalWatts(), 215.0);
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Desk).totalWatts(), 135.0);
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Mobl).totalWatts(), 78.0);
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Emb1).totalWatts(), 52.0);
+    EXPECT_DOUBLE_EQ(makeSystem(SystemClass::Emb2).totalWatts(), 35.0);
+}
+
+TEST(Catalog, Table2InfrastructureDollars)
+{
+    // Table 2 Inf-$ column includes the amortized rack share ($68.75).
+    cost::TcoModel model(cost::RackCostParams{}, power::RackPowerParams{},
+                         cost::BurdenedPowerParams{});
+    auto inf = [&](SystemClass c) {
+        auto s = makeSystem(c);
+        return model.evaluate(s.hardwareCost(), s.hardwarePower())
+            .infrastructure();
+    };
+    EXPECT_NEAR(inf(SystemClass::Srvr1), 3294.0, 1.0);
+    EXPECT_NEAR(inf(SystemClass::Srvr2), 1689.0, 1.0);
+    EXPECT_NEAR(inf(SystemClass::Desk), 849.0, 1.0);
+    EXPECT_NEAR(inf(SystemClass::Mobl), 989.0, 1.0);
+    EXPECT_NEAR(inf(SystemClass::Emb1), 499.0, 1.0);
+    EXPECT_NEAR(inf(SystemClass::Emb2), 379.0, 1.0);
+}
+
+TEST(Catalog, Srvr1FigureOneLineItems)
+{
+    auto s = makeSystem(SystemClass::Srvr1);
+    EXPECT_DOUBLE_EQ(s.cpu.dollars, 1700.0);
+    EXPECT_DOUBLE_EQ(s.memory.dollars, 350.0);
+    EXPECT_DOUBLE_EQ(s.disk.dollars, 275.0);
+    EXPECT_DOUBLE_EQ(s.boardMgmtDollars, 400.0);
+    EXPECT_DOUBLE_EQ(s.powerFansDollars, 500.0);
+    EXPECT_DOUBLE_EQ(s.cpu.watts, 210.0);
+    EXPECT_DOUBLE_EQ(s.serverDollars(), 3225.0);
+}
+
+TEST(Catalog, Srvr2FigureOneLineItems)
+{
+    auto s = makeSystem(SystemClass::Srvr2);
+    EXPECT_DOUBLE_EQ(s.cpu.dollars, 650.0);
+    EXPECT_DOUBLE_EQ(s.serverDollars(), 1620.0);
+    EXPECT_DOUBLE_EQ(s.cpu.watts, 105.0);
+}
+
+TEST(Catalog, Table2Microarchitecture)
+{
+    auto s1 = makeSystem(SystemClass::Srvr1);
+    EXPECT_EQ(s1.cpu.totalCores(), 8u);
+    EXPECT_DOUBLE_EQ(s1.cpu.freqGHz, 2.6);
+    EXPECT_TRUE(s1.cpu.outOfOrder);
+    EXPECT_EQ(s1.cpu.l2KB, 8192u);
+
+    auto e2 = makeSystem(SystemClass::Emb2);
+    EXPECT_EQ(e2.cpu.totalCores(), 1u);
+    EXPECT_DOUBLE_EQ(e2.cpu.freqGHz, 0.6);
+    EXPECT_FALSE(e2.cpu.outOfOrder);
+    EXPECT_EQ(e2.cpu.l2KB, 128u);
+}
+
+TEST(Catalog, MemoryTechPerPlatform)
+{
+    EXPECT_EQ(makeSystem(SystemClass::Srvr1).memory.tech, MemTech::FBDIMM);
+    EXPECT_EQ(makeSystem(SystemClass::Srvr2).memory.tech, MemTech::FBDIMM);
+    EXPECT_EQ(makeSystem(SystemClass::Desk).memory.tech, MemTech::DDR2);
+    EXPECT_EQ(makeSystem(SystemClass::Mobl).memory.tech, MemTech::DDR2);
+    EXPECT_EQ(makeSystem(SystemClass::Emb1).memory.tech, MemTech::DDR2);
+    EXPECT_EQ(makeSystem(SystemClass::Emb2).memory.tech, MemTech::DDR1);
+    // All systems carry 4 GB (Section 3.2: memory capacity held equal).
+    for (const auto &s : allSystems())
+        EXPECT_DOUBLE_EQ(s.memory.capacityGB, 4.0);
+}
+
+TEST(Catalog, DiskAndNicClasses)
+{
+    // srvr1: 15k RPM disk + 10 GbE; everything else 7.2k + 1 GbE.
+    auto s1 = makeSystem(SystemClass::Srvr1);
+    EXPECT_EQ(s1.disk.cls, DiskClass::Server15k);
+    EXPECT_DOUBLE_EQ(s1.nic.gbps, 10.0);
+    for (auto cls : {SystemClass::Srvr2, SystemClass::Desk,
+                     SystemClass::Mobl, SystemClass::Emb1,
+                     SystemClass::Emb2}) {
+        auto s = makeSystem(cls);
+        EXPECT_EQ(s.disk.cls, DiskClass::Desktop72k) << s.name;
+        EXPECT_DOUBLE_EQ(s.nic.gbps, 1.0) << s.name;
+    }
+}
+
+TEST(Catalog, PaperCostRatios)
+{
+    // Section 3.2: desk is ~25% of srvr1's (infrastructure) cost; emb1
+    // is ~15%; desktop has ~60% lower P&C; emb1 saves ~85% of P&C.
+    cost::TcoModel model(cost::RackCostParams{}, power::RackPowerParams{},
+                         cost::BurdenedPowerParams{});
+    auto eval = [&](SystemClass c) {
+        auto s = makeSystem(c);
+        return model.evaluate(s.hardwareCost(), s.hardwarePower());
+    };
+    auto s1 = eval(SystemClass::Srvr1);
+    auto dk = eval(SystemClass::Desk);
+    auto e1 = eval(SystemClass::Emb1);
+    EXPECT_NEAR(dk.infrastructure() / s1.infrastructure(), 0.25, 0.02);
+    EXPECT_NEAR(e1.infrastructure() / s1.infrastructure(), 0.15, 0.01);
+    EXPECT_NEAR(dk.powerCooling() / s1.powerCooling(), 0.40, 0.02);
+    EXPECT_NEAR(e1.powerCooling() / s1.powerCooling(), 0.155, 0.01);
+}
+
+TEST(Catalog, WattOrderingStrictlyDecreasing)
+{
+    auto all = allSystems();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i].totalWatts(), all[i - 1].totalWatts())
+            << all[i].name;
+}
+
+TEST(Catalog, ComponentNamesPrintable)
+{
+    EXPECT_EQ(to_string(MemTech::FBDIMM), "FB-DIMM");
+    EXPECT_EQ(to_string(DiskClass::Laptop2), "laptop-2");
+}
+
+} // namespace

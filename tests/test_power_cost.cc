@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the power and cost models, validated against the
+ * paper's published Figure 1(a) numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/burdened_power.hh"
+#include "cost/tco.hh"
+#include "power/rack_power.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::cost;
+using namespace wsc::power;
+
+ComponentPower
+srvr1Power()
+{
+    return {210.0, 25.0, 15.0, 50.0, 40.0};
+}
+
+ComponentCost
+srvr1Cost()
+{
+    return {1700.0, 350.0, 275.0, 400.0, 500.0};
+}
+
+ComponentPower
+srvr2Power()
+{
+    return {105.0, 25.0, 10.0, 40.0, 35.0};
+}
+
+ComponentCost
+srvr2Cost()
+{
+    return {650.0, 350.0, 120.0, 250.0, 250.0};
+}
+
+TcoModel
+paperModel()
+{
+    return TcoModel(RackCostParams{}, RackPowerParams{},
+                    BurdenedPowerParams{});
+}
+
+TEST(ComponentPower, TotalsAndScaling)
+{
+    auto p = srvr1Power();
+    EXPECT_DOUBLE_EQ(p.total(), 340.0);
+    EXPECT_DOUBLE_EQ(p.scaled(0.5).total(), 170.0);
+    auto q = p + p;
+    EXPECT_DOUBLE_EQ(q.total(), 680.0);
+}
+
+TEST(RackPower, SwitchShareAmortized)
+{
+    RackPower rp(srvr1Power(), RackPowerParams{});
+    EXPECT_DOUBLE_EQ(rp.serverWatts(), 340.0);
+    EXPECT_DOUBLE_EQ(rp.perServerWithSwitch(), 341.0);
+    EXPECT_DOUBLE_EQ(rp.rackWatts(), 340.0 * 40 + 40.0);
+    EXPECT_DOUBLE_EQ(rp.sustainedPerServer(0.75), 341.0 * 0.75);
+}
+
+TEST(RackPower, PaperRackPowerClaims)
+{
+    // Section 3.2: srvr1 consumes 13.6 kW/rack; emb1 "only 2.7 kW".
+    // (The paper's 2.7 kW implies 67.5 W/server, more than its own
+    // Table 2 emb1 value of 52 W; we assert srvr1 exactly and the
+    // at-least-5x reduction the comparison communicates.)
+    RackPower s1(srvr1Power(), RackPowerParams{});
+    EXPECT_NEAR(s1.rackWatts() / 1000.0, 13.6, 0.1);
+    ComponentPower emb1{13.0, 12.0, 10.0, 10.0, 7.0}; // 52 W total
+    RackPower e1(emb1, RackPowerParams{});
+    EXPECT_LT(e1.rackWatts() / 1000.0, 2.8);
+    EXPECT_GE(s1.rackWatts() / e1.rackWatts(), 5.0);
+}
+
+TEST(RackPower, InvalidActivityFactorPanics)
+{
+    RackPower rp(srvr1Power(), RackPowerParams{});
+    EXPECT_THROW(rp.sustainedPerServer(0.0), PanicError);
+    EXPECT_THROW(rp.sustainedPerServer(1.5), PanicError);
+}
+
+TEST(BurdenedPower, MultiplierMatchesPaperParameters)
+{
+    BurdenedPowerParams p;
+    // 1 + 1.33 + 0.8 * (1 + 0.667) = 3.6636
+    EXPECT_NEAR(p.burdenMultiplier(), 3.6636, 1e-4);
+}
+
+TEST(BurdenedPower, Srvr1FigureOneTotal)
+{
+    // Paper Figure 1(a): srvr1 3-yr power & cooling = $2,464 at 341 W
+    // (with switch share), activity factor 0.75, $100/MWh.
+    BurdenedPowerParams p;
+    double cost = burdenedPowerCoolingCost(p, 341.0);
+    EXPECT_NEAR(cost, 2464.0, 15.0);
+}
+
+TEST(BurdenedPower, Srvr2FigureOneTotal)
+{
+    BurdenedPowerParams p;
+    double cost = burdenedPowerCoolingCost(p, 216.0);
+    EXPECT_NEAR(cost, 1561.0, 10.0);
+}
+
+TEST(BurdenedPower, LinearInPowerAndTariff)
+{
+    BurdenedPowerParams p;
+    double base = burdenedPowerCoolingCost(p, 100.0);
+    EXPECT_NEAR(burdenedPowerCoolingCost(p, 200.0), 2.0 * base, 1e-9);
+    p.tariffPerMWh = 200.0;
+    EXPECT_NEAR(burdenedPowerCoolingCost(p, 100.0), 2.0 * base, 1e-9);
+}
+
+TEST(BurdenedPower, SustainedVariantSkipsActivityFactor)
+{
+    BurdenedPowerParams p;
+    EXPECT_NEAR(burdenedPowerCoolingCost(p, 100.0),
+                burdenedCostOfSustainedWatts(p, 75.0), 1e-9);
+}
+
+TEST(Tco, Srvr1TotalMatchesFigureOne)
+{
+    auto r = paperModel().evaluate(srvr1Cost(), srvr1Power());
+    EXPECT_DOUBLE_EQ(r.serverHw(), 3225.0);
+    EXPECT_NEAR(r.infrastructure(), 3294.0, 1.0); // Table 2 Inf-$
+    EXPECT_NEAR(r.powerCooling(), 2464.0, 15.0);
+    EXPECT_NEAR(r.tco(), 5758.0, 15.0);
+    EXPECT_DOUBLE_EQ(r.wattsWithSwitch, 341.0);
+}
+
+TEST(Tco, Srvr2TotalMatchesFigureOne)
+{
+    auto r = paperModel().evaluate(srvr2Cost(), srvr2Power());
+    EXPECT_DOUBLE_EQ(r.serverHw(), 1620.0);
+    EXPECT_NEAR(r.infrastructure(), 1689.0, 1.0);
+    EXPECT_NEAR(r.powerCooling(), 1561.0, 10.0);
+    EXPECT_NEAR(r.tco(), 3249.0, 10.0);
+}
+
+TEST(Tco, Srvr2BreakdownMatchesFigureOnePie)
+{
+    // Figure 1(b) pie: CPU HW 20%, Mem HW 11%, Disk HW 4%, Board HW 8%,
+    // Fan HW 8%, Rack HW 2%, Mem P&C 6%, Disk P&C 2%, Board P&C 9%,
+    // Fans P&C 8%, Rack P&C ~0%, CPU P&C 22%.
+    auto model = paperModel();
+    auto r = model.evaluate(srvr2Cost(), srvr2Power());
+    auto slices = model.breakdown(r);
+    auto get = [&](const std::string &label) {
+        for (const auto &s : slices)
+            if (s.label == label)
+                return s.fraction;
+        ADD_FAILURE() << "missing slice " << label;
+        return 0.0;
+    };
+    EXPECT_NEAR(get("CPU HW"), 0.20, 0.01);
+    EXPECT_NEAR(get("CPU P&C"), 0.22, 0.015);
+    EXPECT_NEAR(get("Mem HW"), 0.11, 0.01);
+    EXPECT_NEAR(get("Mem P&C"), 0.06, 0.01);
+    EXPECT_NEAR(get("Disk HW"), 0.04, 0.01);
+    EXPECT_NEAR(get("Disk P&C"), 0.02, 0.01);
+    EXPECT_NEAR(get("Board HW"), 0.08, 0.01);
+    EXPECT_NEAR(get("Board P&C"), 0.09, 0.01);
+    EXPECT_NEAR(get("Fan HW"), 0.08, 0.01);
+    EXPECT_NEAR(get("Fans P&C"), 0.08, 0.01);
+    EXPECT_NEAR(get("Rack HW"), 0.02, 0.01);
+    EXPECT_NEAR(get("Rack P&C"), 0.00, 0.01);
+}
+
+TEST(Tco, BreakdownSumsToOne)
+{
+    auto model = paperModel();
+    auto r = model.evaluate(srvr1Cost(), srvr1Power());
+    double total = 0.0;
+    for (const auto &s : model.breakdown(r))
+        total += s.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Tco, PowerCoolingComparableToHardware)
+{
+    // Paper Section 3.1: "power and cooling costs are comparable to
+    // hardware costs" for the server configurations.
+    auto model = paperModel();
+    for (auto [hw, p] : {std::pair{srvr1Cost(), srvr1Power()},
+                         std::pair{srvr2Cost(), srvr2Power()}}) {
+        auto r = model.evaluate(hw, p);
+        double ratio = r.powerCooling() / r.infrastructure();
+        EXPECT_GT(ratio, 0.5);
+        EXPECT_LT(ratio, 1.5);
+    }
+}
+
+TEST(Tco, MismatchedRackParamsPanic)
+{
+    RackCostParams rc;
+    rc.serversPerRack = 20;
+    EXPECT_THROW(TcoModel(rc, RackPowerParams{}, BurdenedPowerParams{}),
+                 PanicError);
+}
+
+/** Tariff sweep: TCO must be monotonically increasing in the tariff. */
+class TariffSweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(TariffSweepTest, TcoMonotoneInTariff)
+{
+    BurdenedPowerParams cheap;
+    cheap.tariffPerMWh = GetParam();
+    BurdenedPowerParams costly = cheap;
+    costly.tariffPerMWh = GetParam() + 20.0;
+    TcoModel m1(RackCostParams{}, RackPowerParams{}, cheap);
+    TcoModel m2(RackCostParams{}, RackPowerParams{}, costly);
+    auto r1 = m1.evaluate(srvr1Cost(), srvr1Power());
+    auto r2 = m2.evaluate(srvr1Cost(), srvr1Power());
+    EXPECT_LT(r1.tco(), r2.tco());
+    EXPECT_DOUBLE_EQ(r1.infrastructure(), r2.infrastructure());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTariffRange, TariffSweepTest,
+                         ::testing::Values(50.0, 80.0, 100.0, 140.0,
+                                           170.0));
+
+} // namespace

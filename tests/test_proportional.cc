@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the utilization-dependent power curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/proportional.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::power;
+
+TEST(PowerCurve, Endpoints)
+{
+    PowerCurve c;
+    EXPECT_DOUBLE_EQ(powerFractionAt(0.0, c), 0.6);
+    EXPECT_DOUBLE_EQ(powerFractionAt(1.0, c), 1.0);
+    PowerCurve linear;
+    linear.useCalibrated = false;
+    EXPECT_DOUBLE_EQ(powerFractionAt(0.5, linear), 0.8);
+}
+
+TEST(PowerCurve, CalibratedAboveLinearMidRange)
+{
+    // Fan et al.'s empirical curve rises faster than linear at low
+    // and mid utilization (servers reach near-peak power early).
+    PowerCurve cal;
+    PowerCurve lin;
+    lin.useCalibrated = false;
+    for (double u : {0.2, 0.4, 0.6, 0.8}) {
+        EXPECT_GT(powerFractionAt(u, cal), powerFractionAt(u, lin))
+            << "u = " << u;
+    }
+}
+
+TEST(PowerCurve, MonotoneInUtilization)
+{
+    PowerCurve c;
+    double prev = powerFractionAt(0.0, c);
+    for (int i = 1; i <= 20; ++i) {
+        double cur = powerFractionAt(double(i) / 20.0, c);
+        EXPECT_GE(cur, prev - 1e-12);
+        prev = cur;
+    }
+}
+
+TEST(PowerCurve, PaperActivityFactorImpliedUtilization)
+{
+    // What operating point does the paper's flat 0.75 correspond to?
+    // On the calibrated 2008 curve: modest utilization (~20%), which
+    // matches published datacenter utilization figures.
+    PowerCurve c;
+    double u = utilizationForActivityFactor(0.75, c);
+    EXPECT_GT(u, 0.1);
+    EXPECT_LT(u, 0.4);
+    EXPECT_NEAR(powerFractionAt(u, c), 0.75, 1e-9);
+}
+
+TEST(PowerCurve, RoundTripThroughEquivalentFactor)
+{
+    PowerCurve c;
+    for (double u : {0.1, 0.35, 0.7}) {
+        double f = equivalentActivityFactor(u, c);
+        EXPECT_NEAR(utilizationForActivityFactor(f, c), u, 1e-6);
+    }
+}
+
+TEST(PowerCurve, ProportionalityIndex)
+{
+    PowerCurve leaky;
+    leaky.idleFraction = 0.6;
+    EXPECT_NEAR(proportionalityIndex(leaky), 0.4, 1e-12);
+    PowerCurve ideal;
+    ideal.idleFraction = 0.0;
+    EXPECT_DOUBLE_EQ(proportionalityIndex(ideal), 1.0);
+}
+
+TEST(PowerCurve, InvalidArgsPanic)
+{
+    PowerCurve c;
+    EXPECT_THROW(powerFractionAt(-0.1, c), PanicError);
+    EXPECT_THROW(powerFractionAt(1.1, c), PanicError);
+    EXPECT_THROW(utilizationForActivityFactor(0.2, c), PanicError);
+    PowerCurve bad;
+    bad.calibrationExponent = 1.0;
+    EXPECT_THROW(powerFractionAt(0.5, bad), PanicError);
+}
+
+/** Idle-fraction sweep: better proportionality lowers mid-range power. */
+class IdleFractionSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(IdleFractionSweep, LowerIdleMeansLowerMidPower)
+{
+    PowerCurve a;
+    a.idleFraction = GetParam();
+    PowerCurve b;
+    b.idleFraction = GetParam() - 0.1;
+    EXPECT_GT(powerFractionAt(0.3, a), powerFractionAt(0.3, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Idles, IdleFractionSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+} // namespace

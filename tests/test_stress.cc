@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Randomized stress tests validating the optimized kernels against
+ * brute-force reference implementations.
+ *
+ *  - PsResource (virtual-time heap, O(log n)) vs an O(n^2) explicit
+ *    fluid simulation of processor sharing.
+ *  - LruPolicy (list + hash) vs a naive vector-scan LRU.
+ *  - EventQueue under random schedule/cancel interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "memblade/replacement.hh"
+#include "sim/event_queue.hh"
+#include "sim/resources.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::sim;
+
+/**
+ * Reference processor-sharing fluid simulation: advances job remaining
+ * work in closed form between arrival events, O(jobs^2) overall.
+ */
+std::vector<double>
+referencePsCompletionTimes(const std::vector<std::pair<double, double>>
+                               &arrivals, // (time, work)
+                           double capacity, unsigned slots)
+{
+    struct Job {
+        double remaining;
+        std::size_t index;
+    };
+    std::vector<double> completion(arrivals.size(), -1.0);
+    std::vector<Job> active;
+    double now = 0.0;
+    std::size_t next = 0;
+
+    auto rate = [&](std::size_t n) {
+        if (n == 0)
+            return 0.0;
+        return (capacity / double(slots)) *
+               std::min(1.0, double(slots) / double(n));
+    };
+
+    while (next < arrivals.size() || !active.empty()) {
+        // Next arrival time (or infinity).
+        double t_arrival = next < arrivals.size()
+                               ? arrivals[next].first
+                               : std::numeric_limits<double>::infinity();
+        // Next completion among the active set at the current rate.
+        double r = rate(active.size());
+        double t_completion =
+            std::numeric_limits<double>::infinity();
+        if (!active.empty()) {
+            double min_rem = active.front().remaining;
+            for (const auto &j : active)
+                min_rem = std::min(min_rem, j.remaining);
+            t_completion = now + min_rem / r;
+        }
+        if (t_arrival <= t_completion) {
+            // Advance fluid to the arrival, then admit it.
+            double dt = t_arrival - now;
+            for (auto &j : active)
+                j.remaining -= r * dt;
+            now = t_arrival;
+            active.push_back(Job{arrivals[next].second, next});
+            ++next;
+        } else {
+            double dt = t_completion - now;
+            for (auto &j : active)
+                j.remaining -= r * dt;
+            now = t_completion;
+            // Retire everything at (numerically) zero.
+            for (auto it = active.begin(); it != active.end();) {
+                if (it->remaining <= 1e-9) {
+                    completion[it->index] = now;
+                    it = active.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+    return completion;
+}
+
+class PsAgainstReference
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>>
+{};
+
+TEST_P(PsAgainstReference, CompletionTimesMatchFluidModel)
+{
+    auto [slots, seed] = GetParam();
+    Rng rng{std::uint64_t(seed)};
+    const int jobs = 200;
+    std::vector<std::pair<double, double>> arrivals;
+    double t = 0.0;
+    for (int i = 0; i < jobs; ++i) {
+        t += rng.exponential(0.05);
+        arrivals.emplace_back(t, rng.uniform(0.01, 0.5));
+    }
+
+    auto expected =
+        referencePsCompletionTimes(arrivals, 2.0, slots);
+
+    EventQueue eq;
+    PsResource cpu(eq, "cpu", 2.0, slots);
+    std::vector<double> actual(arrivals.size(), -1.0);
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        eq.schedule(arrivals[i].first, [&, i] {
+            cpu.submit(arrivals[i].second,
+                       [&, i] { actual[i] = eq.now(); });
+        });
+    }
+    eq.runAll();
+
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        ASSERT_GE(actual[i], 0.0) << "job " << i << " never completed";
+        EXPECT_NEAR(actual[i], expected[i],
+                    1e-6 * std::max(1.0, expected[i]))
+            << "job " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlotsAndSeeds, PsAgainstReference,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1, 2, 3)));
+
+/** Naive reference LRU: vector ordered by recency, linear scans. */
+class ReferenceLru
+{
+  public:
+    explicit ReferenceLru(std::size_t frames) : frames(frames) {}
+
+    bool
+    access(memblade::PageId page)
+    {
+        auto it = std::find(order.begin(), order.end(), page);
+        if (it != order.end()) {
+            order.erase(it);
+            order.insert(order.begin(), page);
+            return true;
+        }
+        if (order.size() >= frames)
+            order.pop_back();
+        order.insert(order.begin(), page);
+        return false;
+    }
+
+  private:
+    std::size_t frames;
+    std::vector<memblade::PageId> order;
+};
+
+class LruAgainstReference : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LruAgainstReference, HitMissSequencesIdentical)
+{
+    Rng rng{std::uint64_t(GetParam())};
+    const std::size_t frames = 32;
+    memblade::LruPolicy fast(frames);
+    ReferenceLru slow(frames);
+    for (int i = 0; i < 20000; ++i) {
+        // Skewed page ids so hits and misses interleave.
+        memblade::PageId page =
+            rng.bernoulli(0.7) ? rng.uniformInt(0, 40)
+                               : rng.uniformInt(0, 2000);
+        ASSERT_EQ(fast.access(page), slow.access(page))
+            << "diverged at access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruAgainstReference,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(EventQueueFuzz, RandomScheduleCancelKeepsOrdering)
+{
+    Rng rng(99);
+    EventQueue eq;
+    std::vector<double> fired;
+    std::vector<EventId> live;
+    double horizon = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        double when = eq.now() + rng.uniform(0.0, 10.0);
+        horizon = std::max(horizon, when);
+        live.push_back(eq.schedule(
+            when, [&fired, &eq] { fired.push_back(eq.now()); }));
+        // Randomly cancel an old event or step the queue.
+        if (rng.bernoulli(0.3) && !live.empty()) {
+            auto idx = rng.uniformInt(0, live.size() - 1);
+            eq.cancel(live[idx]);
+        }
+        if (rng.bernoulli(0.5))
+            eq.step();
+    }
+    eq.runAll();
+    // Every fired timestamp must be non-decreasing.
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        ASSERT_LE(fired[i - 1], fired[i]) << "at event " << i;
+    EXPECT_TRUE(eq.empty());
+    // The clock never runs past the latest scheduled event.
+    EXPECT_LE(eq.now(), horizon);
+}
+
+TEST(EventQueueFuzz, CancelledNeverFire)
+{
+    Rng rng(7);
+    EventQueue eq;
+    int fired_cancelled = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 20; ++i) {
+            bool will_cancel = rng.bernoulli(0.5);
+            auto id = eq.schedule(
+                eq.now() + rng.uniform(0.0, 5.0), [&, will_cancel] {
+                    if (will_cancel)
+                        ++fired_cancelled;
+                });
+            if (will_cancel)
+                ids.push_back(id);
+        }
+        for (auto id : ids)
+            EXPECT_TRUE(eq.cancel(id));
+        eq.runAll();
+    }
+    EXPECT_EQ(fired_cancelled, 0);
+}
+
+TEST(FifoFuzz, ConservationAndOrdering)
+{
+    Rng rng(123);
+    EventQueue eq;
+    FifoResource disk(eq, "disk", 3);
+    int completed = 0;
+    const int total = 3000;
+    std::vector<double> completion_of_submission;
+    for (int i = 0; i < total; ++i) {
+        eq.schedule(rng.uniform(0.0, 100.0), [&] {
+            disk.submit(rng.uniform(0.001, 0.05),
+                        [&] { ++completed; });
+        });
+    }
+    eq.runAll();
+    EXPECT_EQ(completed, total);
+    EXPECT_EQ(disk.completed(), std::uint64_t(total));
+    EXPECT_EQ(disk.queued(), 0u);
+    EXPECT_EQ(disk.inService(), 0u);
+    EXPECT_GE(disk.utilization(), 0.0);
+    EXPECT_LE(disk.utilization(), 1.0);
+}
+
+} // namespace

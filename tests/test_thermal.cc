@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the thermal/packaging models (paper Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/airflow.hh"
+#include "thermal/conduction.hh"
+#include "thermal/cooling_cost.hh"
+#include "thermal/enclosure.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::thermal;
+
+TEST(Airflow, PressureDropQuadraticInFlow)
+{
+    FlowPath p{1000.0};
+    EXPECT_DOUBLE_EQ(p.pressureDrop(2.0), 4.0 * p.pressureDrop(1.0));
+}
+
+TEST(Airflow, SeriesResistancesAdd)
+{
+    auto s = FlowPath::series({{100.0}, {200.0}, {300.0}});
+    EXPECT_DOUBLE_EQ(s.k, 600.0);
+}
+
+TEST(Airflow, ParallelIdenticalPathsQuarterResistance)
+{
+    // Two identical paths in parallel: k/4 (flow splits evenly and
+    // deltaP is quadratic).
+    auto p = FlowPath::parallel({{400.0}, {400.0}});
+    EXPECT_DOUBLE_EQ(p.k, 100.0);
+}
+
+TEST(Airflow, DuctScalesWithLengthAndArea)
+{
+    auto base = FlowPath::duct(0.75, 0.0019);
+    auto longer = FlowPath::duct(1.5, 0.0019);
+    auto wider = FlowPath::duct(0.75, 0.0038);
+    EXPECT_NEAR(longer.k, 2.0 * base.k, 1e-9);
+    EXPECT_NEAR(wider.k, base.k / 4.0, 1e-6);
+}
+
+TEST(Airflow, RequiredFlowSensibleHeat)
+{
+    // ~1 kW at 10 K rise needs roughly 0.086 m^3/s of air.
+    double q = requiredFlow(1000.0, 10.0);
+    EXPECT_NEAR(q, 1000.0 / (1.16 * 1007.0 * 10.0), 1e-12);
+}
+
+TEST(Airflow, FanPowerAndEfficiency)
+{
+    FlowPath p{2.0e4};
+    double q = 0.03;
+    double fp = fanPower(p, q);
+    EXPECT_NEAR(fp, 2.0e4 * 0.03 * 0.03 * 0.03 / 0.35, 1e-9);
+    EXPECT_GT(coolingEfficiency(p, 340.0, 10.0), 1.0);
+}
+
+TEST(Airflow, InvalidArgsPanic)
+{
+    EXPECT_THROW(requiredFlow(100.0, 0.0), PanicError);
+    EXPECT_THROW(fanPower(FlowPath{1.0}, 1.0, 0.0), PanicError);
+    EXPECT_THROW(FlowPath::series({}), PanicError);
+}
+
+TEST(Conduction, HeatPipeIsThreeTimesCopper)
+{
+    auto cu = Spreader::copper(0.05, 2e-4);
+    auto hp = Spreader::heatPipe(0.05, 2e-4);
+    EXPECT_NEAR(cu.resistance() / hp.resistance(), 3.0, 1e-9);
+}
+
+TEST(Conduction, SinkResistanceFallsWithFlow)
+{
+    HeatSink sink{0.05, 25.0, 0.6};
+    EXPECT_LT(sink.resistance(2.0), sink.resistance(1.0));
+    EXPECT_GT(sink.resistance(0.5), sink.resistance(1.0));
+}
+
+TEST(Conduction, MaxDissipationBudget)
+{
+    auto hp = Spreader::heatPipe(0.09, 2e-4);
+    HeatSink sink{0.13, 25.0, 0.6};
+    double w = maxDissipation(hp, sink, 35.0);
+    EXPECT_GT(w, 25.0); // must support a 25 W module
+}
+
+TEST(Enclosure, DensityMatchesPaper)
+{
+    // 40 conventional 1U servers; 320 blades (8 x 5U enclosures of
+    // 40); ~1250 aggregated micro-blade modules per rack.
+    EXPECT_EQ(makeEnclosure(PackagingDesign::Conventional1U)
+                  .systemsPerRack(),
+              40u);
+    EXPECT_EQ(makeEnclosure(PackagingDesign::DualEntry).systemsPerRack(),
+              320u);
+    unsigned agg = makeEnclosure(PackagingDesign::AggregatedMicroblade)
+                       .systemsPerRack();
+    EXPECT_GE(agg, 1200u);
+    EXPECT_LE(agg, 1300u);
+}
+
+TEST(Enclosure, DualEntryGainRoughlyTwoX)
+{
+    // Paper Section 3.3: the packaging optimizations have the
+    // potential to improve cooling efficiencies by ~2X (dual entry).
+    double gain = coolingGainOverBaseline(PackagingDesign::DualEntry);
+    EXPECT_GT(gain, 1.5);
+    EXPECT_LT(gain, 2.7);
+}
+
+TEST(Enclosure, AggregatedGainRoughlyFourX)
+{
+    double gain =
+        coolingGainOverBaseline(PackagingDesign::AggregatedMicroblade);
+    EXPECT_GT(gain, 3.2);
+    EXPECT_LT(gain, 5.0);
+}
+
+TEST(Enclosure, ConventionalGainIsOne)
+{
+    EXPECT_NEAR(coolingGainOverBaseline(PackagingDesign::Conventional1U),
+                1.0, 1e-9);
+}
+
+TEST(Enclosure, AggregationBeatsDiscreteCooling)
+{
+    auto a = analyzeAggregation(4);
+    EXPECT_GT(a.aggregatedMaxW, a.discreteMaxW);
+    EXPECT_GE(a.aggregatedMaxW, 25.0); // supports the 25 W module
+}
+
+TEST(CoolingCost, L1ScalesInverselyWithGain)
+{
+    cost::BurdenedPowerParams base;
+    auto adjusted = applyCoolingGain(base, 2.0);
+    EXPECT_DOUBLE_EQ(adjusted.l1, base.l1 / 2.0);
+    EXPECT_DOUBLE_EQ(adjusted.k1, base.k1);
+    EXPECT_LT(adjusted.burdenMultiplier(), base.burdenMultiplier());
+}
+
+TEST(CoolingCost, DesignsReduceBurden)
+{
+    cost::BurdenedPowerParams base;
+    auto dual = applyCooling(base, PackagingDesign::DualEntry);
+    auto agg = applyCooling(base, PackagingDesign::AggregatedMicroblade);
+    EXPECT_LT(dual.burdenMultiplier(), base.burdenMultiplier());
+    EXPECT_LT(agg.burdenMultiplier(), dual.burdenMultiplier());
+}
+
+TEST(CoolingCost, PackagingHardwareFactors)
+{
+    auto conv = packagingHardware(PackagingDesign::Conventional1U);
+    EXPECT_DOUBLE_EQ(conv.fanCostFactor, 1.0);
+    auto agg = packagingHardware(PackagingDesign::AggregatedMicroblade);
+    EXPECT_LT(agg.fanCostFactor, 1.0);
+    EXPECT_LT(agg.fanPowerFactor, 1.0);
+}
+
+TEST(Enclosure, Names)
+{
+    EXPECT_EQ(to_string(PackagingDesign::DualEntry), "dual-entry");
+    EXPECT_EQ(to_string(PackagingDesign::AggregatedMicroblade),
+              "aggregated-microblade");
+}
+
+/** Fan-efficiency sweep: cooling efficiency is monotone in fan eff. */
+class FanEfficiencySweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(FanEfficiencySweep, MonotoneInFanEfficiency)
+{
+    FlowPath p{2e4};
+    double lower = coolingEfficiency(p, 200.0, 10.0, GetParam());
+    double higher =
+        coolingEfficiency(p, 200.0, 10.0, GetParam() + 0.1);
+    EXPECT_LT(lower, higher);
+}
+
+INSTANTIATE_TEST_SUITE_P(Efficiencies, FanEfficiencySweep,
+                         ::testing::Values(0.2, 0.3, 0.4, 0.5));
+
+} // namespace

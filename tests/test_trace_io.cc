@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for trace persistence (text and binary round trips).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "memblade/trace_io.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::memblade;
+
+std::vector<PageId>
+sampleTrace()
+{
+    auto profile = profileFor(workloads::Benchmark::Webmail);
+    return generateTrace(profile, 5000, Rng(42));
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    auto trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceText(ss, trace);
+    auto back = readTraceText(ss);
+    EXPECT_EQ(back, trace);
+}
+
+TEST(TraceIo, TextSkipsCommentsAndBlanks)
+{
+    std::stringstream ss;
+    ss << "# header\n\n12\n# mid comment\n 34 \n";
+    auto t = readTraceText(ss);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0], 12u);
+    EXPECT_EQ(t[1], 34u);
+}
+
+TEST(TraceIo, TextRejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "12\nnot-a-number\n";
+    EXPECT_THROW(readTraceText(ss), FatalError);
+    std::stringstream ss2;
+    ss2 << "12x\n";
+    EXPECT_THROW(readTraceText(ss2), FatalError);
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    auto trace = sampleTrace();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeTraceBinary(ss, trace);
+    auto back = readTraceBinary(ss);
+    EXPECT_EQ(back, trace);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    ss << "NOPE and more";
+    EXPECT_THROW(readTraceBinary(ss), FatalError);
+}
+
+TEST(TraceIo, BinaryRejectsTruncation)
+{
+    auto trace = sampleTrace();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeTraceBinary(ss, trace);
+    std::string data = ss.str();
+    data.resize(data.size() / 2);
+    std::stringstream cut(data,
+                          std::ios::in | std::ios::binary);
+    EXPECT_THROW(readTraceBinary(cut), FatalError);
+}
+
+TEST(TraceIo, FileRoundTripBothFormats)
+{
+    auto trace = sampleTrace();
+    std::string text_path = "/tmp/wsc_test_trace.trace";
+    std::string bin_path = "/tmp/wsc_test_trace.btrace";
+    saveTrace(text_path, trace);
+    saveTrace(bin_path, trace);
+    EXPECT_EQ(loadTrace(text_path), trace);
+    EXPECT_EQ(loadTrace(bin_path), trace);
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+TEST(TraceIo, UnknownExtensionFatal)
+{
+    EXPECT_THROW(saveTrace("/tmp/x.csv", sampleTrace()), FatalError);
+    EXPECT_THROW(loadTrace("/tmp/x.csv"), FatalError);
+}
+
+TEST(TraceIo, ReplayMatchesGeneratorPath)
+{
+    // Replaying a materialized trace gives identical statistics to
+    // streaming the same generator directly.
+    auto profile = profileFor(workloads::Benchmark::Ytube);
+    auto trace = generateTrace(profile, 50000, Rng(9));
+    std::size_t frames =
+        std::size_t(double(profile.footprintPages) * 0.25);
+
+    auto from_file = replayTrace(trace, frames, PolicyKind::Lru, 5);
+
+    TwoLevelMemory direct(frames, PolicyKind::Lru, Rng(5));
+    TraceGenerator gen(profile, Rng(9));
+    direct.replay(gen, 50000);
+
+    EXPECT_EQ(from_file.accesses, direct.stats().accesses);
+    EXPECT_EQ(from_file.misses, direct.stats().misses);
+    EXPECT_EQ(from_file.coldMisses, direct.stats().coldMisses);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the util module: logging, tables, strings, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace wsc;
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+    try {
+        panic("specific message");
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("specific message"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    // The two error classes must stay distinguishable for callers.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("x");
+            } catch (const PanicError &) {
+                FAIL() << "fatal() must not throw PanicError";
+            }
+        },
+        FatalError);
+}
+
+TEST(Logging, WarnCountsAndRespectsLevel)
+{
+    Logger::resetWarnCount();
+    Logger::setLevel(LogLevel::Silent);
+    warn("suppressed but counted");
+    EXPECT_EQ(Logger::warnCount(), 1u);
+    Logger::setLevel(LogLevel::Warn);
+}
+
+TEST(Logging, AssertMacroPanicsWithMessage)
+{
+    EXPECT_THROW(WSC_ASSERT(1 == 2, "math broke: " << 42), PanicError);
+    EXPECT_NO_THROW(WSC_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t({"System", "Watt"});
+    t.addRow({"srvr1", "340"});
+    t.addRow({"emb2", "35"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::string s = t.str();
+    EXPECT_NE(s.find("srvr1"), std::string::npos);
+    EXPECT_NE(s.find("340"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+TEST(Table, CsvOutputQuotesCommas)
+{
+    Table t({"name", "value"});
+    t.addRow({"a,b", "1"});
+    std::ostringstream ss;
+    t.printCsv(ss);
+    EXPECT_NE(ss.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, SeparatorExcludedFromRowCount)
+{
+    Table t({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableFormat, Percent)
+{
+    EXPECT_EQ(fmtPct(1.33), "133%");
+    EXPECT_EQ(fmtPct(0.675, 1), "67.5%");
+}
+
+TEST(TableFormat, Dollars)
+{
+    EXPECT_EQ(fmtDollars(5758.0), "$5,758");
+    EXPECT_EQ(fmtDollars(120.4), "$120");
+    EXPECT_EQ(fmtDollars(1234567.0), "$1,234,567");
+    EXPECT_EQ(fmtDollars(-42.0), "-$42");
+}
+
+TEST(TableFormat, Fixed)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(2.0, 0), "2");
+}
+
+TEST(Strings, SplitJoinRoundTrip)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, SplitTrailingDelimiter)
+{
+    auto parts = split("a,", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, LowerAndPrefix)
+{
+    EXPECT_EQ(toLower("WebSearch"), "websearch");
+    EXPECT_TRUE(startsWith("websearch", "web"));
+    EXPECT_FALSE(startsWith("web", "websearch"));
+}
+
+TEST(Units, EnergyConversions)
+{
+    // 1 kW sustained for a year is 8.76 MWh.
+    EXPECT_NEAR(units::energyMWh(1000.0, 1.0), 8.76, 1e-9);
+    EXPECT_NEAR(units::wattHoursToMWh(500.0, 2.0), 0.001, 1e-12);
+}
+
+TEST(Rng, DeterministicWithSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng a(42);
+    Rng child = a.split();
+    // The child stream must differ from the parent's continuation.
+    bool any_diff = false;
+    Rng parent_copy(42);
+    (void)parent_copy.raw()(); // consume the split draw
+    for (int i = 0; i < 10; ++i)
+        any_diff |= (child.uniform() != parent_copy.uniform());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(3, 9);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, ExponentialMeanApproximation)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+} // namespace

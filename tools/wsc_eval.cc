@@ -1,0 +1,157 @@
+/**
+ * @file
+ * wsc_eval: command-line design evaluator.
+ *
+ * Composes a design from flags (platform, packaging, memory sharing,
+ * storage), evaluates it across the benchmark suite, and prints
+ * absolute metrics plus ratios against a baseline platform.
+ *
+ * Examples:
+ *   wsc_eval --system emb1
+ *   wsc_eval --design n2 --baseline srvr1
+ *   wsc_eval --system desk --packaging dual-entry \
+ *            --memory-sharing dynamic --storage laptop-flash --csv
+ */
+
+#include <iostream>
+
+#include "core/design.hh"
+#include "core/evaluator.hh"
+#include "core/report.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+namespace {
+
+platform::SystemClass
+parseSystem(const std::string &name)
+{
+    for (auto cls : platform::allSystemClasses)
+        if (platform::to_string(cls) == name)
+            return cls;
+    fatal("unknown system '" + name +
+          "' (srvr1|srvr2|desk|mobl|emb1|emb2)");
+}
+
+DesignConfig
+buildDesign(const ArgParser &args)
+{
+    std::string named = args.get("design");
+    if (named == "n1")
+        return DesignConfig::n1();
+    if (named == "n2")
+        return DesignConfig::n2();
+    if (!named.empty())
+        fatal("unknown design '" + named + "' (n1|n2 or use --system)");
+
+    auto design =
+        DesignConfig::baseline(parseSystem(args.get("system")));
+
+    std::string packaging = args.get("packaging");
+    if (packaging == "dual-entry")
+        design.packaging = thermal::PackagingDesign::DualEntry;
+    else if (packaging == "aggregated")
+        design.packaging =
+            thermal::PackagingDesign::AggregatedMicroblade;
+    else if (packaging != "conventional")
+        fatal("unknown packaging '" + packaging +
+              "' (conventional|dual-entry|aggregated)");
+
+    std::string sharing = args.get("memory-sharing");
+    if (sharing == "static")
+        design.memorySharing = memblade::Provisioning::Static;
+    else if (sharing == "dynamic")
+        design.memorySharing = memblade::Provisioning::Dynamic;
+    else if (sharing != "none")
+        fatal("unknown memory-sharing '" + sharing +
+              "' (none|static|dynamic)");
+
+    std::string storage = args.get("storage");
+    if (storage == "laptop")
+        design.storage = flashcache::StorageOption::remoteLaptop();
+    else if (storage == "laptop-flash")
+        design.storage = flashcache::StorageOption::remoteLaptopFlash();
+    else if (storage == "laptop2-flash")
+        design.storage =
+            flashcache::StorageOption::remoteLaptop2Flash();
+    else if (storage != "platform")
+        fatal("unknown storage '" + storage +
+              "' (platform|laptop|laptop-flash|laptop2-flash)");
+
+    // Compose a descriptive name so evaluator caching stays distinct.
+    design.name = args.get("system");
+    if (packaging != "conventional")
+        design.name += "+" + packaging;
+    if (sharing != "none")
+        design.name += "+mem-" + sharing;
+    if (storage != "platform")
+        design.name += "+" + storage;
+    return design;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("wsc_eval",
+                   "evaluate a warehouse-computing server design "
+                   "across the benchmark suite");
+    args.addOption("system", "platform class when composing a design",
+                   "srvr2")
+        .addOption("design", "named design (n1|n2) overriding --system",
+                   "")
+        .addOption("packaging",
+                   "conventional|dual-entry|aggregated", "conventional")
+        .addOption("memory-sharing", "none|static|dynamic", "none")
+        .addOption("storage",
+                   "platform|laptop|laptop-flash|laptop2-flash",
+                   "platform")
+        .addOption("baseline", "baseline platform for ratios", "srvr1")
+        .addOption("tariff", "electricity tariff, $/MWh", "100")
+        .addOption("activity", "activity factor (0, 1]", "0.75")
+        .addFlag("csv", "emit CSV instead of an aligned table");
+
+    try {
+        if (!args.parse(argc, argv))
+            return 0;
+
+        EvaluatorParams params;
+        params.burden.tariffPerMWh = args.getDouble("tariff");
+        params.burden.activityFactor = args.getDouble("activity");
+        DesignEvaluator evaluator(params);
+
+        auto design = buildDesign(args);
+        auto baseline =
+            DesignConfig::baseline(parseSystem(args.get("baseline")));
+
+        Table t({"Benchmark", "Perf", "Watts", "TCO-$",
+                 "Perf rel " + baseline.name,
+                 "Perf/TCO-$ rel " + baseline.name});
+        for (auto b : workloads::allBenchmarks) {
+            auto m = evaluator.evaluate(design, b);
+            auto rel = evaluator.evaluateRelative(design, baseline, b);
+            t.addRow({workloads::to_string(b), fmtF(m.perf, 3),
+                      fmtF(m.watts, 1), fmtDollars(m.tcoDollars),
+                      fmtPct(rel.perf),
+                      fmtPct(rel.perfPerTcoDollar)});
+        }
+        auto agg = evaluator.aggregateRelative(design, baseline);
+        t.addSeparator();
+        t.addRow({"HMean", "-", "-", "-", fmtPct(agg.perf),
+                  fmtPct(agg.perfPerTcoDollar)});
+
+        std::cout << "Design: " << design.name << "\n\n";
+        if (args.flag("csv"))
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * wsc_experiments: print the experiment registry.
+ *
+ * Lists every reproduced paper artifact and extension study with the
+ * bench binary that regenerates it — the machine-readable index
+ * behind DESIGN.md and EXPERIMENTS.md.
+ *
+ * Examples:
+ *   wsc_experiments
+ *   wsc_experiments --kind paper-figure
+ *   wsc_experiments --csv
+ */
+
+#include <iostream>
+
+#include "core/experiments.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::core;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("wsc_experiments",
+                   "list the reproduction's experiment registry");
+    args.addOption("kind",
+                   "filter: paper-table|paper-figure|paper-claim|"
+                   "extension|all",
+                   "all")
+        .addFlag("csv", "emit CSV instead of an aligned table");
+
+    try {
+        if (!args.parse(argc, argv))
+            return 0;
+        std::string kind = args.get("kind");
+
+        Table t({"Id", "Kind", "Title", "Bench", "Paper reference"});
+        for (const auto &e : allExperiments()) {
+            if (kind != "all" && to_string(e.kind) != kind)
+                continue;
+            t.addRow({e.id, to_string(e.kind), e.title, e.benchTarget,
+                      e.paperReference.empty() ? "-"
+                                               : e.paperReference});
+        }
+        if (t.rowCount() == 0)
+            fatal("no experiments of kind '" + kind + "'");
+        if (args.flag("csv"))
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * wsc_memblade: trace-driven memory-blade analysis tool.
+ *
+ * Replays a page trace — either a synthetic trace for one of the
+ * benchmark profiles or a user-supplied trace file (.trace text /
+ * .btrace binary) — through the two-level memory simulator and
+ * reports miss rates, slowdowns per link, and blade-sharing limits.
+ *
+ * Examples:
+ *   wsc_memblade --benchmark websearch --local 0.25
+ *   wsc_memblade --trace /path/app.trace --frames 120000 --policy lru
+ *   wsc_memblade --benchmark ytube --generate /tmp/ytube.btrace
+ */
+
+#include <iostream>
+
+#include "memblade/contention.hh"
+#include "memblade/trace_io.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace wsc;
+using namespace wsc::memblade;
+
+namespace {
+
+workloads::Benchmark
+parseBenchmark(const std::string &name)
+{
+    for (auto b : workloads::allBenchmarks)
+        if (workloads::to_string(b) == name)
+            return b;
+    fatal("unknown benchmark '" + name +
+          "' (websearch|webmail|ytube|mapred-wc|mapred-wr)");
+}
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "lru")
+        return PolicyKind::Lru;
+    if (name == "random")
+        return PolicyKind::Random;
+    if (name == "clock")
+        return PolicyKind::Clock;
+    fatal("unknown policy '" + name + "' (lru|random|clock)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("wsc_memblade",
+                   "trace-driven two-level memory analysis");
+    args.addOption("benchmark",
+                   "synthetic profile to replay "
+                   "(websearch|webmail|ytube|mapred-wc|mapred-wr)",
+                   "websearch")
+        .addOption("trace", "replay this trace file instead", "")
+        .addOption("frames",
+                   "local frames when replaying a trace file", "100000")
+        .addOption("local",
+                   "local fraction of the footprint (synthetic mode)",
+                   "0.25")
+        .addOption("policy", "lru|random|clock", "random")
+        .addOption("accesses", "synthetic trace length", "2000000")
+        .addOption("seed", "RNG seed", "42")
+        .addOption("generate",
+                   "write the synthetic trace to this file and exit",
+                   "");
+
+    try {
+        if (!args.parse(argc, argv))
+            return 0;
+
+        auto policy = parsePolicy(args.get("policy"));
+        auto seed = std::uint64_t(args.getDouble("seed"));
+
+        ReplayStats stats;
+        double touch_rate = 0.0;
+        std::string label;
+
+        if (!args.get("trace").empty()) {
+            auto trace = loadTrace(args.get("trace"));
+            auto frames = std::size_t(args.getDouble("frames"));
+            stats = replayTrace(trace, frames, policy, seed);
+            label = args.get("trace");
+            std::cout << "Replayed " << trace.size()
+                      << " accesses from " << label << "\n";
+        } else {
+            auto b = parseBenchmark(args.get("benchmark"));
+            auto profile = profileFor(b);
+            auto n = std::uint64_t(args.getDouble("accesses"));
+            if (!args.get("generate").empty()) {
+                auto trace = generateTrace(profile, n, Rng(seed));
+                saveTrace(args.get("generate"), trace);
+                std::cout << "Wrote " << trace.size()
+                          << " accesses to " << args.get("generate")
+                          << "\n";
+                return 0;
+            }
+            stats = replayProfile(profile, args.getDouble("local"),
+                                  policy, n, seed);
+            touch_rate = profile.touchesPerSecond;
+            label = profile.name;
+        }
+
+        Table t({"Statistic", "Value"});
+        t.addRow({"Accesses", std::to_string(stats.accesses)});
+        t.addRow({"Misses (remote fetches)",
+                  std::to_string(stats.misses)});
+        t.addRow({"Cold (first-touch) misses",
+                  std::to_string(stats.coldMisses)});
+        t.addRow({"Miss rate", fmtPct(stats.missRate(), 2)});
+        t.addRow({"Warm miss rate", fmtPct(stats.warmMissRate(), 2)});
+        t.print(std::cout);
+
+        if (touch_rate > 0.0) {
+            auto profile =
+                profileFor(parseBenchmark(args.get("benchmark")));
+            std::cout << "\nSlowdowns (touch rate "
+                      << fmtF(touch_rate, 0) << "/s):\n";
+            Table s({"Link", "Slowdown"});
+            for (auto link :
+                 {RemoteLink::pcieX4(), RemoteLink::cbf(),
+                  RemoteLink::cbfWithSetup()}) {
+                s.addRow({link.name,
+                          fmtPct(slowdown(stats, profile, link), 2)});
+            }
+            s.print(std::cout);
+
+            double base = contendedSlowdown(stats, profile,
+                                            RemoteLink::pcieX4(), 1,
+                                            BladeLinkParams{});
+            if (base > 0.0) {
+                unsigned max_share = maxServersPerBlade(
+                    stats, profile, RemoteLink::pcieX4(), 1.5 * base,
+                    BladeLinkParams{}, 4096);
+                std::cout << "\nServers per blade at <=1.5x the "
+                             "uncontended slowdown: "
+                          << max_share << "\n";
+            }
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
