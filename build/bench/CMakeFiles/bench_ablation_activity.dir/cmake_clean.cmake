@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_activity.dir/bench_ablation_activity.cc.o"
+  "CMakeFiles/bench_ablation_activity.dir/bench_ablation_activity.cc.o.d"
+  "bench_ablation_activity"
+  "bench_ablation_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

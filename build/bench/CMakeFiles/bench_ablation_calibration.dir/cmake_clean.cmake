@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_calibration.dir/bench_ablation_calibration.cc.o"
+  "CMakeFiles/bench_ablation_calibration.dir/bench_ablation_calibration.cc.o.d"
+  "bench_ablation_calibration"
+  "bench_ablation_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

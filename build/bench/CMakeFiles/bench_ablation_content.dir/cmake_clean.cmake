@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_content.dir/bench_ablation_content.cc.o"
+  "CMakeFiles/bench_ablation_content.dir/bench_ablation_content.cc.o.d"
+  "bench_ablation_content"
+  "bench_ablation_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

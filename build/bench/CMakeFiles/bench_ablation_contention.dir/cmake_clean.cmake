@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cc.o"
+  "CMakeFiles/bench_ablation_contention.dir/bench_ablation_contention.cc.o.d"
+  "bench_ablation_contention"
+  "bench_ablation_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dispatch.dir/bench_ablation_dispatch.cc.o"
+  "CMakeFiles/bench_ablation_dispatch.dir/bench_ablation_dispatch.cc.o.d"
+  "bench_ablation_dispatch"
+  "bench_ablation_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

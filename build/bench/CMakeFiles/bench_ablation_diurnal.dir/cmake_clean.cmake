@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diurnal.dir/bench_ablation_diurnal.cc.o"
+  "CMakeFiles/bench_ablation_diurnal.dir/bench_ablation_diurnal.cc.o.d"
+  "bench_ablation_diurnal"
+  "bench_ablation_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_driver.dir/bench_ablation_driver.cc.o"
+  "CMakeFiles/bench_ablation_driver.dir/bench_ablation_driver.cc.o.d"
+  "bench_ablation_driver"
+  "bench_ablation_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_facility.dir/bench_ablation_facility.cc.o"
+  "CMakeFiles/bench_ablation_facility.dir/bench_ablation_facility.cc.o.d"
+  "bench_ablation_facility"
+  "bench_ablation_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flash.dir/bench_ablation_flash.cc.o"
+  "CMakeFiles/bench_ablation_flash.dir/bench_ablation_flash.cc.o.d"
+  "bench_ablation_flash"
+  "bench_ablation_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localmem.dir/bench_ablation_localmem.cc.o"
+  "CMakeFiles/bench_ablation_localmem.dir/bench_ablation_localmem.cc.o.d"
+  "bench_ablation_localmem"
+  "bench_ablation_localmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scaleout.dir/bench_ablation_scaleout.cc.o"
+  "CMakeFiles/bench_ablation_scaleout.dir/bench_ablation_scaleout.cc.o.d"
+  "bench_ablation_scaleout"
+  "bench_ablation_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tariff.dir/bench_ablation_tariff.cc.o"
+  "CMakeFiles/bench_ablation_tariff.dir/bench_ablation_tariff.cc.o.d"
+  "bench_ablation_tariff"
+  "bench_ablation_tariff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tariff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

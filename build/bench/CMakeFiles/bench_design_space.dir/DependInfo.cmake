@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_design_space.cc" "bench/CMakeFiles/bench_design_space.dir/bench_design_space.cc.o" "gcc" "bench/CMakeFiles/bench_design_space.dir/bench_design_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flashcache/CMakeFiles/wsc_flashcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/wsc_perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/memblade/CMakeFiles/wsc_memblade.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/wsc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/wsc_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

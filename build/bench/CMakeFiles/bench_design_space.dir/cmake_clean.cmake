@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_space.dir/bench_design_space.cc.o"
+  "CMakeFiles/bench_design_space.dir/bench_design_space.cc.o.d"
+  "bench_design_space"
+  "bench_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

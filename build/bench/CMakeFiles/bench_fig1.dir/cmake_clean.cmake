@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1.dir/bench_fig1.cc.o"
+  "CMakeFiles/bench_fig1.dir/bench_fig1.cc.o.d"
+  "bench_fig1"
+  "bench_fig1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mix.dir/bench_mix.cc.o"
+  "CMakeFiles/bench_mix.dir/bench_mix.cc.o.d"
+  "bench_mix"
+  "bench_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec36.dir/bench_sec36.cc.o"
+  "CMakeFiles/bench_sec36.dir/bench_sec36.cc.o.d"
+  "bench_sec36"
+  "bench_sec36.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec36.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

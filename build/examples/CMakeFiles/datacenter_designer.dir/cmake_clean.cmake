@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_designer.dir/datacenter_designer.cpp.o"
+  "CMakeFiles/datacenter_designer.dir/datacenter_designer.cpp.o.d"
+  "datacenter_designer"
+  "datacenter_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_blade_walkthrough.dir/memory_blade_walkthrough.cpp.o"
+  "CMakeFiles/memory_blade_walkthrough.dir/memory_blade_walkthrough.cpp.o.d"
+  "memory_blade_walkthrough"
+  "memory_blade_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_blade_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

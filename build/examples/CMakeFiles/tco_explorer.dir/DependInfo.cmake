@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tco_explorer.cpp" "examples/CMakeFiles/tco_explorer.dir/tco_explorer.cpp.o" "gcc" "examples/CMakeFiles/tco_explorer.dir/tco_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/wsc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/wsc_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

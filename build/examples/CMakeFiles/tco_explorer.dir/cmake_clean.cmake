@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_explorer.dir/tco_explorer.cpp.o"
+  "CMakeFiles/tco_explorer.dir/tco_explorer.cpp.o.d"
+  "tco_explorer"
+  "tco_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

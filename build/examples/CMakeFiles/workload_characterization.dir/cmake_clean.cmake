@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_characterization.dir/workload_characterization.cpp.o"
+  "CMakeFiles/workload_characterization.dir/workload_characterization.cpp.o.d"
+  "workload_characterization"
+  "workload_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

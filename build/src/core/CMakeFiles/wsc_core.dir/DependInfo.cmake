@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/wsc_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/design.cc" "src/core/CMakeFiles/wsc_core.dir/design.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/design.cc.o.d"
+  "/root/repo/src/core/design_space.cc" "src/core/CMakeFiles/wsc_core.dir/design_space.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/design_space.cc.o.d"
+  "/root/repo/src/core/diurnal.cc" "src/core/CMakeFiles/wsc_core.dir/diurnal.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/diurnal.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/wsc_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/wsc_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/experiments.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/wsc_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/mix.cc" "src/core/CMakeFiles/wsc_core.dir/mix.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/mix.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/wsc_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/report.cc.o.d"
+  "/root/repo/src/core/scaleout.cc" "src/core/CMakeFiles/wsc_core.dir/scaleout.cc.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/scaleout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/wsc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/wsc_perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memblade/CMakeFiles/wsc_memblade.dir/DependInfo.cmake"
+  "/root/repo/build/src/flashcache/CMakeFiles/wsc_flashcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/wsc_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

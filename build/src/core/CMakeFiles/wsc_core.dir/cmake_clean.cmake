@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_core.dir/cluster.cc.o"
+  "CMakeFiles/wsc_core.dir/cluster.cc.o.d"
+  "CMakeFiles/wsc_core.dir/design.cc.o"
+  "CMakeFiles/wsc_core.dir/design.cc.o.d"
+  "CMakeFiles/wsc_core.dir/design_space.cc.o"
+  "CMakeFiles/wsc_core.dir/design_space.cc.o.d"
+  "CMakeFiles/wsc_core.dir/diurnal.cc.o"
+  "CMakeFiles/wsc_core.dir/diurnal.cc.o.d"
+  "CMakeFiles/wsc_core.dir/evaluator.cc.o"
+  "CMakeFiles/wsc_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/wsc_core.dir/experiments.cc.o"
+  "CMakeFiles/wsc_core.dir/experiments.cc.o.d"
+  "CMakeFiles/wsc_core.dir/metrics.cc.o"
+  "CMakeFiles/wsc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/wsc_core.dir/mix.cc.o"
+  "CMakeFiles/wsc_core.dir/mix.cc.o.d"
+  "CMakeFiles/wsc_core.dir/report.cc.o"
+  "CMakeFiles/wsc_core.dir/report.cc.o.d"
+  "CMakeFiles/wsc_core.dir/scaleout.cc.o"
+  "CMakeFiles/wsc_core.dir/scaleout.cc.o.d"
+  "libwsc_core.a"
+  "libwsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/burdened_power.cc" "src/cost/CMakeFiles/wsc_cost.dir/burdened_power.cc.o" "gcc" "src/cost/CMakeFiles/wsc_cost.dir/burdened_power.cc.o.d"
+  "/root/repo/src/cost/facility.cc" "src/cost/CMakeFiles/wsc_cost.dir/facility.cc.o" "gcc" "src/cost/CMakeFiles/wsc_cost.dir/facility.cc.o.d"
+  "/root/repo/src/cost/tco.cc" "src/cost/CMakeFiles/wsc_cost.dir/tco.cc.o" "gcc" "src/cost/CMakeFiles/wsc_cost.dir/tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

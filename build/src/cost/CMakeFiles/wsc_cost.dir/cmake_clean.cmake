@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_cost.dir/burdened_power.cc.o"
+  "CMakeFiles/wsc_cost.dir/burdened_power.cc.o.d"
+  "CMakeFiles/wsc_cost.dir/facility.cc.o"
+  "CMakeFiles/wsc_cost.dir/facility.cc.o.d"
+  "CMakeFiles/wsc_cost.dir/tco.cc.o"
+  "CMakeFiles/wsc_cost.dir/tco.cc.o.d"
+  "libwsc_cost.a"
+  "libwsc_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

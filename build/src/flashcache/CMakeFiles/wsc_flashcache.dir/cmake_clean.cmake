@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_flashcache.dir/devices.cc.o"
+  "CMakeFiles/wsc_flashcache.dir/devices.cc.o.d"
+  "CMakeFiles/wsc_flashcache.dir/flash_cache.cc.o"
+  "CMakeFiles/wsc_flashcache.dir/flash_cache.cc.o.d"
+  "CMakeFiles/wsc_flashcache.dir/io_trace.cc.o"
+  "CMakeFiles/wsc_flashcache.dir/io_trace.cc.o.d"
+  "CMakeFiles/wsc_flashcache.dir/storage.cc.o"
+  "CMakeFiles/wsc_flashcache.dir/storage.cc.o.d"
+  "libwsc_flashcache.a"
+  "libwsc_flashcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_flashcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wsc_flashcache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memblade/blade.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/blade.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/blade.cc.o.d"
+  "/root/repo/src/memblade/contention.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/contention.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/contention.cc.o.d"
+  "/root/repo/src/memblade/hybrid.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/hybrid.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/hybrid.cc.o.d"
+  "/root/repo/src/memblade/latency.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/latency.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/latency.cc.o.d"
+  "/root/repo/src/memblade/page_sharing.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/page_sharing.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/page_sharing.cc.o.d"
+  "/root/repo/src/memblade/replacement.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/replacement.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/replacement.cc.o.d"
+  "/root/repo/src/memblade/trace.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/trace.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/trace.cc.o.d"
+  "/root/repo/src/memblade/trace_io.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/trace_io.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/trace_io.cc.o.d"
+  "/root/repo/src/memblade/two_level.cc" "src/memblade/CMakeFiles/wsc_memblade.dir/two_level.cc.o" "gcc" "src/memblade/CMakeFiles/wsc_memblade.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/wsc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

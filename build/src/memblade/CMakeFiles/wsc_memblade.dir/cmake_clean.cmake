@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_memblade.dir/blade.cc.o"
+  "CMakeFiles/wsc_memblade.dir/blade.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/contention.cc.o"
+  "CMakeFiles/wsc_memblade.dir/contention.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/hybrid.cc.o"
+  "CMakeFiles/wsc_memblade.dir/hybrid.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/latency.cc.o"
+  "CMakeFiles/wsc_memblade.dir/latency.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/page_sharing.cc.o"
+  "CMakeFiles/wsc_memblade.dir/page_sharing.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/replacement.cc.o"
+  "CMakeFiles/wsc_memblade.dir/replacement.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/trace.cc.o"
+  "CMakeFiles/wsc_memblade.dir/trace.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/trace_io.cc.o"
+  "CMakeFiles/wsc_memblade.dir/trace_io.cc.o.d"
+  "CMakeFiles/wsc_memblade.dir/two_level.cc.o"
+  "CMakeFiles/wsc_memblade.dir/two_level.cc.o.d"
+  "libwsc_memblade.a"
+  "libwsc_memblade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_memblade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

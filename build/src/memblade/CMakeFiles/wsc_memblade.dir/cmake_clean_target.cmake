@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsc_memblade.a"
+)

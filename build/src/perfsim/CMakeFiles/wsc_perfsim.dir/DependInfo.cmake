@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfsim/batch_runner.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/batch_runner.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/batch_runner.cc.o.d"
+  "/root/repo/src/perfsim/calibration.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/calibration.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/calibration.cc.o.d"
+  "/root/repo/src/perfsim/closed_loop.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/closed_loop.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/closed_loop.cc.o.d"
+  "/root/repo/src/perfsim/cluster_sim.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/cluster_sim.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/perfsim/perf_eval.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/perf_eval.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/perf_eval.cc.o.d"
+  "/root/repo/src/perfsim/server_sim.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/server_sim.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/server_sim.cc.o.d"
+  "/root/repo/src/perfsim/throughput.cc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/throughput.cc.o" "gcc" "src/perfsim/CMakeFiles/wsc_perfsim.dir/throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wsc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/wsc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_perfsim.dir/batch_runner.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/batch_runner.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/calibration.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/calibration.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/closed_loop.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/closed_loop.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/cluster_sim.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/perf_eval.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/perf_eval.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/server_sim.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/server_sim.cc.o.d"
+  "CMakeFiles/wsc_perfsim.dir/throughput.cc.o"
+  "CMakeFiles/wsc_perfsim.dir/throughput.cc.o.d"
+  "libwsc_perfsim.a"
+  "libwsc_perfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wsc_perfsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_platform.dir/catalog.cc.o"
+  "CMakeFiles/wsc_platform.dir/catalog.cc.o.d"
+  "CMakeFiles/wsc_platform.dir/components.cc.o"
+  "CMakeFiles/wsc_platform.dir/components.cc.o.d"
+  "CMakeFiles/wsc_platform.dir/server_config.cc.o"
+  "CMakeFiles/wsc_platform.dir/server_config.cc.o.d"
+  "libwsc_platform.a"
+  "libwsc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

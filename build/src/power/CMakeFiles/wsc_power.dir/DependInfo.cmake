@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/proportional.cc" "src/power/CMakeFiles/wsc_power.dir/proportional.cc.o" "gcc" "src/power/CMakeFiles/wsc_power.dir/proportional.cc.o.d"
+  "/root/repo/src/power/rack_power.cc" "src/power/CMakeFiles/wsc_power.dir/rack_power.cc.o" "gcc" "src/power/CMakeFiles/wsc_power.dir/rack_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

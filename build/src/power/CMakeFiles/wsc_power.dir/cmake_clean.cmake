@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_power.dir/proportional.cc.o"
+  "CMakeFiles/wsc_power.dir/proportional.cc.o.d"
+  "CMakeFiles/wsc_power.dir/rack_power.cc.o"
+  "CMakeFiles/wsc_power.dir/rack_power.cc.o.d"
+  "libwsc_power.a"
+  "libwsc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributions.cc" "src/sim/CMakeFiles/wsc_sim.dir/distributions.cc.o" "gcc" "src/sim/CMakeFiles/wsc_sim.dir/distributions.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/wsc_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/wsc_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/queueing.cc" "src/sim/CMakeFiles/wsc_sim.dir/queueing.cc.o" "gcc" "src/sim/CMakeFiles/wsc_sim.dir/queueing.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/sim/CMakeFiles/wsc_sim.dir/resources.cc.o" "gcc" "src/sim/CMakeFiles/wsc_sim.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

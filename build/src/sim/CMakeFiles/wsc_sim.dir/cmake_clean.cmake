@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_sim.dir/distributions.cc.o"
+  "CMakeFiles/wsc_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/wsc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/wsc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/wsc_sim.dir/queueing.cc.o"
+  "CMakeFiles/wsc_sim.dir/queueing.cc.o.d"
+  "CMakeFiles/wsc_sim.dir/resources.cc.o"
+  "CMakeFiles/wsc_sim.dir/resources.cc.o.d"
+  "libwsc_sim.a"
+  "libwsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

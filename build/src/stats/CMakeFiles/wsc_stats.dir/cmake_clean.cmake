@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_stats.dir/histogram.cc.o"
+  "CMakeFiles/wsc_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/wsc_stats.dir/means.cc.o"
+  "CMakeFiles/wsc_stats.dir/means.cc.o.d"
+  "CMakeFiles/wsc_stats.dir/percentile.cc.o"
+  "CMakeFiles/wsc_stats.dir/percentile.cc.o.d"
+  "libwsc_stats.a"
+  "libwsc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/airflow.cc" "src/thermal/CMakeFiles/wsc_thermal.dir/airflow.cc.o" "gcc" "src/thermal/CMakeFiles/wsc_thermal.dir/airflow.cc.o.d"
+  "/root/repo/src/thermal/conduction.cc" "src/thermal/CMakeFiles/wsc_thermal.dir/conduction.cc.o" "gcc" "src/thermal/CMakeFiles/wsc_thermal.dir/conduction.cc.o.d"
+  "/root/repo/src/thermal/cooling_cost.cc" "src/thermal/CMakeFiles/wsc_thermal.dir/cooling_cost.cc.o" "gcc" "src/thermal/CMakeFiles/wsc_thermal.dir/cooling_cost.cc.o.d"
+  "/root/repo/src/thermal/enclosure.cc" "src/thermal/CMakeFiles/wsc_thermal.dir/enclosure.cc.o" "gcc" "src/thermal/CMakeFiles/wsc_thermal.dir/enclosure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/wsc_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wsc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

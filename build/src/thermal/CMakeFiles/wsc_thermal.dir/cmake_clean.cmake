@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_thermal.dir/airflow.cc.o"
+  "CMakeFiles/wsc_thermal.dir/airflow.cc.o.d"
+  "CMakeFiles/wsc_thermal.dir/conduction.cc.o"
+  "CMakeFiles/wsc_thermal.dir/conduction.cc.o.d"
+  "CMakeFiles/wsc_thermal.dir/cooling_cost.cc.o"
+  "CMakeFiles/wsc_thermal.dir/cooling_cost.cc.o.d"
+  "CMakeFiles/wsc_thermal.dir/enclosure.cc.o"
+  "CMakeFiles/wsc_thermal.dir/enclosure.cc.o.d"
+  "libwsc_thermal.a"
+  "libwsc_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_util.dir/args.cc.o"
+  "CMakeFiles/wsc_util.dir/args.cc.o.d"
+  "CMakeFiles/wsc_util.dir/logging.cc.o"
+  "CMakeFiles/wsc_util.dir/logging.cc.o.d"
+  "CMakeFiles/wsc_util.dir/strings.cc.o"
+  "CMakeFiles/wsc_util.dir/strings.cc.o.d"
+  "CMakeFiles/wsc_util.dir/table.cc.o"
+  "CMakeFiles/wsc_util.dir/table.cc.o.d"
+  "libwsc_util.a"
+  "libwsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

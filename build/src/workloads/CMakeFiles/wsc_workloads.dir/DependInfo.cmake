@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/mapreduce.cc" "src/workloads/CMakeFiles/wsc_workloads.dir/mapreduce.cc.o" "gcc" "src/workloads/CMakeFiles/wsc_workloads.dir/mapreduce.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/wsc_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/wsc_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/webmail.cc" "src/workloads/CMakeFiles/wsc_workloads.dir/webmail.cc.o" "gcc" "src/workloads/CMakeFiles/wsc_workloads.dir/webmail.cc.o.d"
+  "/root/repo/src/workloads/websearch.cc" "src/workloads/CMakeFiles/wsc_workloads.dir/websearch.cc.o" "gcc" "src/workloads/CMakeFiles/wsc_workloads.dir/websearch.cc.o.d"
+  "/root/repo/src/workloads/ytube.cc" "src/workloads/CMakeFiles/wsc_workloads.dir/ytube.cc.o" "gcc" "src/workloads/CMakeFiles/wsc_workloads.dir/ytube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

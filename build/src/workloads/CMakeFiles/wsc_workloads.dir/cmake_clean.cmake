@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_workloads.dir/mapreduce.cc.o"
+  "CMakeFiles/wsc_workloads.dir/mapreduce.cc.o.d"
+  "CMakeFiles/wsc_workloads.dir/suite.cc.o"
+  "CMakeFiles/wsc_workloads.dir/suite.cc.o.d"
+  "CMakeFiles/wsc_workloads.dir/webmail.cc.o"
+  "CMakeFiles/wsc_workloads.dir/webmail.cc.o.d"
+  "CMakeFiles/wsc_workloads.dir/websearch.cc.o"
+  "CMakeFiles/wsc_workloads.dir/websearch.cc.o.d"
+  "CMakeFiles/wsc_workloads.dir/ytube.cc.o"
+  "CMakeFiles/wsc_workloads.dir/ytube.cc.o.d"
+  "libwsc_workloads.a"
+  "libwsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

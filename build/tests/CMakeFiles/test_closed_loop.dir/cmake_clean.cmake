@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closed_loop.dir/test_closed_loop.cc.o"
+  "CMakeFiles/test_closed_loop.dir/test_closed_loop.cc.o.d"
+  "test_closed_loop"
+  "test_closed_loop.pdb"
+  "test_closed_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

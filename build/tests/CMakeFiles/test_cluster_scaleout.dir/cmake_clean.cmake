@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_scaleout.dir/test_cluster_scaleout.cc.o"
+  "CMakeFiles/test_cluster_scaleout.dir/test_cluster_scaleout.cc.o.d"
+  "test_cluster_scaleout"
+  "test_cluster_scaleout.pdb"
+  "test_cluster_scaleout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contention.dir/test_contention.cc.o"
+  "CMakeFiles/test_contention.dir/test_contention.cc.o.d"
+  "test_contention"
+  "test_contention.pdb"
+  "test_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

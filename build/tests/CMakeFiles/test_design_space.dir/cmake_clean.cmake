@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_space.dir/test_design_space.cc.o"
+  "CMakeFiles/test_design_space.dir/test_design_space.cc.o.d"
+  "test_design_space"
+  "test_design_space.pdb"
+  "test_design_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facility.dir/test_facility.cc.o"
+  "CMakeFiles/test_facility.dir/test_facility.cc.o.d"
+  "test_facility"
+  "test_facility.pdb"
+  "test_facility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flashcache.dir/test_flashcache.cc.o"
+  "CMakeFiles/test_flashcache.dir/test_flashcache.cc.o.d"
+  "test_flashcache"
+  "test_flashcache.pdb"
+  "test_flashcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flashcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

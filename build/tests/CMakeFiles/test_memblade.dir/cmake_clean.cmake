@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memblade.dir/test_memblade.cc.o"
+  "CMakeFiles/test_memblade.dir/test_memblade.cc.o.d"
+  "test_memblade"
+  "test_memblade.pdb"
+  "test_memblade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memblade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mix.dir/test_mix.cc.o"
+  "CMakeFiles/test_mix.dir/test_mix.cc.o.d"
+  "test_mix"
+  "test_mix.pdb"
+  "test_mix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

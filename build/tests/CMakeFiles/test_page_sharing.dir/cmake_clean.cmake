@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_sharing.dir/test_page_sharing.cc.o"
+  "CMakeFiles/test_page_sharing.dir/test_page_sharing.cc.o.d"
+  "test_page_sharing"
+  "test_page_sharing.pdb"
+  "test_page_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfsim.dir/test_perfsim.cc.o"
+  "CMakeFiles/test_perfsim.dir/test_perfsim.cc.o.d"
+  "test_perfsim"
+  "test_perfsim.pdb"
+  "test_perfsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

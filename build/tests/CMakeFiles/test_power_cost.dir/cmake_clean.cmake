@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_cost.dir/test_power_cost.cc.o"
+  "CMakeFiles/test_power_cost.dir/test_power_cost.cc.o.d"
+  "test_power_cost"
+  "test_power_cost.pdb"
+  "test_power_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proportional.dir/test_proportional.cc.o"
+  "CMakeFiles/test_proportional.dir/test_proportional.cc.o.d"
+  "test_proportional"
+  "test_proportional.pdb"
+  "test_proportional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proportional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queueing.dir/test_queueing.cc.o"
+  "CMakeFiles/test_queueing.dir/test_queueing.cc.o.d"
+  "test_queueing"
+  "test_queueing.pdb"
+  "test_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal.dir/test_thermal.cc.o"
+  "CMakeFiles/test_thermal.dir/test_thermal.cc.o.d"
+  "test_thermal"
+  "test_thermal.pdb"
+  "test_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

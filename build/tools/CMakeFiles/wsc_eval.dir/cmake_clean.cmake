@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_eval.dir/wsc_eval.cc.o"
+  "CMakeFiles/wsc_eval.dir/wsc_eval.cc.o.d"
+  "wsc_eval"
+  "wsc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

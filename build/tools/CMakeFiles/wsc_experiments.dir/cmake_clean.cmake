@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_experiments.dir/wsc_experiments.cc.o"
+  "CMakeFiles/wsc_experiments.dir/wsc_experiments.cc.o.d"
+  "wsc_experiments"
+  "wsc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_memblade_tool.dir/wsc_memblade.cc.o"
+  "CMakeFiles/wsc_memblade_tool.dir/wsc_memblade.cc.o.d"
+  "wsc_memblade"
+  "wsc_memblade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_memblade_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
