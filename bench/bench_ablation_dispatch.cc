@@ -24,24 +24,25 @@ using namespace wsc::perfsim;
 namespace {
 
 void
-scalingTable(workloads::InteractiveWorkload &w, const StationConfig &st)
+scalingTable(workloads::Benchmark benchmark, const StationConfig &st)
 {
     SearchParams sp;
     sp.iterations = 6;
     sp.window.warmupSeconds = 3.0;
     sp.window.measureSeconds = 15.0;
+    // All nine (servers, policy) points are independent simulations;
+    // the sweep fans them out over the global thread pool.
+    auto points = sweepClusterScaling(
+        benchmark, st, {2u, 4u, 8u},
+        {DispatchPolicy::RoundRobin, DispatchPolicy::Random,
+         DispatchPolicy::LeastOutstanding},
+        sp, 1000);
     Table t({"Servers", "round-robin", "random", "least-outstanding"});
-    for (unsigned servers : {2u, 4u, 8u}) {
-        std::vector<std::string> row{std::to_string(servers)};
-        for (auto policy :
-             {DispatchPolicy::RoundRobin, DispatchPolicy::Random,
-              DispatchPolicy::LeastOutstanding}) {
-            Rng rng(1000 + servers + unsigned(policy));
-            auto r = measureClusterScaling(w, st, servers, policy, sp,
-                                           rng);
-            row.push_back(fmtPct(r.scalingEfficiency));
-        }
-        t.addRow(std::move(row));
+    for (std::size_t i = 0; i < points.size(); i += 3) {
+        t.addRow({std::to_string(points[i].servers),
+                  fmtPct(points[i].result.scalingEfficiency),
+                  fmtPct(points[i + 1].result.scalingEfficiency),
+                  fmtPct(points[i + 2].result.scalingEfficiency)});
     }
     t.print(std::cout);
 }
@@ -59,12 +60,12 @@ main()
     std::cout << "ytube on emb1 (IO-bound):\n";
     workloads::Ytube yt;
     auto st_yt = ev.stationsFor(emb1, yt.traits(), {});
-    scalingTable(yt, st_yt);
+    scalingTable(workloads::Benchmark::Ytube, st_yt);
 
     std::cout << "\nwebsearch on emb1 (CPU-bound):\n";
     workloads::Websearch ws;
     auto st_ws = ev.stationsFor(emb1, ws.traits(), {});
-    scalingTable(ws, st_ws);
+    scalingTable(workloads::Benchmark::Websearch, st_ws);
 
     std::cout << "\nReading: sensible dispatch sustains >90% of the "
                  "ideal N-fold aggregate, supporting the paper's "

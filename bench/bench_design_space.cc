@@ -33,14 +33,12 @@ main()
     auto designs = enumerateDesigns();
     auto baseline = DesignConfig::baseline(platform::SystemClass::Srvr1);
 
-    // Stage 1: screen on the fast batch benchmark.
-    std::vector<double> perf(designs.size());
-    std::vector<double> tco(designs.size());
-    for (std::size_t i = 0; i < designs.size(); ++i) {
-        auto m = ev.evaluate(designs[i], workloads::Benchmark::MapredWc);
-        perf[i] = m.perf;
-        tco[i] = m.tcoDollars;
-    }
+    // Stage 1: screen on the fast batch benchmark, fanned out over
+    // the global thread pool (WSC_THREADS overrides the width).
+    auto sweep =
+        evaluateSweep(ev, designs, workloads::Benchmark::MapredWc);
+    const auto &perf = sweep.perf;
+    const auto &tco = sweep.tco;
     auto frontier = paretoFrontier(perf, tco);
     std::cout << "Pareto frontier (mapred-wc capability vs per-server "
                  "TCO): "

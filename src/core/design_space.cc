@@ -80,6 +80,27 @@ enumerateDesigns(const DesignSpaceOptions &options)
     return out;
 }
 
+SweepResult
+evaluateSweep(DesignEvaluator &evaluator,
+              const std::vector<DesignConfig> &designs,
+              workloads::Benchmark benchmark, ThreadPool *pool)
+{
+    std::vector<EvalCell> cells;
+    cells.reserve(designs.size());
+    for (const auto &d : designs)
+        cells.push_back({d, benchmark});
+
+    SweepResult r;
+    r.metrics = evaluator.evaluateBatch(cells, pool);
+    r.perf.reserve(r.metrics.size());
+    r.tco.reserve(r.metrics.size());
+    for (const auto &m : r.metrics) {
+        r.perf.push_back(m.perf);
+        r.tco.push_back(m.tcoDollars);
+    }
+    return r;
+}
+
 std::vector<std::size_t>
 paretoFrontier(const std::vector<double> &objective,
                const std::vector<double> &cost)

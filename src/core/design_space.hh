@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/design.hh"
+#include "core/evaluator.hh"
 
 namespace wsc {
 namespace core {
@@ -35,6 +36,24 @@ struct DesignSpaceOptions {
  */
 std::vector<DesignConfig> enumerateDesigns(
     const DesignSpaceOptions &options = {});
+
+/** Screening results of a one-benchmark design-space sweep. */
+struct SweepResult {
+    std::vector<EfficiencyMetrics> metrics; //!< per design, in order
+    std::vector<double> perf;               //!< metrics[i].perf
+    std::vector<double> tco;                //!< metrics[i].tcoDollars
+};
+
+/**
+ * Evaluate every design on one benchmark, fanning the independent
+ * simulations out over @p pool (nullptr selects the global pool).
+ * Results are in design order and bit-identical to evaluating each
+ * design serially with the same evaluator seed.
+ */
+SweepResult evaluateSweep(DesignEvaluator &evaluator,
+                          const std::vector<DesignConfig> &designs,
+                          workloads::Benchmark benchmark,
+                          ThreadPool *pool = nullptr);
 
 /**
  * Indices of the Pareto-optimal points when maximizing @p objective

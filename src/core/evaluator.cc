@@ -1,5 +1,6 @@
 #include "core/evaluator.hh"
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace wsc {
@@ -33,16 +34,14 @@ DesignEvaluator::burdenFor(const DesignConfig &design) const
 }
 
 double
-DesignEvaluator::measurePerf(const DesignConfig &design,
-                             workloads::Benchmark benchmark)
+DesignEvaluator::computePerf(const DesignConfig &design,
+                             workloads::Benchmark benchmark) const
 {
-    auto key = std::make_pair(design.name, benchmark);
-    auto it = perfCache.find(key);
-    if (it != perfCache.end())
-        return it->second;
-
     perfsim::PerfOptions opts;
-    opts.seed = params_.seed;
+    // The seed hangs off the cell's identity, not the evaluation
+    // order, so parallel and serial sweeps agree bit-for-bit.
+    opts.seed = seedFor(params_.seed, design.name,
+                        std::uint64_t(benchmark));
     opts.search = params_.search;
     if (design.storage) {
         auto storage_opts =
@@ -57,14 +56,26 @@ DesignEvaluator::measurePerf(const DesignConfig &design,
         opts.serviceSlowdown =
             1.0 + design.bladeParams.assumedSlowdown;
 
-    double value = perf.measure(design.server, benchmark, opts).perf;
+    return perf.measure(design.server, benchmark, opts).perf;
+}
+
+double
+DesignEvaluator::measurePerf(const DesignConfig &design,
+                             workloads::Benchmark benchmark)
+{
+    auto key = std::make_pair(design.name, benchmark);
+    auto it = perfCache.find(key);
+    if (it != perfCache.end())
+        return it->second;
+
+    double value = computePerf(design, benchmark);
     perfCache[key] = value;
     return value;
 }
 
 EfficiencyMetrics
-DesignEvaluator::evaluate(const DesignConfig &design,
-                          workloads::Benchmark benchmark)
+DesignEvaluator::metricsWithPerf(const DesignConfig &design,
+                                 double perfValue) const
 {
     auto server = adjustedServer(design);
     cost::TcoModel tco(params_.rackCost, params_.rackPower,
@@ -73,12 +84,59 @@ DesignEvaluator::evaluate(const DesignConfig &design,
                                server.hardwarePower());
 
     EfficiencyMetrics m;
-    m.perf = measurePerf(design, benchmark);
+    m.perf = perfValue;
     m.watts = result.wattsWithSwitch;
     m.infDollars = result.infrastructure();
     m.pcDollars = result.powerCooling();
     m.tcoDollars = result.tco();
     return m;
+}
+
+EfficiencyMetrics
+DesignEvaluator::evaluate(const DesignConfig &design,
+                          workloads::Benchmark benchmark)
+{
+    return metricsWithPerf(design, measurePerf(design, benchmark));
+}
+
+std::vector<EfficiencyMetrics>
+DesignEvaluator::evaluateBatch(const std::vector<EvalCell> &cells,
+                               ThreadPool *pool)
+{
+    // Resolve cache hits and dedupe repeated cells on the calling
+    // thread; only genuinely new simulations fan out.
+    std::vector<std::size_t> missCell; //!< cell index per simulation
+    std::map<std::pair<std::string, workloads::Benchmark>, std::size_t>
+        missFor; //!< cell key -> index into missCell/missPerf
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        auto key = std::make_pair(cells[i].design.name,
+                                  cells[i].benchmark);
+        if (perfCache.count(key) || missFor.count(key))
+            continue;
+        missFor[key] = missCell.size();
+        missCell.push_back(i);
+    }
+
+    std::vector<double> missPerf(missCell.size());
+    parallelFor(
+        missCell.size(),
+        [&](std::size_t j) {
+            const auto &cell = cells[missCell[j]];
+            missPerf[j] = computePerf(cell.design, cell.benchmark);
+        },
+        pool);
+
+    for (std::size_t j = 0; j < missCell.size(); ++j) {
+        const auto &cell = cells[missCell[j]];
+        perfCache[{cell.design.name, cell.benchmark}] = missPerf[j];
+    }
+
+    std::vector<EfficiencyMetrics> out;
+    out.reserve(cells.size());
+    for (const auto &cell : cells)
+        out.push_back(metricsWithPerf(
+            cell.design, measurePerf(cell.design, cell.benchmark)));
+    return out;
 }
 
 RelativeMetrics
@@ -94,10 +152,19 @@ RelativeMetrics
 DesignEvaluator::aggregateRelative(const DesignConfig &design,
                                    const DesignConfig &baseline)
 {
+    // One batch covering both designs across the suite, so the
+    // underlying simulations run in parallel on first touch.
+    std::vector<EvalCell> cells;
+    for (auto b : workloads::allBenchmarks) {
+        cells.push_back({design, b});
+        cells.push_back({baseline, b});
+    }
+    auto metrics = evaluateBatch(cells);
+
     std::vector<RelativeMetrics> per_workload;
-    for (auto b : workloads::allBenchmarks)
+    for (std::size_t i = 0; i < cells.size(); i += 2)
         per_workload.push_back(
-            evaluateRelative(design, baseline, b));
+            relativeTo(metrics[i], metrics[i + 1]));
     return harmonicAggregate(per_workload);
 }
 

@@ -20,6 +20,7 @@
 #include "cost/tco.hh"
 #include "perfsim/perf_eval.hh"
 #include "thermal/cooling_cost.hh"
+#include "util/thread_pool.hh"
 #include "workloads/suite.hh"
 
 namespace wsc {
@@ -34,11 +35,25 @@ struct EvaluatorParams {
     std::uint64_t seed = 12345;
 };
 
+/** One (design, benchmark) cell of a sweep. */
+struct EvalCell {
+    DesignConfig design;
+    workloads::Benchmark benchmark;
+};
+
 /**
  * Evaluates design points across the benchmark suite.
  *
  * Performance measurements are cached per (design name, benchmark), so
  * repeated metric queries do not re-run the simulation.
+ *
+ * Threading model: a DesignEvaluator instance is not thread-safe;
+ * parallelism goes through evaluateBatch(), which fans independent
+ * cells out over a ThreadPool and merges results (and the perf cache)
+ * back on the calling thread. Each cell's simulation seed is derived
+ * from (base seed, design name, benchmark) — never from execution
+ * order — so batch results are bit-identical to evaluating the same
+ * cells serially, for any thread count.
  */
 class DesignEvaluator
 {
@@ -48,6 +63,16 @@ class DesignEvaluator
     /** Full metrics of one (design, benchmark) cell. */
     EfficiencyMetrics evaluate(const DesignConfig &design,
                                workloads::Benchmark benchmark);
+
+    /**
+     * Evaluate many independent cells, in parallel when @p pool has
+     * more than one thread (nullptr selects the global pool). Cells
+     * already in the perf cache are not re-simulated; duplicate cells
+     * within the batch are simulated once. Results are returned in
+     * cell order and are bit-identical to serial evaluation.
+     */
+    std::vector<EfficiencyMetrics> evaluateBatch(
+        const std::vector<EvalCell> &cells, ThreadPool *pool = nullptr);
 
     /** Relative metrics against a baseline design. */
     RelativeMetrics evaluateRelative(const DesignConfig &design,
@@ -81,6 +106,15 @@ class DesignEvaluator
 
     double measurePerf(const DesignConfig &design,
                        workloads::Benchmark benchmark);
+
+    /** Cache-free simulation of one cell; const and reentrant, so
+     * evaluateBatch can run it from pool workers. */
+    double computePerf(const DesignConfig &design,
+                       workloads::Benchmark benchmark) const;
+
+    /** Cost/power/thermal side of evaluate(), given measured perf. */
+    EfficiencyMetrics metricsWithPerf(const DesignConfig &design,
+                                      double perfValue) const;
 };
 
 } // namespace core

@@ -5,6 +5,7 @@
 #include "perfsim/calibration.hh"
 #include "perfsim/throughput.hh"
 #include "stats/percentile.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace wsc {
@@ -230,6 +231,42 @@ measureClusterScaling(workloads::InteractiveWorkload &workload,
     out.clusterRps = lo;
     out.scalingEfficiency =
         out.clusterRps / (out.singleRps * double(servers));
+    return out;
+}
+
+std::vector<ClusterSweepPoint>
+sweepClusterScaling(workloads::Benchmark benchmark,
+                    const StationConfig &stations,
+                    const std::vector<unsigned> &serverCounts,
+                    const std::vector<DispatchPolicy> &policies,
+                    const SearchParams &params, std::uint64_t baseSeed,
+                    ThreadPool *pool)
+{
+    std::vector<ClusterSweepPoint> out;
+    for (unsigned servers : serverCounts)
+        for (auto policy : policies)
+            out.push_back({servers, policy, {}});
+
+    parallelFor(
+        out.size(),
+        [&](std::size_t i) {
+            auto workload = workloads::makeBenchmark(benchmark);
+            auto *iw = dynamic_cast<workloads::InteractiveWorkload *>(
+                workload.get());
+            WSC_ASSERT(iw, "cluster sweep needs an interactive "
+                           "workload: "
+                               << workloads::to_string(benchmark));
+            // Seed from the point's identity so the sweep decomposes
+            // identically for any thread count.
+            Rng rng(seedFor(baseSeed, "cluster-scaling",
+                            std::uint64_t(benchmark),
+                            std::uint64_t(out[i].servers),
+                            std::uint64_t(out[i].policy)));
+            out[i].result =
+                measureClusterScaling(*iw, stations, out[i].servers,
+                                      out[i].policy, params, rng);
+        },
+        pool);
     return out;
 }
 

@@ -19,12 +19,15 @@
 #ifndef WSC_PERFSIM_CLUSTER_SIM_HH
 #define WSC_PERFSIM_CLUSTER_SIM_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "perfsim/server_sim.hh"
 #include "perfsim/throughput.hh"
+#include "util/thread_pool.hh"
+#include "workloads/suite.hh"
 
 namespace wsc {
 namespace perfsim {
@@ -77,6 +80,31 @@ ClusterScalingResult measureClusterScaling(
     workloads::InteractiveWorkload &workload,
     const StationConfig &stations, unsigned servers,
     DispatchPolicy policy, const SearchParams &params, Rng &rng);
+
+/** One point of a scale-out sweep. */
+struct ClusterSweepPoint {
+    unsigned servers = 0;
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+    ClusterScalingResult result;
+};
+
+/**
+ * Measure cluster scaling over the cross product of @p serverCounts
+ * and @p policies for @p benchmark (which must be interactive).
+ *
+ * Every point is an independent simulation: each gets its own
+ * workload instance and an RNG seeded from (baseSeed, benchmark,
+ * servers, policy), and the points fan out over @p pool (nullptr
+ * selects the global pool). Results are in cross-product order
+ * (serverCounts major, policies minor) and bit-identical to running
+ * the points serially.
+ */
+std::vector<ClusterSweepPoint> sweepClusterScaling(
+    workloads::Benchmark benchmark, const StationConfig &stations,
+    const std::vector<unsigned> &serverCounts,
+    const std::vector<DispatchPolicy> &policies,
+    const SearchParams &params, std::uint64_t baseSeed,
+    ThreadPool *pool = nullptr);
 
 } // namespace perfsim
 } // namespace wsc

@@ -1,9 +1,68 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace wsc {
 namespace sim {
+
+namespace {
+
+/** Compaction is worthwhile only past this many stale entries; below
+ * it the rebuild costs more than the skipped pops save. */
+constexpr std::size_t kCompactMinStale = 64;
+
+/** Default pre-sizing: matches the typical in-flight event count of
+ * the interactive workloads so early runs never reallocate. */
+constexpr std::size_t kDefaultReserve = 1024;
+
+constexpr EventId
+makeId(std::uint32_t slot, std::uint32_t gen)
+{
+    return (EventId(slot) << 32) | gen;
+}
+
+} // namespace
+
+EventQueue::EventQueue()
+{
+    reserve(kDefaultReserve);
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap.reserve(events);
+    slotGen.reserve(events);
+    freeSlots.reserve(events);
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots.empty()) {
+        std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    WSC_ASSERT(slotGen.size() < (std::size_t(1) << 32),
+               "event slot space exhausted");
+    // Generations start at 1 so id 0 (slot 0, gen 0) is never valid.
+    slotGen.push_back(1);
+    return std::uint32_t(slotGen.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    // Invalidates every outstanding handle and heap entry stamped with
+    // the previous generation. Wrap-around after 2^32 tenancies of one
+    // slot is acceptable: a handle that old cannot still be held by a
+    // correct caller.
+    ++slotGen[slot];
+    freeSlots.push_back(slot);
+}
 
 EventId
 EventQueue::schedule(Time when, std::function<void()> action)
@@ -12,36 +71,70 @@ EventQueue::schedule(Time when, std::function<void()> action)
                                                              << " < "
                                                              << now_);
     WSC_ASSERT(action, "null event action");
-    EventId id = nextId++;
-    heap.push(Entry{when, id, std::move(action)});
-    pendingIds.insert(id);
-    return id;
+    std::uint32_t slot = acquireSlot();
+    std::uint32_t gen = slotGen[slot];
+    heap.push_back(
+        Entry{when, nextSeq++, slot, gen, std::move(action)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++live_;
+    return makeId(slot, gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    return pendingIds.erase(id) > 0;
+    std::uint32_t slot = std::uint32_t(id >> 32);
+    std::uint32_t gen = std::uint32_t(id);
+    if (slot >= slotGen.size() || slotGen[slot] != gen)
+        return false; // already dispatched or cancelled
+    releaseSlot(slot);
+    --live_;
+    ++stale_;
+    maybeCompact();
+    return true;
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::maybeCompact()
 {
-    while (!heap.empty() && !pendingIds.count(heap.top().id))
-        heap.pop();
+    // Rebuild once cancelled entries outnumber half the live pending
+    // set (and are numerous enough for the O(n) rebuild to pay off);
+    // keeps heap storage proportional to live events under
+    // schedule/cancel churn instead of growing with cancel volume.
+    if (stale_ < kCompactMinStale || stale_ * 2 <= live_)
+        return;
+    heap.erase(std::remove_if(heap.begin(), heap.end(),
+                              [this](const Entry &e) {
+                                  return !liveEntry(e);
+                              }),
+               heap.end());
+    std::make_heap(heap.begin(), heap.end(), Later{});
+    stale_ = 0;
+}
+
+void
+EventQueue::skipStale()
+{
+    while (!heap.empty() && !liveEntry(heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+        --stale_;
+    }
 }
 
 bool
 EventQueue::step()
 {
-    skipCancelled();
+    skipStale();
     if (heap.empty())
         return false;
     // Move the entry out before popping so the action survives dispatch
     // even if the action schedules further events.
-    Entry e = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
-    pendingIds.erase(e.id);
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry e = std::move(heap.back());
+    heap.pop_back();
+    releaseSlot(e.slot);
+    --live_;
     now_ = e.when;
     ++dispatched_;
     e.action();
@@ -53,8 +146,8 @@ EventQueue::run(Time until)
 {
     std::uint64_t n = 0;
     while (true) {
-        skipCancelled();
-        if (heap.empty() || heap.top().when > until)
+        skipStale();
+        if (heap.empty() || heap.front().when > until)
             break;
         step();
         ++n;

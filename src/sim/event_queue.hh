@@ -11,8 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace wsc {
@@ -21,20 +19,32 @@ namespace sim {
 /** Simulation time, in seconds. */
 using Time = double;
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/**
+ * Opaque handle identifying a scheduled event (for cancellation).
+ *
+ * Encodes (slot, generation): slots are pooled and recycled across
+ * events, and the generation stamp distinguishes the current tenant
+ * from any stale handle to a previous one. 0 is never a valid id.
+ */
 using EventId = std::uint64_t;
 
 /**
  * A deterministic discrete-event queue.
  *
  * Events at equal timestamps dispatch in scheduling order (FIFO), which
- * keeps runs reproducible across platforms. Cancellation is lazy: a
- * cancelled event stays in the heap but is skipped at dispatch.
+ * keeps runs reproducible across platforms. Cancellation is lazy — a
+ * cancelled event's heap entry is skipped at dispatch — but validity is
+ * a generation-stamp comparison rather than a hash lookup, so the
+ * cancel-heavy workloads (webmail session timers, ytube QoS deadlines)
+ * pay two array reads per dispatch instead of an unordered_set probe.
+ * When stale entries pile up past half the heap, a compaction pass
+ * rebuilds the heap without them, bounding memory under
+ * schedule/cancel churn.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
 
     // The queue holds closures that frequently capture `this` of model
     // objects; copying would dangle. Non-copyable, non-movable.
@@ -61,11 +71,11 @@ class EventQueue
     /** Cancel a pending event. Returns false if already run/cancelled. */
     bool cancel(EventId id);
 
-    /** True when no runnable events remain. */
-    bool empty() const { return pendingIds.empty(); }
+    /** True when no runnable events remain. O(1). */
+    bool empty() const { return live_ == 0; }
 
-    /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return pendingIds.size(); }
+    /** Number of pending (non-cancelled) events. O(1). */
+    std::size_t pending() const { return live_; }
 
     /**
      * Dispatch the next event.
@@ -87,10 +97,18 @@ class EventQueue
     /** Total events dispatched over the queue's lifetime. */
     std::uint64_t dispatched() const { return dispatched_; }
 
+    /** Pre-size the heap and slot pool for @p events in flight. */
+    void reserve(std::size_t events);
+
+    /** Stale (cancelled) entries currently occupying heap storage. */
+    std::size_t staleEntries() const { return stale_; }
+
   private:
     struct Entry {
         Time when;
-        EventId id;
+        std::uint64_t seq;   //!< global scheduling order, breaks ties
+        std::uint32_t slot;
+        std::uint32_t gen;
         std::function<void()> action;
     };
 
@@ -98,22 +116,39 @@ class EventQueue
         bool
         operator()(const Entry &a, const Entry &b) const
         {
-            // Min-heap on (time, id); id breaks ties FIFO.
+            // Min-heap on (time, seq); seq breaks ties FIFO.
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
-    /** Ids scheduled but not yet dispatched or cancelled. */
-    std::unordered_set<EventId> pendingIds;
+    /** Heap order maintained manually (std::push_heap/pop_heap) so
+     * compaction can filter the underlying vector in place. */
+    std::vector<Entry> heap;
+    /** Per-slot current generation; a heap entry is live iff its
+     * stamp matches. Bumped on dispatch and on cancel. */
+    std::vector<std::uint32_t> slotGen;
+    std::vector<std::uint32_t> freeSlots;
     Time now_ = 0.0;
-    EventId nextId = 1;
+    std::uint64_t nextSeq = 1;
     std::uint64_t dispatched_ = 0;
+    std::size_t live_ = 0;   //!< scheduled, not yet dispatched/cancelled
+    std::size_t stale_ = 0;  //!< cancelled entries still in the heap
 
-    /** Pop cancelled entries off the heap top. */
-    void skipCancelled();
+    bool liveEntry(const Entry &e) const
+    {
+        return slotGen[e.slot] == e.gen;
+    }
+
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t slot);
+
+    /** Pop stale entries off the heap top. */
+    void skipStale();
+
+    /** Rebuild the heap without stale entries when they dominate. */
+    void maybeCompact();
 };
 
 } // namespace sim

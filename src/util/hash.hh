@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic hashing for per-task RNG seed derivation.
+ *
+ * Parallel sweeps must produce bit-identical results to the serial
+ * order regardless of thread count or scheduling. That holds only when
+ * every independent task derives its RNG seed from *what* it computes
+ * (base seed, design name, workload, ...) and never from *when* or
+ * *where* it runs. These helpers build such seeds: a splitmix64
+ * finalizer over an FNV-1a accumulation of the task's identity.
+ *
+ * Unlike std::hash, the result is specified and stable across
+ * platforms and standard-library implementations, so published
+ * BENCH_*.json numbers reproduce anywhere.
+ */
+
+#ifndef WSC_UTIL_HASH_HH
+#define WSC_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace wsc {
+
+/** splitmix64 finalizer: diffuses all input bits into the output. */
+constexpr std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Fold @p value into accumulator @p h (order-sensitive). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t value)
+{
+    return hashMix(h ^ hashMix(value));
+}
+
+/** Fold a string into accumulator @p h, FNV-1a style. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::string_view s)
+{
+    std::uint64_t fnv = 0xCBF29CE484222325ULL;
+    for (char c : s) {
+        fnv ^= static_cast<unsigned char>(c);
+        fnv *= 0x100000001B3ULL;
+    }
+    return hashCombine(h, fnv);
+}
+
+/**
+ * Derive a task seed from a base seed plus any mix of integral and
+ * string identity components, e.g.
+ * @code
+ *   seedFor(base, design.name, std::uint64_t(benchmark));
+ * @endcode
+ */
+template <typename... Parts>
+constexpr std::uint64_t
+seedFor(std::uint64_t base, Parts &&...parts)
+{
+    std::uint64_t h = hashMix(base);
+    ((h = hashCombine(h, parts)), ...);
+    return h;
+}
+
+} // namespace wsc
+
+#endif // WSC_UTIL_HASH_HH

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -135,6 +137,123 @@ TEST(EventQueue, StepOnEmptyReturnsFalse)
 {
     EventQueue eq;
     EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, CancelSentinelZeroReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(0));
+    eq.schedule(1.0, [] {});
+    EXPECT_FALSE(eq.cancel(0));
+}
+
+TEST(EventQueue, RecycledSlotDoesNotResurrectOldHandle)
+{
+    EventQueue eq;
+    EventId stale = eq.schedule(1.0, [] {});
+    eq.runAll();
+    // The dispatched event's slot is recycled for new events; the old
+    // handle must not cancel any of them.
+    bool ran = false;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(2.0 + i, [&ran] { ran = true; });
+    EXPECT_FALSE(eq.cancel(stale));
+    EXPECT_EQ(eq.pending(), 8u);
+    eq.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CompactionReclaimsCancelledEntries)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(eq.schedule(double(i), [] {}));
+    // Cancel 90%: stale entries far exceed half the live set, so the
+    // compaction pass must kick in and drop them from heap storage.
+    for (int i = 0; i < 1000; ++i)
+        if (i % 10 != 0)
+            eq.cancel(ids[std::size_t(i)]);
+    EXPECT_EQ(eq.pending(), 100u);
+    EXPECT_LT(eq.staleEntries(), 64u);
+    EXPECT_EQ(eq.runAll(), 100u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StressScheduleCancelRunKeepsFifoOrder)
+{
+    // Deterministic churn mixing schedule, cancel, and partial runs;
+    // dispatched events must come out in (time, scheduling order) and
+    // exactly match a straightforward reference model.
+    EventQueue eq;
+    struct Expected {
+        double when;
+        std::uint64_t order; //!< scheduling sequence
+    };
+    std::vector<std::pair<EventId, Expected>> liveModel;
+    std::vector<Expected> dispatchedLog;
+    std::uint64_t order = 0;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return std::uint32_t(lcg >> 33);
+    };
+
+    for (int round = 0; round < 50; ++round) {
+        // Burst of schedules, many at identical timestamps to stress
+        // the FIFO tie-break.
+        for (int i = 0; i < 200; ++i) {
+            double when = eq.now() + double(next() % 8);
+            Expected ex{when, order++};
+            EventId id = eq.schedule(when, [&dispatchedLog, ex] {
+                dispatchedLog.push_back(ex);
+            });
+            liveModel.push_back({id, ex});
+        }
+        // Cancel a pseudo-random half of what is pending.
+        for (std::size_t i = liveModel.size(); i-- > 0;) {
+            if (next() % 2 == 0) {
+                EXPECT_TRUE(eq.cancel(liveModel[i].first));
+                liveModel.erase(liveModel.begin() + long(i));
+            }
+        }
+        EXPECT_EQ(eq.pending(), liveModel.size());
+        // Run a bounded slice of simulated time.
+        double horizon = eq.now() + 3.0;
+        eq.run(horizon);
+        liveModel.erase(
+            std::remove_if(liveModel.begin(), liveModel.end(),
+                           [horizon](const auto &e) {
+                               return e.second.when <= horizon;
+                           }),
+            liveModel.end());
+        EXPECT_EQ(eq.pending(), liveModel.size());
+    }
+    eq.runAll();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+
+    // The dispatch log must be sorted by (when, scheduling order) —
+    // FIFO among ties — with no event dispatched twice.
+    for (std::size_t i = 1; i < dispatchedLog.size(); ++i) {
+        const auto &a = dispatchedLog[i - 1];
+        const auto &b = dispatchedLog[i];
+        EXPECT_TRUE(a.when < b.when ||
+                    (a.when == b.when && a.order < b.order))
+            << "order violation at " << i;
+    }
+    EXPECT_EQ(eq.dispatched(), dispatchedLog.size());
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbPendingEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1.0, [&] { ++count; });
+    eq.reserve(4096);
+    eq.schedule(2.0, [&] { ++count; });
+    eq.runAll();
+    EXPECT_EQ(count, 2);
 }
 
 } // namespace

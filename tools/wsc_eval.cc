@@ -113,11 +113,20 @@ main(int argc, char **argv)
         .addOption("baseline", "baseline platform for ratios", "srvr1")
         .addOption("tariff", "electricity tariff, $/MWh", "100")
         .addOption("activity", "activity factor (0, 1]", "0.75")
+        .addOption("threads",
+                   "worker threads for the simulations "
+                   "(0 = hardware concurrency)",
+                   "0")
         .addFlag("csv", "emit CSV instead of an aligned table");
 
     try {
         if (!args.parse(argc, argv))
             return 0;
+
+        double threads = args.getDouble("threads");
+        if (threads < 0 || threads > 4096)
+            fatal("--threads must be in [0, 4096]");
+        ThreadPool::setGlobalThreads(unsigned(threads));
 
         EvaluatorParams params;
         params.burden.tariffPerMWh = args.getDouble("tariff");
@@ -127,6 +136,16 @@ main(int argc, char **argv)
         auto design = buildDesign(args);
         auto baseline =
             DesignConfig::baseline(parseSystem(args.get("baseline")));
+
+        // Run the whole (design + baseline) x suite matrix as one
+        // parallel batch; the per-benchmark queries below then hit
+        // the evaluator's cache.
+        std::vector<EvalCell> cells;
+        for (auto b : workloads::allBenchmarks) {
+            cells.push_back({design, b});
+            cells.push_back({baseline, b});
+        }
+        evaluator.evaluateBatch(cells);
 
         Table t({"Benchmark", "Perf", "Watts", "TCO-$",
                  "Perf rel " + baseline.name,
