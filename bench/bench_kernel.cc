@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "memblade/replacement.hh"
 #include "memblade/trace.hh"
 #include "sim/distributions.hh"
@@ -32,6 +35,53 @@ BM_EventQueueScheduleDispatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    // Timer-wheel style churn: most scheduled events are cancelled
+    // before firing, which drives the stale-slot compaction path.
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        std::vector<sim::EventId> ids;
+        ids.reserve(1024);
+        for (int i = 0; i < 1024; ++i)
+            ids.push_back(
+                eq.schedule(double(i + 1), [&sink] { ++sink; }));
+        for (int i = 0; i < 1024; ++i)
+            if (i % 8 != 0)
+                eq.cancel(ids[std::size_t(i)]);
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void
+BM_EventQueueTraceEnabled(benchmark::State &state)
+{
+    // Same workload as BM_EventQueueScheduleDispatch but with a live
+    // tracer installed. Compare against that baseline (which runs
+    // with instrumentation compiled in but disabled) to measure the
+    // tracing cost; the disabled-path overhead budget is < 2%.
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t records = 0;
+        eq.setTracer([&records](const sim::EventQueue::TraceRecord &) {
+            ++records;
+        });
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(double(i), [&sink] { ++sink; });
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+        benchmark::DoNotOptimize(records);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueTraceEnabled);
 
 void
 BM_PsResourceChurn(benchmark::State &state)

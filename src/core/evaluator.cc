@@ -1,5 +1,7 @@
 #include "core/evaluator.hh"
 
+#include <chrono>
+
 #include "util/hash.hh"
 #include "util/logging.hh"
 
@@ -33,8 +35,8 @@ DesignEvaluator::burdenFor(const DesignConfig &design) const
     return thermal::applyCooling(params_.burden, design.packaging);
 }
 
-double
-DesignEvaluator::computePerf(const DesignConfig &design,
+CellObservation
+DesignEvaluator::computeCell(const DesignConfig &design,
                              workloads::Benchmark benchmark) const
 {
     perfsim::PerfOptions opts;
@@ -56,21 +58,40 @@ DesignEvaluator::computePerf(const DesignConfig &design,
         opts.serviceSlowdown =
             1.0 + design.bladeParams.assumedSlowdown;
 
-    return perf.measure(design.server, benchmark, opts).perf;
+    CellObservation obs;
+    auto start = std::chrono::steady_clock::now();
+    obs.measurement = perf.measure(design.server, benchmark, opts);
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    obs.wallSeconds = dt.count();
+    metrics_.counter("eval.cells_simulated").add();
+    metrics_.counter("eval.search_probes")
+        .add(obs.measurement.searchProbes);
+    metrics_.counter("eval.events_dispatched")
+        .add(obs.measurement.kernel.dispatched);
+    metrics_.timer("eval.simulate").record(obs.wallSeconds);
+    return obs;
+}
+
+const CellObservation &
+DesignEvaluator::observationFor(const DesignConfig &design,
+                                workloads::Benchmark benchmark)
+{
+    auto key = std::make_pair(design.name, benchmark);
+    auto it = perfCache.find(key);
+    if (it != perfCache.end()) {
+        metrics_.counter("eval.cache_hits").add();
+        return it->second;
+    }
+    return perfCache.emplace(key, computeCell(design, benchmark))
+        .first->second;
 }
 
 double
 DesignEvaluator::measurePerf(const DesignConfig &design,
                              workloads::Benchmark benchmark)
 {
-    auto key = std::make_pair(design.name, benchmark);
-    auto it = perfCache.find(key);
-    if (it != perfCache.end())
-        return it->second;
-
-    double value = computePerf(design, benchmark);
-    perfCache[key] = value;
-    return value;
+    return observationFor(design, benchmark).measurement.perf;
 }
 
 EfficiencyMetrics
@@ -117,18 +138,19 @@ DesignEvaluator::evaluateBatch(const std::vector<EvalCell> &cells,
         missCell.push_back(i);
     }
 
-    std::vector<double> missPerf(missCell.size());
+    std::vector<CellObservation> missObs(missCell.size());
     parallelFor(
         missCell.size(),
         [&](std::size_t j) {
             const auto &cell = cells[missCell[j]];
-            missPerf[j] = computePerf(cell.design, cell.benchmark);
+            missObs[j] = computeCell(cell.design, cell.benchmark);
         },
         pool);
 
     for (std::size_t j = 0; j < missCell.size(); ++j) {
         const auto &cell = cells[missCell[j]];
-        perfCache[{cell.design.name, cell.benchmark}] = missPerf[j];
+        perfCache[{cell.design.name, cell.benchmark}] =
+            std::move(missObs[j]);
     }
 
     std::vector<EfficiencyMetrics> out;

@@ -18,6 +18,7 @@
 #include "core/design.hh"
 #include "core/metrics.hh"
 #include "cost/tco.hh"
+#include "obs/metrics.hh"
 #include "perfsim/perf_eval.hh"
 #include "thermal/cooling_cost.hh"
 #include "util/thread_pool.hh"
@@ -39,6 +40,16 @@ struct EvaluatorParams {
 struct EvalCell {
     DesignConfig design;
     workloads::Benchmark benchmark;
+};
+
+/**
+ * Everything one cell's simulation produced: the full measurement
+ * (latency percentiles, stations, kernel counters) plus the wall-clock
+ * cost of producing it. Cached so report generation never re-simulates.
+ */
+struct CellObservation {
+    perfsim::PerfMeasurement measurement;
+    double wallSeconds = 0.0; //!< nondeterministic; reports can omit
 };
 
 /**
@@ -98,19 +109,35 @@ class DesignEvaluator
 
     const EvaluatorParams &params() const { return params_; }
 
+    /**
+     * Full observation for one cell, simulating on first touch. The
+     * reference stays valid for the evaluator's lifetime (cells are
+     * never evicted).
+     */
+    const CellObservation &observationFor(const DesignConfig &design,
+                                          workloads::Benchmark benchmark);
+
+    /**
+     * Evaluator-level metrics: cells simulated, cache hits, wall-clock
+     * spent simulating. Thread-safe; fed from batch workers too.
+     */
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
   private:
     EvaluatorParams params_;
     perfsim::PerfEvaluator perf;
-    std::map<std::pair<std::string, workloads::Benchmark>, double>
+    std::map<std::pair<std::string, workloads::Benchmark>,
+             CellObservation>
         perfCache;
+    mutable obs::MetricRegistry metrics_;
 
     double measurePerf(const DesignConfig &design,
                        workloads::Benchmark benchmark);
 
     /** Cache-free simulation of one cell; const and reentrant, so
      * evaluateBatch can run it from pool workers. */
-    double computePerf(const DesignConfig &design,
-                       workloads::Benchmark benchmark) const;
+    CellObservation computeCell(const DesignConfig &design,
+                                workloads::Benchmark benchmark) const;
 
     /** Cost/power/thermal side of evaluate(), given measured perf. */
     EfficiencyMetrics metricsWithPerf(const DesignConfig &design,

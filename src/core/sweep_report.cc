@@ -1,0 +1,53 @@
+#include "core/sweep_report.hh"
+
+namespace wsc {
+namespace core {
+
+obs::CellReport
+cellReport(const DesignConfig &design, workloads::Benchmark benchmark,
+           const CellObservation &observation)
+{
+    const perfsim::PerfMeasurement &m = observation.measurement;
+    obs::CellReport c;
+    c.design = design.name;
+    c.benchmark = workloads::to_string(benchmark);
+    c.interactive = m.interactive;
+    c.perf = m.perf;
+    c.sustainableRps = m.sustainableRps;
+    c.makespanSeconds = m.makespanSeconds;
+    c.latency = {m.meanLatency, m.p50Latency, m.p95Latency,
+                 m.p99Latency};
+    c.qosViolationFraction = m.qosViolationFraction;
+    c.qosLatencyLimit = m.qosLatencyLimit;
+    c.bottleneck = m.bottleneck;
+    for (const auto &s : m.stations)
+        c.stations.push_back({s.name, s.utilization, s.completed,
+                              std::uint64_t(s.peakDepth), s.meanDepth});
+    c.kernel = {m.kernel.scheduled, m.kernel.dispatched,
+                m.kernel.cancelled, m.kernel.compactions,
+                std::uint64_t(m.kernel.peakHeap)};
+    c.searchProbes = m.searchProbes;
+    c.wallSeconds = observation.wallSeconds;
+    return c;
+}
+
+obs::SweepReport
+buildSweepReport(DesignEvaluator &evaluator,
+                 const std::vector<EvalCell> &cells,
+                 const std::string &tool, std::uint64_t threads)
+{
+    obs::SweepReport report;
+    report.tool = tool;
+    report.baseSeed = evaluator.params().seed;
+    report.threads = threads;
+    report.cells.reserve(cells.size());
+    for (const auto &cell : cells)
+        report.cells.push_back(cellReport(
+            cell.design, cell.benchmark,
+            evaluator.observationFor(cell.design, cell.benchmark)));
+    report.captureMetrics(evaluator.metrics());
+    return report;
+}
+
+} // namespace core
+} // namespace wsc

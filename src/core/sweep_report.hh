@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bridges design-space evaluation to the observability report format.
+ *
+ * Converts the evaluator's cached per-cell observations into
+ * obs::CellReport entries and assembles a SweepReport carrying the
+ * evaluator's own metrics (cells simulated, cache hits, wall-clock).
+ * Conversion never re-simulates: cells the evaluator has already
+ * computed are read straight from its cache.
+ */
+
+#ifndef WSC_CORE_SWEEP_REPORT_HH
+#define WSC_CORE_SWEEP_REPORT_HH
+
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "obs/run_report.hh"
+
+namespace wsc {
+namespace core {
+
+/** Convert one cached observation into its report form. */
+obs::CellReport cellReport(const DesignConfig &design,
+                           workloads::Benchmark benchmark,
+                           const CellObservation &observation);
+
+/**
+ * Build the full sweep report for @p cells: per-cell reports (from
+ * the evaluator's cache, simulating any cell not yet touched) plus the
+ * evaluator's metric registry snapshots.
+ *
+ * @param tool Name recorded in the report header.
+ * @param threads Worker threads the sweep ran with (0 = unspecified).
+ */
+obs::SweepReport buildSweepReport(DesignEvaluator &evaluator,
+                                  const std::vector<EvalCell> &cells,
+                                  const std::string &tool,
+                                  std::uint64_t threads = 0);
+
+} // namespace core
+} // namespace wsc
+
+#endif // WSC_CORE_SWEEP_REPORT_HH

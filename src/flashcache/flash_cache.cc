@@ -18,6 +18,16 @@ FlashCache::FlashCache(FlashSpec spec, double blockKB)
 void
 FlashCache::insert(BlockId block)
 {
+    // Idempotent on an already-resident block: refresh recency and
+    // stop. The old path evicted a victim, pushed a duplicate list
+    // node, and overwrote the map iterator, orphaning the original
+    // node — a later eviction of that stale node then erased the map
+    // entry out from under the live MRU copy.
+    auto it = map.find(block);
+    if (it != map.end()) {
+        order.splice(order.begin(), order, it->second);
+        return;
+    }
     if (map.size() >= frames) {
         BlockId victim = order.back();
         order.pop_back();
@@ -28,6 +38,12 @@ FlashCache::insert(BlockId block)
     map[block] = order.begin();
     ++stats_.insertions;
     stats_.bytesWrittenToFlash += std::uint64_t(blockBytes);
+}
+
+void
+FlashCache::admit(BlockId block)
+{
+    insert(block);
 }
 
 bool

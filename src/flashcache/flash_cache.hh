@@ -63,10 +63,24 @@ class FlashCache
     /** Write-through of a dirty block (buffered into flash). */
     void writeBlock(BlockId block);
 
+    /**
+     * Admit a block without lookup accounting (e.g. prefetch or cache
+     * pre-population). Idempotent: admitting a resident block only
+     * refreshes its recency, never evicts or duplicates.
+     */
+    void admit(BlockId block);
+
     const CacheStats &stats() const { return stats_; }
 
     std::size_t capacityBlocks() const { return frames; }
     std::size_t residentBlocks() const { return map.size(); }
+
+    /**
+     * Length of the LRU recency list. Class invariant: always equal
+     * to residentBlocks(); exposed so tests can detect duplicate or
+     * orphaned list nodes.
+     */
+    std::size_t lruChainLength() const { return order.size(); }
 
     /**
      * Average program/erase cycles consumed per erase block.

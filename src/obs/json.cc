@@ -1,0 +1,220 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace obs {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out += '\n';
+    out.append(stack.size() * 2, ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    WSC_ASSERT(!rootDone, "JSON document already complete");
+    if (stack.empty())
+        return;
+    Level &top = stack.back();
+    if (top.scope == Scope::Object) {
+        WSC_ASSERT(keyPending, "JSON value in object without a key");
+        keyPending = false;
+        return;
+    }
+    if (top.hasItems)
+        out += ',';
+    top.hasItems = true;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    WSC_ASSERT(!stack.empty() && stack.back().scope == Scope::Object,
+               "JSON key outside an object");
+    WSC_ASSERT(!keyPending, "JSON key after key");
+    Level &top = stack.back();
+    if (top.hasItems)
+        out += ',';
+    top.hasItems = true;
+    indent();
+    out += '"';
+    out += escape(name);
+    out += "\": ";
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    stack.push_back(Level{Scope::Object});
+    out += '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    WSC_ASSERT(!stack.empty() && stack.back().scope == Scope::Object,
+               "unmatched JSON endObject");
+    WSC_ASSERT(!keyPending, "JSON object closed with a dangling key");
+    bool had = stack.back().hasItems;
+    stack.pop_back();
+    if (had) {
+        out += '\n';
+        out.append(stack.size() * 2, ' ');
+    }
+    out += '}';
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    stack.push_back(Level{Scope::Array});
+    out += '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    WSC_ASSERT(!stack.empty() && stack.back().scope == Scope::Array,
+               "unmatched JSON endArray");
+    bool had = stack.back().hasItems;
+    stack.pop_back();
+    if (had) {
+        out += '\n';
+        out.append(stack.size() * 2, ' ');
+    }
+    out += ']';
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    out += '"';
+    out += escape(s);
+    out += '"';
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    if (!std::isfinite(d))
+        return null();
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t n)
+{
+    beforeValue();
+    out += std::to_string(n);
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out += b ? "true" : "false";
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out += "null";
+    if (stack.empty())
+        rootDone = true;
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    WSC_ASSERT(stack.empty() && rootDone,
+               "JSON document incomplete: " << stack.size()
+                                            << " open container(s)");
+    return out;
+}
+
+} // namespace obs
+} // namespace wsc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for run reports.
+ *
+ * The observability layer emits machine-readable reports without an
+ * external JSON dependency; this writer covers exactly what the report
+ * schema needs: nested objects/arrays, strings, numbers, booleans, and
+ * null. Output is deterministic — doubles round-trip via %.17g and
+ * non-finite values serialize as null — so reports produced by
+ * bit-identical sweeps compare equal as text.
+ */
+
+#ifndef WSC_OBS_JSON_HH
+#define WSC_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc {
+namespace obs {
+
+/**
+ * Stack-checked JSON emitter.
+ *
+ * Usage errors (value without a key inside an object, mismatched
+ * end calls, finishing with open containers) panic rather than emit
+ * malformed output. Calls chain:
+ *
+ *   JsonWriter w;
+ *   w.beginObject().key("rps").value(1234.5).endObject();
+ *   std::string text = w.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::uint64_t n);
+    JsonWriter &value(bool b);
+    JsonWriter &null();
+
+    /** Finished document. Panics if containers remain open. */
+    const std::string &str() const;
+
+    /** JSON string escaping (exposed for tests). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Scope { Object, Array };
+
+    struct Level {
+        Scope scope;
+        bool hasItems = false;
+    };
+
+    std::string out;
+    std::vector<Level> stack;
+    bool keyPending = false; //!< key() emitted, value expected
+    bool rootDone = false;
+
+    /** Comma/newline/indent bookkeeping before an item. */
+    void beforeValue();
+    void indent();
+};
+
+} // namespace obs
+} // namespace wsc
+
+#endif // WSC_OBS_JSON_HH

@@ -1,0 +1,92 @@
+#include "obs/metrics.hh"
+
+namespace wsc {
+namespace obs {
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Timer &
+MetricRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    // Snapshot the source first: taking both locks at once would
+    // deadlock if two registries ever merged into each other
+    // concurrently.
+    auto counterSnaps = other.counters();
+    auto gaugeSnaps = other.gauges();
+    auto timerSnaps = other.timers();
+
+    for (const auto &c : counterSnaps)
+        counter(c.name).add(c.value);
+    for (const auto &g : gaugeSnaps)
+        gauge(g.name).raise(g.value);
+    for (const auto &t : timerSnaps) {
+        Timer &dst = timer(t.name);
+        dst.nanos.fetch_add(std::uint64_t(t.seconds * 1e9),
+                            std::memory_order_relaxed);
+        dst.samples.fetch_add(t.count, std::memory_order_relaxed);
+    }
+}
+
+std::vector<MetricRegistry::CounterSnap>
+MetricRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<CounterSnap> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.push_back({name, c->value()});
+    return out;
+}
+
+std::vector<MetricRegistry::GaugeSnap>
+MetricRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<GaugeSnap> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.push_back({name, g->value()});
+    return out;
+}
+
+std::vector<MetricRegistry::TimerSnap>
+MetricRegistry::timers() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TimerSnap> out;
+    out.reserve(timers_.size());
+    for (const auto &[name, t] : timers_)
+        out.push_back({name, t->totalSeconds(), t->count()});
+    return out;
+}
+
+} // namespace obs
+} // namespace wsc

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and wall-clock timers.
+ *
+ * Hot-path updates are lock-free: handles returned by the registry are
+ * plain atomics with stable addresses, so callers hoist the lookup out
+ * of their loops and pay a relaxed atomic op per update. The registry
+ * mutex guards only creation, enumeration, and merge.
+ *
+ * Determinism contract: counters merge by sum and gauges by max, both
+ * order-independent, so a parallel sweep that merges per-worker
+ * registries in any order produces the same totals as a serial run.
+ * Timers measure wall-clock and are inherently nondeterministic; report
+ * writers expose an includeTimings switch so determinism-sensitive
+ * comparisons can exclude them.
+ */
+
+#ifndef WSC_OBS_METRICS_HH
+#define WSC_OBS_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wsc {
+namespace obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v{0};
+};
+
+/** Last-set (or merged-max) level, e.g. peak queue depth. */
+class Gauge
+{
+  public:
+    void set(double x) { v.store(x, std::memory_order_relaxed); }
+
+    /** Raise to @p x if above the current value. */
+    void
+    raise(double x)
+    {
+        double cur = v.load(std::memory_order_relaxed);
+        while (cur < x &&
+               !v.compare_exchange_weak(cur, x,
+                                        std::memory_order_relaxed)) {
+        }
+    }
+
+    double value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v{0.0};
+};
+
+/** Accumulated wall-clock time plus sample count. */
+class Timer
+{
+  public:
+    void
+    record(double seconds)
+    {
+        // Nanosecond integer ticks keep the accumulate atomic.
+        auto ticks = std::uint64_t(seconds * 1e9);
+        nanos.fetch_add(ticks, std::memory_order_relaxed);
+        samples.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    double
+    totalSeconds() const
+    {
+        return double(nanos.load(std::memory_order_relaxed)) * 1e-9;
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return samples.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricRegistry;
+    std::atomic<std::uint64_t> nanos{0};
+    std::atomic<std::uint64_t> samples{0};
+};
+
+/** RAII wall-clock measurement into a Timer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &t)
+        : timer(t), start(std::chrono::steady_clock::now())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        timer.record(dt.count());
+    }
+
+  private:
+    Timer &timer;
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Named metric store.
+ *
+ * Lookup creates on first use and returns a reference with a stable
+ * address (metrics live behind unique_ptr and are never removed), so
+ * handles stay valid for the registry's lifetime.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Find-or-create; thread-safe. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+
+    /**
+     * Fold @p other into this registry: counters and timers add,
+     * gauges take the max. Order-independent, so merging per-worker
+     * registries yields identical totals regardless of thread
+     * interleaving.
+     */
+    void merge(const MetricRegistry &other);
+
+    struct CounterSnap {
+        std::string name;
+        std::uint64_t value;
+    };
+    struct GaugeSnap {
+        std::string name;
+        double value;
+    };
+    struct TimerSnap {
+        std::string name;
+        double seconds;
+        std::uint64_t count;
+    };
+
+    /** Name-sorted snapshots (deterministic iteration order). */
+    std::vector<CounterSnap> counters() const;
+    std::vector<GaugeSnap> gauges() const;
+    std::vector<TimerSnap> timers() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+} // namespace obs
+} // namespace wsc
+
+#endif // WSC_OBS_METRICS_HH

@@ -1,0 +1,164 @@
+#include "obs/run_report.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hh"
+
+namespace wsc {
+namespace obs {
+
+namespace {
+
+void
+writeStation(JsonWriter &w, const StationReport &s)
+{
+    w.beginObject();
+    w.key("name").value(s.name);
+    w.key("utilization").value(s.utilization);
+    w.key("completed").value(s.completed);
+    w.key("peak_depth").value(s.peakDepth);
+    w.key("mean_depth").value(s.meanDepth);
+    w.endObject();
+}
+
+void
+writeKernel(JsonWriter &w, const KernelReport &k)
+{
+    w.beginObject();
+    w.key("scheduled").value(k.scheduled);
+    w.key("dispatched").value(k.dispatched);
+    w.key("cancelled").value(k.cancelled);
+    w.key("compactions").value(k.compactions);
+    w.key("peak_heap").value(k.peakHeap);
+    w.endObject();
+}
+
+void
+writeCell(JsonWriter &w, const CellReport &c, const ReportOptions &opts)
+{
+    w.beginObject();
+    w.key("design").value(c.design);
+    w.key("benchmark").value(c.benchmark);
+    w.key("interactive").value(c.interactive);
+    w.key("perf").value(c.perf);
+    w.key("sustainable_rps").value(c.sustainableRps);
+    w.key("makespan_seconds").value(c.makespanSeconds);
+    w.key("latency");
+    w.beginObject();
+    w.key("mean").value(c.latency.mean);
+    w.key("p50").value(c.latency.p50);
+    w.key("p95").value(c.latency.p95);
+    w.key("p99").value(c.latency.p99);
+    w.endObject();
+    w.key("qos_violation_fraction").value(c.qosViolationFraction);
+    w.key("qos_latency_limit").value(c.qosLatencyLimit);
+    w.key("bottleneck").value(c.bottleneck);
+    w.key("stations");
+    w.beginArray();
+    for (const auto &s : c.stations)
+        writeStation(w, s);
+    w.endArray();
+    w.key("kernel");
+    writeKernel(w, c.kernel);
+    w.key("search_probes").value(c.searchProbes);
+    if (opts.includeTimings)
+        w.key("wall_seconds").value(c.wallSeconds);
+    w.endObject();
+}
+
+} // namespace
+
+SweepRollup
+SweepReport::rollup() const
+{
+    SweepRollup r;
+    r.cells = cells.size();
+    std::map<std::string, std::uint64_t> byStation;
+    for (const auto &c : cells) {
+        r.eventsDispatched += c.kernel.dispatched;
+        r.searchProbes += c.searchProbes;
+        if (!c.bottleneck.empty())
+            ++byStation[c.bottleneck];
+    }
+    for (const auto &[station, count] : byStation)
+        r.bottlenecks.push_back({station, count});
+    return r;
+}
+
+void
+SweepReport::captureMetrics(const MetricRegistry &registry)
+{
+    counters = registry.counters();
+    gauges = registry.gauges();
+    timers = registry.timers();
+}
+
+std::string
+toJson(const CellReport &cell, const ReportOptions &opts)
+{
+    JsonWriter w;
+    writeCell(w, cell, opts);
+    return w.str();
+}
+
+std::string
+toJson(const SweepReport &report, const ReportOptions &opts)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("tool").value(report.tool);
+    w.key("base_seed").value(report.baseSeed);
+    w.key("threads").value(report.threads);
+
+    w.key("cells");
+    w.beginArray();
+    for (const auto &c : report.cells)
+        writeCell(w, c, opts);
+    w.endArray();
+
+    SweepRollup roll = report.rollup();
+    w.key("rollup");
+    w.beginObject();
+    w.key("cells").value(roll.cells);
+    w.key("events_dispatched").value(roll.eventsDispatched);
+    w.key("search_probes").value(roll.searchProbes);
+    w.key("bottlenecks");
+    w.beginArray();
+    for (const auto &b : roll.bottlenecks) {
+        w.beginObject();
+        w.key("station").value(b.station);
+        w.key("cells").value(b.cells);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &c : report.counters)
+        w.key(c.name).value(c.value);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &g : report.gauges)
+        w.key(g.name).value(g.value);
+    w.endObject();
+    if (opts.includeTimings) {
+        w.key("timers");
+        w.beginObject();
+        for (const auto &t : report.timers) {
+            w.key(t.name);
+            w.beginObject();
+            w.key("seconds").value(t.seconds);
+            w.key("count").value(t.count);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace wsc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Structured run reports for design-space sweeps.
+ *
+ * One CellReport per (design x workload) cell captures what the paper's
+ * methodology needs to audit a sweep: the sustainable-RPS operating
+ * point, QoS latency percentiles, the bottleneck station, per-station
+ * utilization/depth, and the DES kernel's own activity counters. A
+ * SweepReport aggregates cells plus a rollup (totals and a bottleneck
+ * histogram) and serializes to JSON.
+ *
+ * Everything except wall-clock timings derives from simulation state,
+ * which is seed-deterministic; serializing with includeTimings=false
+ * therefore yields byte-identical JSON across thread counts, and the
+ * determinism test compares exactly that.
+ */
+
+#ifndef WSC_OBS_RUN_REPORT_HH
+#define WSC_OBS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace wsc {
+namespace obs {
+
+/** Mirror of sim::StationStats, decoupled so obs stays sim-free. */
+struct StationReport {
+    std::string name;
+    double utilization = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t peakDepth = 0;
+    double meanDepth = 0.0;
+};
+
+/** DES kernel activity for one cell (summed over its simulations). */
+struct KernelReport {
+    std::uint64_t scheduled = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t peakHeap = 0;
+};
+
+/** Request latency distribution at the sustainable operating point. */
+struct LatencyReport {
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** One (design x workload) evaluation. */
+struct CellReport {
+    std::string design;
+    std::string benchmark;
+    bool interactive = false;
+
+    /** Paper metric: normalized performance for this cell. */
+    double perf = 0.0;
+    /** Interactive cells: highest load meeting QoS. 0 for batch. */
+    double sustainableRps = 0.0;
+    /** Batch cells: makespan of the fixed job. 0 for interactive. */
+    double makespanSeconds = 0.0;
+
+    LatencyReport latency; //!< seconds, at the sustainable point
+    double qosViolationFraction = 0.0;
+    double qosLatencyLimit = 0.0; //!< seconds; 0 when no QoS applies
+
+    /** Station with the highest utilization at the operating point. */
+    std::string bottleneck;
+    std::vector<StationReport> stations;
+    KernelReport kernel;
+
+    /** Simulation probes the throughput search ran for this cell. */
+    std::uint64_t searchProbes = 0;
+    /** Wall-clock spent evaluating the cell (timing; excludable). */
+    double wallSeconds = 0.0;
+};
+
+/** Sweep-level aggregate, derived from the cells. */
+struct SweepRollup {
+    std::uint64_t cells = 0;
+    std::uint64_t eventsDispatched = 0;
+    std::uint64_t searchProbes = 0;
+    /** How often each station limited a design, name-sorted. */
+    struct BottleneckCount {
+        std::string station;
+        std::uint64_t cells = 0;
+    };
+    std::vector<BottleneckCount> bottlenecks;
+};
+
+/** A full sweep: tool metadata, per-cell results, metrics, rollup. */
+struct SweepReport {
+    std::string tool;
+    std::uint64_t baseSeed = 0;
+    std::uint64_t threads = 0;
+    std::vector<CellReport> cells;
+
+    /** Registry snapshots (e.g. cache hit counts, eval totals). */
+    std::vector<MetricRegistry::CounterSnap> counters;
+    std::vector<MetricRegistry::GaugeSnap> gauges;
+    /** Wall-clock timers (timing; excludable). */
+    std::vector<MetricRegistry::TimerSnap> timers;
+
+    /** Compute the rollup from the current cells. */
+    SweepRollup rollup() const;
+
+    /** Copy all three snapshot kinds out of @p registry. */
+    void captureMetrics(const MetricRegistry &registry);
+};
+
+struct ReportOptions {
+    /**
+     * Include wall-clock fields (cell wallSeconds, sweep timers).
+     * Disable to compare reports across runs: the remaining content is
+     * seed-deterministic.
+     */
+    bool includeTimings = true;
+};
+
+/** Serialize a sweep report (stable field order, %.17g doubles). */
+std::string toJson(const SweepReport &report,
+                   const ReportOptions &opts = {});
+
+/** Serialize one cell (embedded by the sweep writer; also testable). */
+std::string toJson(const CellReport &cell,
+                   const ReportOptions &opts = {});
+
+} // namespace obs
+} // namespace wsc
+
+#endif // WSC_OBS_RUN_REPORT_HH

@@ -10,12 +10,15 @@ namespace perfsim {
 
 BatchResult
 runBatch(const workloads::BatchWorkload &workload,
-         const StationConfig &st, Rng &rng)
+         const StationConfig &st, Rng &rng,
+         const sim::EventQueue::Tracer &tracer)
 {
     auto tasks = workload.tasks(rng);
     WSC_ASSERT(!tasks.empty(), "batch job has no tasks");
 
     sim::EventQueue eq;
+    if (tracer)
+        eq.setTracer(tracer);
     sim::PsResource cpu(eq, "cpu", st.cpuCapacityGHz, st.cpuSlots);
     sim::FifoResource disk(eq, "disk", 1);
 
@@ -87,6 +90,8 @@ runBatch(const workloads::BatchWorkload &workload,
     result.makespanSeconds = makespan;
     result.cpuUtilization = cpu.utilization();
     result.diskUtilization = disk.utilization();
+    result.stations = {cpu.stats(), disk.stats()};
+    result.kernel = eq.counters();
     return result;
 }
 

@@ -23,6 +23,10 @@ struct BatchResult {
     double cpuUtilization = 0.0;
     double diskUtilization = 0.0;
     std::uint64_t tasksRun = 0;
+    /** Per-station activity snapshots (cpu, disk). */
+    std::vector<sim::StationStats> stations;
+    /** DES kernel activity for this run. */
+    sim::EventQueue::Counters kernel;
 };
 
 /**
@@ -31,9 +35,11 @@ struct BatchResult {
  * @param workload Batch job description.
  * @param stations Station capacities for the platform.
  * @param rng Drives per-task jitter.
+ * @param tracer Optional kernel trace sink (see SimWindow::tracer).
  */
 BatchResult runBatch(const workloads::BatchWorkload &workload,
-                     const StationConfig &stations, Rng &rng);
+                     const StationConfig &stations, Rng &rng,
+                     const sim::EventQueue::Tracer &tracer = {});
 
 } // namespace perfsim
 } // namespace wsc

@@ -64,7 +64,8 @@ clientLoop(DriverState &s, double think_mean)
             double latency = s.eq.now() - issued;
             ++s.epochCompleted;
             s.epochLatencies.add(latency);
-            if (latency > s.qosLimit)
+            // Strict QoS boundary: latency == limit violates.
+            if (latency >= s.qosLimit)
                 ++s.epochViolations;
             clientLoop(s, think_mean);
         };

@@ -123,7 +123,8 @@ simulateCluster(workloads::InteractiveWorkload &workload,
             if (measured) {
                 latencies.add(latency);
                 ++result.completed;
-                if (latency > qos.latencyLimit)
+                // Strict QoS boundary: latency == limit violates.
+                if (latency >= qos.latencyLimit)
                     ++violations;
             }
         };

@@ -63,15 +63,34 @@ PerfEvaluator::measure(const platform::ServerConfig &server,
         m.interactive = true;
         m.sustainableRps = r.sustainableRps;
         m.perf = r.sustainableRps;
-        m.cpuUtilization = r.atSustainable.cpuUtilization;
+        const SimResult &at = r.atSustainable;
+        m.cpuUtilization = at.cpuUtilization;
+        m.diskUtilization = at.diskUtilization;
+        m.nicUtilization = at.nicUtilization;
+        m.meanLatency = at.meanLatency;
+        m.p50Latency = at.p50Latency;
+        m.p95Latency = at.p95Latency;
+        m.p99Latency = at.p99Latency;
+        m.qosViolationFraction = at.qosViolationFraction;
+        m.qosLatencyLimit = iw.qos().latencyLimit;
+        m.bottleneck = at.bottleneck();
+        m.stations = at.stations;
+        m.kernel = r.kernelTotals;
+        m.searchProbes = r.probes;
     } else {
         auto &bw = dynamic_cast<workloads::BatchWorkload &>(*workload);
-        auto r = runBatch(bw, st, rng);
+        auto r = runBatch(bw, st, rng, options.search.window.tracer);
         m.interactive = false;
         m.makespanSeconds = r.makespanSeconds;
         WSC_ASSERT(r.makespanSeconds > 0.0, "zero makespan");
         m.perf = 1.0 / r.makespanSeconds;
         m.cpuUtilization = r.cpuUtilization;
+        m.diskUtilization = r.diskUtilization;
+        m.stations = r.stations;
+        m.bottleneck =
+            m.cpuUtilization >= m.diskUtilization ? "cpu" : "disk";
+        m.kernel = r.kernel;
+        m.searchProbes = 1;
     }
     return m;
 }

@@ -52,6 +52,27 @@ struct PerfMeasurement {
     double sustainableRps = 0.0;
     double makespanSeconds = 0.0;
     double cpuUtilization = 0.0;
+    double diskUtilization = 0.0;
+    double nicUtilization = 0.0;
+
+    /** Latency distribution at the sustainable operating point
+     * (interactive only; zeros for batch). */
+    double meanLatency = 0.0;
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    double qosViolationFraction = 0.0;
+    double qosLatencyLimit = 0.0; //!< seconds; 0 when no QoS applies
+
+    /** Station with the highest utilization at the operating point. */
+    std::string bottleneck;
+    /** Station snapshots from the measurement run. */
+    std::vector<sim::StationStats> stations;
+    /** Kernel activity summed over every simulation this measurement
+     * ran (all throughput-search probes, or the one batch run). */
+    sim::EventQueue::Counters kernel;
+    /** Fixed-rate simulations the throughput search ran (1 for batch). */
+    std::uint64_t searchProbes = 0;
 };
 
 /**

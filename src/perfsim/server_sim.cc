@@ -27,6 +27,16 @@ makeStations(const platform::ServerConfig &server,
     return s;
 }
 
+std::string
+SimResult::bottleneck() const
+{
+    const sim::StationStats *best = nullptr;
+    for (const auto &s : stations)
+        if (!best || s.utilization > best->utilization)
+            best = &s;
+    return best ? best->name : std::string();
+}
+
 bool
 SimResult::passes(const workloads::QosSpec &qos) const
 {
@@ -47,6 +57,8 @@ simulateInteractive(workloads::InteractiveWorkload &workload,
     WSC_ASSERT(rps > 0.0, "offered load must be positive");
 
     sim::EventQueue eq;
+    if (window.tracer)
+        eq.setTracer(window.tracer);
     sim::PsResource cpu(eq, "cpu", st.cpuCapacityGHz, st.cpuSlots);
     sim::FifoResource disk(eq, "disk", 1);
     sim::PsResource nic(eq, "nic", st.nicMBs, 1);
@@ -66,6 +78,8 @@ simulateInteractive(workloads::InteractiveWorkload &workload,
     // One request's journey through the stations.
     auto launch = [&](double arrival_time, bool measured) {
         ++in_flight;
+        if (in_flight > result.peakInFlight)
+            result.peakInFlight = in_flight;
         auto demand = workload.nextRequest(rng);
         double cpu_work = demand.cpuWork * st.serviceSlowdown;
 
@@ -90,7 +104,9 @@ simulateInteractive(workloads::InteractiveWorkload &workload,
                 latencies.add(latency);
                 latency_summary.add(latency);
                 ++result.completed;
-                if (latency > qos.latencyLimit)
+                // Strict QoS: the paper requires latency < limit, so
+                // exactly-at-the-limit responses are violations.
+                if (latency >= qos.latencyLimit)
                     ++qos_violations;
             }
         };
@@ -137,7 +153,9 @@ simulateInteractive(workloads::InteractiveWorkload &workload,
 
     result.saturated = aborted || in_flight > 0;
     if (latencies.count() > 0) {
+        result.p50Latency = latencies.quantile(0.50);
         result.p95Latency = latencies.quantile(0.95);
+        result.p99Latency = latencies.quantile(0.99);
         result.meanLatency = latency_summary.mean();
     }
     result.qosViolationFraction =
@@ -146,6 +164,8 @@ simulateInteractive(workloads::InteractiveWorkload &workload,
     result.cpuUtilization = cpu.utilization();
     result.diskUtilization = disk.utilization();
     result.nicUtilization = nic.utilization();
+    result.stations = {cpu.stats(), disk.stats(), nic.stats()};
+    result.kernel = eq.counters();
     return result;
 }
 

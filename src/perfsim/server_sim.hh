@@ -19,6 +19,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "platform/server_config.hh"
 #include "sim/event_queue.hh"
@@ -61,13 +63,25 @@ struct SimResult {
     double offeredRps = 0.0;
     std::uint64_t offered = 0;    //!< requests injected in measurement
     std::uint64_t completed = 0;  //!< completions in measurement window
+    double p50Latency = 0.0;
     double p95Latency = 0.0;
+    double p99Latency = 0.0;
     double meanLatency = 0.0;
-    double qosViolationFraction = 0.0; //!< above the QoS limit
+    double qosViolationFraction = 0.0; //!< at or above the QoS limit
     double cpuUtilization = 0.0;
     double diskUtilization = 0.0;
     double nicUtilization = 0.0;
     bool saturated = false; //!< run aborted: unbounded queue growth
+
+    /** Peak requests simultaneously in the system. */
+    std::size_t peakInFlight = 0;
+    /** Per-station activity snapshots (cpu, disk, nic). */
+    std::vector<sim::StationStats> stations;
+    /** DES kernel activity for this run. */
+    sim::EventQueue::Counters kernel;
+
+    /** Station with the highest utilization; empty if none. */
+    std::string bottleneck() const;
 
     /** QoS pass under @p qos, including stability. */
     bool passes(const workloads::QosSpec &qos) const;
@@ -79,6 +93,13 @@ struct SimWindow {
     double measureSeconds = 40.0;
     /** Abort threshold: in-flight requests signalling saturation. */
     std::size_t maxInFlight = 2000;
+    /**
+     * Optional kernel trace sink installed on each run's event queue
+     * (wsc_eval --trace). Must be thread-safe when simulations fan out
+     * over a pool. Null — the default — leaves tracing off and the
+     * kernel hot path unaffected.
+     */
+    sim::EventQueue::Tracer tracer;
 };
 
 /**

@@ -45,8 +45,16 @@ findSustainableRps(workloads::InteractiveWorkload &workload,
     // perturb the workload sample sequence.
     auto probe = [&](double rps) {
         Rng sub = rng.split();
-        return simulateInteractive(workload, st, rps, params.window,
-                                   sub);
+        auto r = simulateInteractive(workload, st, rps, params.window,
+                                     sub);
+        ++out.probes;
+        out.kernelTotals.scheduled += r.kernel.scheduled;
+        out.kernelTotals.dispatched += r.kernel.dispatched;
+        out.kernelTotals.cancelled += r.kernel.cancelled;
+        out.kernelTotals.compactions += r.kernel.compactions;
+        out.kernelTotals.peakHeap =
+            std::max(out.kernelTotals.peakHeap, r.kernel.peakHeap);
+        return r;
     };
 
     // Bracket: the analytic bound can only overestimate, so it serves

@@ -28,6 +28,9 @@ struct ThroughputResult {
     double sustainableRps = 0.0;  //!< highest QoS-passing offered load
     double analyticBoundRps = 0.0; //!< bottleneck-capacity upper bound
     SimResult atSustainable;      //!< measurement at the returned rate
+    std::uint64_t probes = 0;     //!< fixed-rate simulations run
+    /** Kernel activity summed over every probe, not just the best. */
+    sim::EventQueue::Counters kernelTotals;
 };
 
 /**

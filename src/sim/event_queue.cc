@@ -77,7 +77,13 @@ EventQueue::schedule(Time when, std::function<void()> action)
         Entry{when, nextSeq++, slot, gen, std::move(action)});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++live_;
-    return makeId(slot, gen);
+    ++counters_.scheduled;
+    if (heap.size() > counters_.peakHeap)
+        counters_.peakHeap = heap.size();
+    EventId id = makeId(slot, gen);
+    if (tracer_)
+        tracer_({TraceRecord::Kind::Schedule, now_, when, id});
+    return id;
 }
 
 bool
@@ -90,6 +96,9 @@ EventQueue::cancel(EventId id)
     releaseSlot(slot);
     --live_;
     ++stale_;
+    ++counters_.cancelled;
+    if (tracer_)
+        tracer_({TraceRecord::Kind::Cancel, now_, 0.0, id});
     maybeCompact();
     return true;
 }
@@ -110,6 +119,7 @@ EventQueue::maybeCompact()
                heap.end());
     std::make_heap(heap.begin(), heap.end(), Later{});
     stale_ = 0;
+    ++counters_.compactions;
 }
 
 void
@@ -136,7 +146,10 @@ EventQueue::step()
     releaseSlot(e.slot);
     --live_;
     now_ = e.when;
-    ++dispatched_;
+    ++counters_.dispatched;
+    if (tracer_)
+        tracer_({TraceRecord::Kind::Dispatch, now_, e.when,
+                 makeId(e.slot, e.gen)});
     e.action();
     return true;
 }

@@ -44,6 +44,35 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
+    /**
+     * Lifetime counters of kernel activity, maintained unconditionally
+     * (plain integer increments; bench_kernel guards that they stay in
+     * the noise). The observability layer snapshots these into run
+     * reports.
+     */
+    struct Counters {
+        std::uint64_t scheduled = 0;   //!< schedule() calls
+        std::uint64_t dispatched = 0;  //!< events run
+        std::uint64_t cancelled = 0;   //!< successful cancel() calls
+        std::uint64_t compactions = 0; //!< heap rebuilds (stale purge)
+        std::size_t peakHeap = 0;      //!< max heap entries ever held
+    };
+
+    /** Per-event trace record delivered to the tracer, if installed. */
+    struct TraceRecord {
+        enum class Kind { Schedule, Dispatch, Cancel };
+        Kind kind;
+        Time now;     //!< clock when the record was emitted
+        Time when;    //!< event's scheduled firing time
+        EventId id;
+    };
+
+    /**
+     * Trace sink. Null (the default) disables tracing; the hot path
+     * then pays only an is-engaged test per operation.
+     */
+    using Tracer = std::function<void(const TraceRecord &)>;
+
     EventQueue();
 
     // The queue holds closures that frequently capture `this` of model
@@ -95,7 +124,18 @@ class EventQueue
     std::uint64_t runAll();
 
     /** Total events dispatched over the queue's lifetime. */
-    std::uint64_t dispatched() const { return dispatched_; }
+    std::uint64_t dispatched() const { return counters_.dispatched; }
+
+    /** Lifetime kernel activity counters. */
+    const Counters &counters() const { return counters_; }
+
+    /**
+     * Install (or, with an empty function, remove) a per-event trace
+     * sink. The tracer sees schedules, dispatches, and successful
+     * cancellations. Intended for debugging and the --trace paths;
+     * simulation behaviour is unaffected.
+     */
+    void setTracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
     /** Pre-size the heap and slot pool for @p events in flight. */
     void reserve(std::size_t events);
@@ -132,7 +172,8 @@ class EventQueue
     std::vector<std::uint32_t> freeSlots;
     Time now_ = 0.0;
     std::uint64_t nextSeq = 1;
-    std::uint64_t dispatched_ = 0;
+    Counters counters_;
+    Tracer tracer_;
     std::size_t live_ = 0;   //!< scheduled, not yet dispatched/cancelled
     std::size_t stale_ = 0;  //!< cancelled entries still in the heap
 

@@ -58,6 +58,7 @@ PsResource::advance()
         progress += rate * dt;
         double used = rate * double(heap.size());
         busyIntegral += (used / cap) * dt;
+        depthIntegral += double(heap.size()) * dt;
     }
     lastUpdate = now;
 }
@@ -85,6 +86,8 @@ PsResource::submit(double work, Completion done)
     WSC_ASSERT(done, "null completion for " << name_);
     advance();
     heap.push(Job{progress + work, nextSeq++, std::move(done)});
+    if (heap.size() > peakDepth)
+        peakDepth = heap.size();
     reschedule();
 }
 
@@ -136,6 +139,26 @@ PsResource::utilization() const
     return integral / span;
 }
 
+StationStats
+PsResource::stats() const
+{
+    StationStats s;
+    s.name = name_;
+    s.utilization = utilization();
+    s.completed = completed_;
+    s.peakDepth = peakDepth;
+    Time now = eq.now();
+    double span = now - createdAt;
+    if (span > 0.0) {
+        double integral = depthIntegral;
+        double dt = now - lastUpdate;
+        if (dt > 0.0)
+            integral += double(heap.size()) * dt;
+        s.meanDepth = integral / span;
+    }
+    return s;
+}
+
 FifoResource::FifoResource(EventQueue &eq, std::string name,
                            unsigned servers)
     : eq(eq), name_(std::move(name)), servers(servers),
@@ -149,8 +172,10 @@ FifoResource::accumulate()
 {
     Time now = eq.now();
     double dt = now - lastUpdate;
-    if (dt > 0.0)
+    if (dt > 0.0) {
         busyIntegral += dt * double(busy) / double(servers);
+        depthIntegral += dt * double(busy + queue.size());
+    }
     lastUpdate = now;
 }
 
@@ -186,6 +211,8 @@ FifoResource::submit(double service_time, Completion done)
     } else {
         queue.push_back(Pending{service_time, std::move(done)});
     }
+    if (busy + queue.size() > peakDepth)
+        peakDepth = busy + queue.size();
 }
 
 double
@@ -198,6 +225,24 @@ FifoResource::utilization() const
     double integral =
         busyIntegral + (now - lastUpdate) * double(busy) / double(servers);
     return integral / span;
+}
+
+StationStats
+FifoResource::stats() const
+{
+    StationStats s;
+    s.name = name_;
+    s.utilization = utilization();
+    s.completed = completed_;
+    s.peakDepth = peakDepth;
+    Time now = eq.now();
+    double span = now - createdAt;
+    if (span > 0.0) {
+        double integral = depthIntegral +
+                          (now - lastUpdate) * double(busy + queue.size());
+        s.meanDepth = integral / span;
+    }
+    return s;
 }
 
 } // namespace sim

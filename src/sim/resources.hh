@@ -30,6 +30,22 @@ namespace sim {
 using Completion = std::function<void()>;
 
 /**
+ * Point-in-time snapshot of a station's activity, for run reports.
+ *
+ * Depth counts every request present at the station (in service plus
+ * queued); the mean is time-weighted over the station's lifetime, so a
+ * station that idles most of the run reports a low mean even if brief
+ * bursts drive the peak high.
+ */
+struct StationStats {
+    std::string name;
+    double utilization = 0.0;    //!< time-integrated, in [0, 1]
+    std::uint64_t completed = 0; //!< requests fully served
+    std::size_t peakDepth = 0;   //!< max simultaneous requests present
+    double meanDepth = 0.0;      //!< time-weighted average depth
+};
+
+/**
  * Processor-sharing resource.
  *
  * Capacity is expressed in work units per second, split evenly over
@@ -77,6 +93,9 @@ class PsResource
 
     const std::string &name() const { return name_; }
 
+    /** Activity snapshot (utilization, depth statistics) as of now. */
+    StationStats stats() const;
+
   private:
     struct Job {
         double finishMark; //!< global progress at which the job is done
@@ -106,6 +125,8 @@ class PsResource
     std::uint64_t completed_ = 0;
     std::uint64_t nextSeq = 0;
     double busyIntegral = 0.0; //!< integral of (rate in use / capacity)
+    double depthIntegral = 0.0; //!< integral of active job count
+    std::size_t peakDepth = 0;
     Time createdAt;
 
     /** Per-job service rate given the current job count. */
@@ -158,6 +179,9 @@ class FifoResource
 
     const std::string &name() const { return name_; }
 
+    /** Activity snapshot (utilization, depth statistics) as of now. */
+    StationStats stats() const;
+
   private:
     struct Pending {
         double serviceTime;
@@ -171,6 +195,8 @@ class FifoResource
     std::deque<Pending> queue;
     std::uint64_t completed_ = 0;
     double busyIntegral = 0.0;
+    double depthIntegral = 0.0; //!< integral of (busy + queued)
+    std::size_t peakDepth = 0;
     Time lastUpdate = 0.0;
     Time createdAt;
 

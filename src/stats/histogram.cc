@@ -9,11 +9,16 @@ namespace wsc {
 namespace stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo(lo), hi(hi), width((hi - lo) / double(bins)), counts(bins, 0)
+    : lo(lo), hi(hi), width(0.0)
 {
+    // Validate before deriving width: computing (hi - lo) / bins in
+    // the member-init list divided by zero on the bins == 0 path
+    // before the assert could fire, yielding an inf-width histogram.
     WSC_ASSERT(hi > lo, "histogram range empty: [" << lo << ", " << hi
                                                    << ")");
     WSC_ASSERT(bins > 0, "histogram needs at least one bin");
+    width = (hi - lo) / double(bins);
+    counts.assign(bins, 0);
 }
 
 void

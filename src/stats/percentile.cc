@@ -47,7 +47,20 @@ PercentileTracker::fractionAbove(double threshold) const
     if (samples.empty())
         return 0.0;
     ensureSorted();
+    // upper_bound: strictly greater than the threshold.
     auto it = std::upper_bound(samples.begin(), samples.end(), threshold);
+    return double(samples.end() - it) / double(samples.size());
+}
+
+double
+PercentileTracker::fractionAtLeast(double threshold) const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    // lower_bound: greater than or equal, so samples exactly at the
+    // threshold count (they fail a strict "< threshold" QoS).
+    auto it = std::lower_bound(samples.begin(), samples.end(), threshold);
     return double(samples.end() - it) / double(samples.size());
 }
 

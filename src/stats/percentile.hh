@@ -38,8 +38,22 @@ class PercentileTracker
      */
     double quantile(double q) const;
 
-    /** Fraction of samples strictly above @p threshold. */
+    /**
+     * Fraction of samples strictly above @p threshold.
+     *
+     * Not suitable for the paper's strict QoS checks ("95% of requests
+     * complete in < X seconds"): a sample exactly at the threshold
+     * does NOT satisfy `latency < X` and must count as a violation —
+     * use fractionAtLeast() for those.
+     */
     double fractionAbove(double threshold) const;
+
+    /**
+     * Fraction of samples at or above @p threshold (inclusive). This
+     * is the violation fraction for a strict "latency < threshold"
+     * QoS definition.
+     */
+    double fractionAtLeast(double threshold) const;
 
     /** Remove all samples. */
     void clear();

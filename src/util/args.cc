@@ -18,7 +18,8 @@ ArgParser::addOption(const std::string &name, const std::string &help,
                      const std::string &defaultValue)
 {
     WSC_ASSERT(!options.count(name), "duplicate option --" << name);
-    options[name] = Option{help, defaultValue, false, false};
+    options[name] = Option{help, defaultValue, defaultValue, false,
+                           false};
     order.push_back(name);
     return *this;
 }
@@ -27,7 +28,7 @@ ArgParser &
 ArgParser::addFlag(const std::string &name, const std::string &help)
 {
     WSC_ASSERT(!options.count(name), "duplicate flag --" << name);
-    options[name] = Option{help, "false", true, false};
+    options[name] = Option{help, "false", "false", true, false};
     order.push_back(name);
     return *this;
 }
@@ -51,6 +52,13 @@ ArgParser::find(const std::string &name) const
 bool
 ArgParser::parse(int argc, const char *const *argv)
 {
+    // Reset to defaults so a reused parser does not inherit values or
+    // set-flags from a previous parse.
+    for (auto &entry : options) {
+        entry.second.value = entry.second.defaultValue;
+        entry.second.set = false;
+    }
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -59,17 +67,41 @@ ArgParser::parse(int argc, const char *const *argv)
         }
         if (arg.rfind("--", 0) != 0)
             fatal("unexpected argument '" + arg + "'\n" + usage());
+
+        // Split the --name=value form.
         std::string name = arg.substr(2);
+        bool has_inline = false;
+        std::string inline_value;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            has_inline = true;
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        }
+
         auto it = options.find(name);
         if (it == options.end())
-            fatal("unknown option '" + arg + "'\n" + usage());
+            fatal("unknown option '--" + name + "'\n" + usage());
         if (it->second.isFlag) {
-            it->second.value = "true";
+            if (has_inline) {
+                if (inline_value != "true" && inline_value != "false")
+                    fatal("flag '--" + name +
+                          "' accepts only true or false, got '" +
+                          inline_value + "'");
+                it->second.value = inline_value;
+            } else {
+                it->second.value = "true";
+            }
             it->second.set = true;
         } else {
-            if (i + 1 >= argc)
-                fatal("option '" + arg + "' needs a value\n" + usage());
-            it->second.value = argv[++i];
+            if (has_inline) {
+                it->second.value = inline_value;
+            } else {
+                if (i + 1 >= argc)
+                    fatal("option '" + arg + "' needs a value\n" +
+                          usage());
+                it->second.value = argv[++i];
+            }
             it->second.set = true;
         }
     }
@@ -104,6 +136,12 @@ ArgParser::flag(const std::string &name) const
     return find(name).value == "true";
 }
 
+bool
+ArgParser::given(const std::string &name) const
+{
+    return find(name).set;
+}
+
 std::string
 ArgParser::usage() const
 {
@@ -116,7 +154,7 @@ ArgParser::usage() const
             ss << " <value>";
         ss << "\n        " << opt.help;
         if (!opt.isFlag)
-            ss << " (default: " << opt.value << ")";
+            ss << " (default: " << opt.defaultValue << ")";
         ss << "\n";
     }
     ss << "  --help\n        Show this message.\n";

@@ -2,9 +2,10 @@
  * @file
  * Minimal command-line argument parser for the tools.
  *
- * Supports `--name value` options with defaults, `--flag` booleans,
- * and `--help`. Unknown arguments raise FatalError with a usage
- * message, keeping the tools honest about their surface.
+ * Supports `--name value` and `--name=value` options with defaults,
+ * `--flag` / `--flag=true|false` booleans, and `--help`. Unknown
+ * arguments raise FatalError with a usage message, keeping the tools
+ * honest about their surface.
  */
 
 #ifndef WSC_UTIL_ARGS_HH
@@ -31,7 +32,10 @@ class ArgParser
     ArgParser &addFlag(const std::string &name, const std::string &help);
 
     /**
-     * Parse the command line.
+     * Parse the command line. Both `--name value` and `--name=value`
+     * forms are accepted. Each call starts from a clean slate: values
+     * and set-flags from a previous parse() are reset to the
+     * registered defaults first, so a parser can be reused.
      * @return false when --help was requested (usage printed).
      * @throws FatalError on unknown options or missing values.
      */
@@ -46,6 +50,9 @@ class ArgParser
     /** Flag state. */
     bool flag(const std::string &name) const;
 
+    /** True when the option was given explicitly in the last parse. */
+    bool given(const std::string &name) const;
+
     /** Render the usage text. */
     std::string usage() const;
 
@@ -53,6 +60,7 @@ class ArgParser
     struct Option {
         std::string help;
         std::string value;
+        std::string defaultValue;
         bool isFlag = false;
         bool set = false;
     };

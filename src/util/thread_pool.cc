@@ -102,6 +102,16 @@ ThreadPool::defaultThreads()
 namespace {
 
 std::unique_ptr<ThreadPool> globalPool;
+/**
+ * Pools replaced by setGlobalThreads(). global() returns a reference,
+ * so a concurrent caller may still hold (and post to) the previous
+ * pool when it is swapped out; destroying it would dangle that
+ * reference. Retired pools stay alive — idle, workers parked on the
+ * condition variable — until process exit, when their destructors
+ * drain and join. Resizes are rare (a --threads flag at startup), so
+ * the retained memory is bounded in practice.
+ */
+std::vector<std::unique_ptr<ThreadPool>> retiredPools;
 std::mutex globalPoolMtx;
 
 } // namespace
@@ -118,8 +128,14 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(unsigned threads)
 {
+    // Build the replacement before taking the lock so a failing
+    // construction (implausible thread count) leaves the global
+    // untouched.
+    auto replacement = std::make_unique<ThreadPool>(threads);
     std::lock_guard<std::mutex> lock(globalPoolMtx);
-    globalPool = std::make_unique<ThreadPool>(threads);
+    if (globalPool)
+        retiredPools.push_back(std::move(globalPool));
+    globalPool = std::move(replacement);
 }
 
 void

@@ -64,8 +64,12 @@ class ThreadPool
     static ThreadPool &global();
 
     /**
-     * Resize the global pool (e.g. from a --threads flag). Safe only
-     * when no parallel work is in flight.
+     * Resize the global pool (e.g. from a --threads flag). Safe to
+     * call while other threads hold references from global(): the
+     * previous pool is retired, not destroyed — outstanding
+     * references stay valid and already-posted jobs still run on it —
+     * and is reclaimed at process exit. Callers that want subsequent
+     * work on the new width must re-fetch global().
      */
     static void setGlobalThreads(unsigned threads);
 

@@ -52,6 +52,74 @@ TEST(Args, HelpShortCircuits)
     EXPECT_FALSE(makeParser().parse(2, argv2));
 }
 
+TEST(Args, EqualsFormParsed)
+{
+    // wsc_eval --threads=8 smoke case: the = form must behave exactly
+    // like the two-token form.
+    ArgParser p("wsc_eval", "t");
+    p.addOption("threads", "worker threads", "0");
+    const char *argv[] = {"wsc_eval", "--threads=8"};
+    EXPECT_TRUE(p.parse(2, argv));
+    EXPECT_EQ(p.get("threads"), "8");
+    EXPECT_DOUBLE_EQ(p.getDouble("threads"), 8.0);
+    EXPECT_TRUE(p.given("threads"));
+}
+
+TEST(Args, EqualsFormFlag)
+{
+    auto p = makeParser();
+    const char *on[] = {"tool", "--csv=true"};
+    EXPECT_TRUE(p.parse(2, on));
+    EXPECT_TRUE(p.flag("csv"));
+    const char *off[] = {"tool", "--csv=false"};
+    EXPECT_TRUE(p.parse(2, off));
+    EXPECT_FALSE(p.flag("csv"));
+    const char *bad[] = {"tool", "--csv=yes"};
+    EXPECT_THROW(p.parse(2, bad), FatalError);
+}
+
+TEST(Args, EqualsFormEmptyAndEmbeddedEquals)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--system="};
+    EXPECT_TRUE(p.parse(2, argv));
+    EXPECT_EQ(p.get("system"), "");
+    // Only the first '=' splits; the value may contain more.
+    const char *argv2[] = {"tool", "--system=a=b"};
+    EXPECT_TRUE(p.parse(2, argv2));
+    EXPECT_EQ(p.get("system"), "a=b");
+}
+
+TEST(Args, UnknownEqualsOptionFatal)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--bogus=3"};
+    EXPECT_THROW(p.parse(2, argv), FatalError);
+}
+
+TEST(Args, ReparseResetsState)
+{
+    // A second parse() must not inherit values or set-state from the
+    // first.
+    auto p = makeParser();
+    const char *first[] = {"tool", "--system=emb1", "--csv",
+                           "--tariff", "170"};
+    EXPECT_TRUE(p.parse(5, first));
+    EXPECT_TRUE(p.given("system"));
+    EXPECT_TRUE(p.flag("csv"));
+
+    const char *second[] = {"tool"};
+    EXPECT_TRUE(p.parse(1, second));
+    EXPECT_EQ(p.get("system"), "srvr2");
+    EXPECT_DOUBLE_EQ(p.getDouble("tariff"), 100.0);
+    EXPECT_FALSE(p.flag("csv"));
+    EXPECT_FALSE(p.given("system"));
+    EXPECT_FALSE(p.given("csv"));
+    // Usage still advertises the registered default, not a parsed
+    // value.
+    EXPECT_NE(p.usage().find("default: srvr2"), std::string::npos);
+}
+
 TEST(Args, UnknownOptionFatal)
 {
     auto p = makeParser();

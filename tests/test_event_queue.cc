@@ -245,6 +245,93 @@ TEST(EventQueue, StressScheduleCancelRunKeepsFifoOrder)
     EXPECT_EQ(eq.dispatched(), dispatchedLog.size());
 }
 
+TEST(EventQueue, CountersTrackKernelActivity)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(eq.schedule(double(i), [] {}));
+    eq.cancel(ids[3]);
+    eq.cancel(ids[7]);
+    eq.cancel(ids[7]); // failed cancel must not count
+    eq.runAll();
+    const auto &c = eq.counters();
+    EXPECT_EQ(c.scheduled, 10u);
+    EXPECT_EQ(c.cancelled, 2u);
+    EXPECT_EQ(c.dispatched, 8u);
+    EXPECT_EQ(c.dispatched, eq.dispatched());
+    EXPECT_EQ(c.peakHeap, 10u);
+    EXPECT_EQ(c.compactions, 0u);
+}
+
+TEST(EventQueue, CountersRecordCompactions)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(eq.schedule(double(i), [] {}));
+    for (int i = 0; i < 1000; ++i)
+        if (i % 10 != 0)
+            eq.cancel(ids[std::size_t(i)]);
+    EXPECT_GT(eq.counters().compactions, 0u);
+    EXPECT_EQ(eq.counters().peakHeap, 1000u);
+}
+
+TEST(EventQueue, TracerSeesScheduleDispatchCancel)
+{
+    EventQueue eq;
+    std::vector<EventQueue::TraceRecord> log;
+    eq.setTracer([&log](const EventQueue::TraceRecord &r) {
+        log.push_back(r);
+    });
+    EventId keep = eq.schedule(1.0, [] {});
+    EventId gone = eq.schedule(2.0, [] {});
+    eq.cancel(gone);
+    eq.runAll();
+
+    using Kind = EventQueue::TraceRecord::Kind;
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0].kind, Kind::Schedule);
+    EXPECT_EQ(log[0].id, keep);
+    EXPECT_DOUBLE_EQ(log[0].when, 1.0);
+    EXPECT_EQ(log[1].kind, Kind::Schedule);
+    EXPECT_EQ(log[1].id, gone);
+    EXPECT_EQ(log[2].kind, Kind::Cancel);
+    EXPECT_EQ(log[2].id, gone);
+    EXPECT_EQ(log[3].kind, Kind::Dispatch);
+    EXPECT_EQ(log[3].id, keep);
+    EXPECT_DOUBLE_EQ(log[3].now, 1.0);
+
+    // Removing the tracer silences further records.
+    eq.setTracer({});
+    eq.schedule(3.0, [] {});
+    eq.runAll();
+    EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(EventQueue, TracerDoesNotPerturbDispatchOrder)
+{
+    // Identical schedules with and without a tracer must dispatch the
+    // same sequence — tracing is pure observation.
+    auto drive = [](EventQueue &eq, std::vector<int> &order) {
+        for (int i = 0; i < 20; ++i)
+            eq.schedule(double((i * 7) % 5), [&order, i] {
+                order.push_back(i);
+            });
+        eq.runAll();
+    };
+    EventQueue plain, traced;
+    std::size_t records = 0;
+    traced.setTracer([&records](const EventQueue::TraceRecord &) {
+        ++records;
+    });
+    std::vector<int> a, b;
+    drive(plain, a);
+    drive(traced, b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(records, 40u); // 20 schedules + 20 dispatches
+}
+
 TEST(EventQueue, ReserveDoesNotDisturbPendingEvents)
 {
     EventQueue eq;

@@ -79,6 +79,52 @@ TEST(Cache, LruEvictionUnderPressure)
     EXPECT_GT(cache.stats().evictions, 0u);
 }
 
+TEST(Cache, ReinsertResidentAtCapacityIsIdempotent)
+{
+    // Regression: insert on an already-resident block used to evict a
+    // victim, push a duplicate recency node, and overwrite the map
+    // iterator — leaving a stale node that a later eviction erased
+    // out from under the live MRU block.
+    FlashSpec tiny;
+    tiny.capacityGB = 4.0 * 3 / (1024.0 * 1024.0); // three 4 KB blocks
+    FlashCache cache(tiny);
+    ASSERT_EQ(cache.capacityBlocks(), 3u);
+
+    cache.admit(1);
+    cache.admit(2);
+    cache.admit(3);
+    ASSERT_EQ(cache.residentBlocks(), 3u);
+
+    // Re-admitting a resident block at capacity must not evict,
+    // duplicate, or write.
+    auto evictions = cache.stats().evictions;
+    auto written = cache.stats().bytesWrittenToFlash;
+    cache.admit(2);
+    EXPECT_EQ(cache.stats().evictions, evictions);
+    EXPECT_EQ(cache.stats().bytesWrittenToFlash, written);
+    EXPECT_EQ(cache.residentBlocks(), 3u);
+    EXPECT_EQ(cache.lruChainLength(), cache.residentBlocks());
+
+    // Re-admission refreshed 2's recency: pressure now evicts 1 (the
+    // true LRU), and all surviving blocks still hit.
+    cache.admit(4);
+    EXPECT_EQ(cache.residentBlocks(), 3u);
+    EXPECT_EQ(cache.lruChainLength(), cache.residentBlocks());
+    EXPECT_FALSE(cache.lookup(1)); // miss re-inserts 1, evicting 3
+    EXPECT_TRUE(cache.lookup(2));
+    EXPECT_TRUE(cache.lookup(4));
+
+    // Churn the same working set hard; the map and recency list must
+    // never diverge.
+    for (int round = 0; round < 100; ++round) {
+        cache.admit(BlockId(round % 5));
+        cache.writeBlock(BlockId((round * 3) % 5));
+        cache.lookup(BlockId((round * 7) % 5));
+        ASSERT_LE(cache.residentBlocks(), cache.capacityBlocks());
+        ASSERT_EQ(cache.lruChainLength(), cache.residentBlocks());
+    }
+}
+
 TEST(Cache, WriteBlockTracksWear)
 {
     FlashCache cache(FlashSpec{});

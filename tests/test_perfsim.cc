@@ -199,6 +199,76 @@ TEST(SimulateInteractive, OverloadDetected)
     EXPECT_FALSE(r.passes(yt.qos()));
 }
 
+TEST(SimulateInteractive, ObservabilityFieldsPopulated)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr2),
+                             yt.traits(), {});
+    Rng rng(31);
+    SimWindow w;
+    w.warmupSeconds = 2.0;
+    w.measureSeconds = 20.0;
+    auto r = simulateInteractive(yt, st, 10.0, w, rng);
+
+    // Percentiles are monotone and bracket the mean's neighborhood.
+    EXPECT_GT(r.p50Latency, 0.0);
+    EXPECT_LE(r.p50Latency, r.p95Latency);
+    EXPECT_LE(r.p95Latency, r.p99Latency);
+
+    ASSERT_EQ(r.stations.size(), 3u);
+    EXPECT_EQ(r.stations[0].name, "cpu");
+    EXPECT_EQ(r.stations[1].name, "disk");
+    EXPECT_EQ(r.stations[2].name, "nic");
+    // Station snapshots agree with the flat utilization fields.
+    EXPECT_DOUBLE_EQ(r.stations[0].utilization, r.cpuUtilization);
+    EXPECT_DOUBLE_EQ(r.stations[2].utilization, r.nicUtilization);
+    EXPECT_GE(r.peakInFlight, 1u);
+    EXPECT_FALSE(r.bottleneck().empty());
+
+    // Kernel counters: every completion implies dispatched events,
+    // and nothing dispatched can exceed what was scheduled.
+    EXPECT_GT(r.kernel.dispatched, r.completed);
+    EXPECT_LE(r.kernel.dispatched + r.kernel.cancelled,
+              r.kernel.scheduled);
+    EXPECT_GE(r.kernel.peakHeap, 1u);
+}
+
+TEST(SimulateInteractive, TracerObservesKernelActivity)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr2),
+                             yt.traits(), {});
+    SimWindow w;
+    w.warmupSeconds = 1.0;
+    w.measureSeconds = 5.0;
+
+    // Same seed with and without a tracer: identical results, and the
+    // trace record counts match the kernel counters.
+    Rng rngPlain(33);
+    auto plain = simulateInteractive(yt, st, 10.0, w, rngPlain);
+
+    std::uint64_t scheduled = 0, dispatched = 0, cancelled = 0;
+    w.tracer = [&](const sim::EventQueue::TraceRecord &r) {
+        using Kind = sim::EventQueue::TraceRecord::Kind;
+        if (r.kind == Kind::Schedule)
+            ++scheduled;
+        else if (r.kind == Kind::Dispatch)
+            ++dispatched;
+        else
+            ++cancelled;
+    };
+    Rng rngTraced(33);
+    auto traced = simulateInteractive(yt, st, 10.0, w, rngTraced);
+
+    EXPECT_EQ(traced.completed, plain.completed);
+    EXPECT_EQ(traced.p95Latency, plain.p95Latency);
+    EXPECT_EQ(scheduled, traced.kernel.scheduled);
+    EXPECT_EQ(dispatched, traced.kernel.dispatched);
+    EXPECT_EQ(cancelled, traced.kernel.cancelled);
+}
+
 TEST(Throughput, SearchBracketsBelowAnalyticBound)
 {
     workloads::Ytube yt;
@@ -215,6 +285,28 @@ TEST(Throughput, SearchBracketsBelowAnalyticBound)
     EXPECT_LE(r.sustainableRps, r.analyticBoundRps * 1.05);
     // The sustained point itself passed QoS.
     EXPECT_TRUE(r.atSustainable.passes(yt.qos()));
+}
+
+TEST(Throughput, SearchAccumulatesKernelTotalsAcrossProbes)
+{
+    workloads::Ytube yt;
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), yt.traits(),
+                             {});
+    Rng rng(27);
+    SearchParams sp;
+    sp.iterations = 5;
+    sp.window.warmupSeconds = 1.0;
+    sp.window.measureSeconds = 6.0;
+    auto r = findSustainableRps(yt, st, sp, rng);
+    // Bracketing probes plus the bisection iterations all count.
+    EXPECT_GT(r.probes, sp.iterations);
+    // Totals aggregate over every probe, so they dominate the single
+    // sustained run's counters.
+    EXPECT_GT(r.kernelTotals.dispatched,
+              r.atSustainable.kernel.dispatched);
+    EXPECT_GE(r.kernelTotals.scheduled, r.kernelTotals.dispatched);
+    EXPECT_GE(r.kernelTotals.peakHeap, r.atSustainable.kernel.peakHeap);
 }
 
 TEST(BatchRunner, MakespanMatchesBottleneck)
@@ -257,6 +349,50 @@ TEST(BatchRunner, SlowdownStretchesMakespan)
     st.serviceSlowdown = 1.2;
     auto r1 = runBatch(wc, st, b);
     EXPECT_NEAR(r1.makespanSeconds / r0.makespanSeconds, 1.2, 0.05);
+}
+
+TEST(BatchRunner, ReportsStationStatsAndKernelCounters)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             wc.traits(), {});
+    Rng rng(28);
+    auto r = runBatch(wc, st, rng);
+    ASSERT_EQ(r.stations.size(), 2u);
+    EXPECT_EQ(r.stations[0].name, "cpu");
+    EXPECT_EQ(r.stations[1].name, "disk");
+    EXPECT_DOUBLE_EQ(r.stations[0].utilization, r.cpuUtilization);
+    EXPECT_DOUBLE_EQ(r.stations[1].utilization, r.diskUtilization);
+    // Every task touches the CPU station at least once.
+    EXPECT_GE(r.stations[0].completed, r.tasksRun);
+    EXPECT_GT(r.stations[1].meanDepth, 0.0);
+    EXPECT_GT(r.kernel.dispatched, 0u);
+    EXPECT_GE(r.kernel.scheduled, r.kernel.dispatched);
+}
+
+TEST(PerfEvaluator, MeasurementCarriesObservability)
+{
+    PerfEvaluator ev;
+
+    auto mi = ev.measure(makeSystem(SystemClass::Srvr2),
+                         workloads::Benchmark::Ytube);
+    EXPECT_TRUE(mi.interactive);
+    EXPECT_GT(mi.qosLatencyLimit, 0.0);
+    EXPECT_GT(mi.p50Latency, 0.0);
+    EXPECT_LE(mi.p50Latency, mi.p99Latency);
+    EXPECT_FALSE(mi.bottleneck.empty());
+    ASSERT_EQ(mi.stations.size(), 3u);
+    EXPECT_GT(mi.searchProbes, 1u);
+    EXPECT_GT(mi.kernel.dispatched, 0u);
+
+    auto mb = ev.measure(makeSystem(SystemClass::Srvr2),
+                         workloads::Benchmark::MapredWc);
+    EXPECT_FALSE(mb.interactive);
+    EXPECT_EQ(mb.searchProbes, 1u);
+    ASSERT_EQ(mb.stations.size(), 2u);
+    EXPECT_TRUE(mb.bottleneck == "cpu" || mb.bottleneck == "disk");
+    EXPECT_GT(mb.kernel.dispatched, 0u);
 }
 
 TEST(PerfEvaluator, BatchMeasurementDeterministic)

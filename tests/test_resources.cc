@@ -223,4 +223,66 @@ TEST(FifoResource, ZeroServiceTimeOk)
     EXPECT_TRUE(ran);
 }
 
+TEST(PsResource, StatsSnapshotDepthAndUtilization)
+{
+    EventQueue eq;
+    PsResource cpu(eq, "cpu", 2.0, 2);
+    // Two 1-unit jobs run side by side for 1s, then the station idles
+    // until t=4: mean depth 2 * (1/4) = 0.5, peak 2.
+    cpu.submit(1.0, [] {});
+    cpu.submit(1.0, [] {});
+    eq.run(4.0);
+    auto s = cpu.stats();
+    EXPECT_EQ(s.name, "cpu");
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.peakDepth, 2u);
+    EXPECT_NEAR(s.meanDepth, 0.5, 1e-9);
+    EXPECT_NEAR(s.utilization, 0.25, 1e-9);
+}
+
+TEST(PsResource, StatsCountInProgressInterval)
+{
+    EventQueue eq;
+    PsResource cpu(eq, "cpu", 1.0, 1);
+    cpu.submit(10.0, [] {});
+    eq.run(2.0);
+    // The job is still running; the snapshot must include the open
+    // interval since the last internal update.
+    auto s = cpu.stats();
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.peakDepth, 1u);
+    EXPECT_NEAR(s.meanDepth, 1.0, 1e-9);
+    EXPECT_NEAR(s.utilization, 1.0, 1e-9);
+}
+
+TEST(FifoResource, StatsCountQueuedRequestsInDepth)
+{
+    EventQueue eq;
+    FifoResource disk(eq, "disk", 1);
+    // Three back-to-back 1s requests: depth starts at 3 (1 in service,
+    // 2 queued), drains one per second, done at t=3; idle until t=4.
+    // Mean depth = (3 + 2 + 1 + 0) / 4 = 1.5.
+    disk.submit(1.0, [] {});
+    disk.submit(1.0, [] {});
+    disk.submit(1.0, [] {});
+    eq.run(4.0);
+    auto s = disk.stats();
+    EXPECT_EQ(s.name, "disk");
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_EQ(s.peakDepth, 3u);
+    EXPECT_NEAR(s.meanDepth, 1.5, 1e-9);
+    EXPECT_NEAR(s.utilization, 0.75, 1e-9);
+}
+
+TEST(FifoResource, StatsFreshStationIsZero)
+{
+    EventQueue eq;
+    FifoResource disk(eq, "disk", 1);
+    auto s = disk.stats();
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.peakDepth, 0u);
+    EXPECT_DOUBLE_EQ(s.meanDepth, 0.0);
+    EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+}
+
 } // namespace

@@ -90,6 +90,40 @@ TEST(Percentile, FractionAbove)
     EXPECT_DOUBLE_EQ(p.fractionAbove(0.0), 1.0);
 }
 
+TEST(Percentile, QosBoundaryIsStrict)
+{
+    // The paper's QoS is "95% of requests complete in < limit": a
+    // sample exactly at the limit violates. fractionAbove() (strict >)
+    // must exclude it; fractionAtLeast() (>=) must include it.
+    PercentileTracker p;
+    p.add(0.4);
+    p.add(0.5);
+    p.add(0.5);
+    p.add(0.6);
+    EXPECT_DOUBLE_EQ(p.fractionAbove(0.5), 0.25);
+    EXPECT_DOUBLE_EQ(p.fractionAtLeast(0.5), 0.75);
+    // Away from any sample the two agree.
+    EXPECT_DOUBLE_EQ(p.fractionAbove(0.45), p.fractionAtLeast(0.45));
+    // Degenerate cases.
+    EXPECT_DOUBLE_EQ(p.fractionAtLeast(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.fractionAtLeast(0.7), 0.0);
+    PercentileTracker empty;
+    EXPECT_DOUBLE_EQ(empty.fractionAtLeast(1.0), 0.0);
+}
+
+TEST(Histogram, ZeroBinsRejectedBeforeWidthDerivation)
+{
+    // The bins == 0 path must throw from the validation assert, not
+    // divide first and build an inf-width histogram.
+    try {
+        Histogram h(0.0, 1.0, 0);
+        FAIL() << "zero-bin histogram not rejected";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("at least one bin"),
+                  std::string::npos);
+    }
+}
+
 TEST(Percentile, InterleavedAddAndQuery)
 {
     PercentileTracker p;

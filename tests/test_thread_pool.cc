@@ -130,6 +130,65 @@ TEST(ParallelFor, NestedCallsRunSerially)
     EXPECT_EQ(count.load(), 64);
 }
 
+TEST(ThreadPool, SetGlobalThreadsKeepsRetiredPoolUsable)
+{
+    // global() hands out references; a resize must not destroy the
+    // pool under a caller still holding one.
+    ThreadPool &before = ThreadPool::global();
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2u);
+
+    // The retired pool still accepts and runs work.
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        before.post([&ran] { ++ran; });
+    before.wait();
+    EXPECT_EQ(ran.load(), 16);
+
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().threads(), 3u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsRacesWithGlobalUsers)
+{
+    // Hammer global()/parallelFor from several threads while the main
+    // thread resizes the pool repeatedly. Nothing must crash or hang;
+    // every iteration of every parallelFor must still run (checked by
+    // the per-thread counters).
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> users;
+    std::vector<std::atomic<std::uint64_t>> counts(4);
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+        users.emplace_back([&, t] {
+            while (!stop.load()) {
+                ThreadPool &pool = ThreadPool::global();
+                parallelFor(
+                    32, [&](std::size_t) { ++counts[t]; }, &pool);
+            }
+        });
+    }
+    for (unsigned resize = 0; resize < 20; ++resize)
+        ThreadPool::setGlobalThreads(1 + resize % 4);
+    // Wait for every user thread to finish at least one parallelFor —
+    // on a loaded machine some may not have been scheduled during the
+    // resize burst above — so the progress assertions below are
+    // meaningful rather than timing-dependent.
+    auto all_progressed = [&] {
+        for (const auto &c : counts)
+            if (c.load() == 0)
+                return false;
+        return true;
+    };
+    while (!all_progressed())
+        std::this_thread::yield();
+    stop = true;
+    for (auto &u : users)
+        u.join();
+    for (const auto &c : counts)
+        EXPECT_GT(c.load(), 0u);
+    EXPECT_EQ(counts[0].load() % 32, 0u);
+}
+
 TEST(SeedFor, DeterministicAndOrderSensitive)
 {
     EXPECT_EQ(seedFor(1, "emb1", std::uint64_t(2)),

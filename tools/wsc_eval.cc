@@ -13,11 +13,15 @@
  *            --memory-sharing dynamic --storage laptop-flash --csv
  */
 
+#include <atomic>
+#include <fstream>
 #include <iostream>
 
 #include "core/design.hh"
 #include "core/evaluator.hh"
 #include "core/report.hh"
+#include "core/sweep_report.hh"
+#include "obs/run_report.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 
@@ -117,6 +121,15 @@ main(int argc, char **argv)
                    "worker threads for the simulations "
                    "(0 = hardware concurrency)",
                    "0")
+        .addOption("report",
+                   "write a structured JSON run report to this path", "")
+        .addOption("warmup", "simulation warmup window, seconds", "10")
+        .addOption("measure", "simulation measurement window, seconds",
+                   "40")
+        .addOption("search-iters",
+                   "bisection steps in the throughput search", "9")
+        .addFlag("trace",
+                 "count kernel trace records and summarize on stderr")
         .addFlag("csv", "emit CSV instead of an aligned table");
 
     try {
@@ -131,6 +144,22 @@ main(int argc, char **argv)
         EvaluatorParams params;
         params.burden.tariffPerMWh = args.getDouble("tariff");
         params.burden.activityFactor = args.getDouble("activity");
+        params.search.window.warmupSeconds = args.getDouble("warmup");
+        params.search.window.measureSeconds = args.getDouble("measure");
+        double iters = args.getDouble("search-iters");
+        if (iters < 1 || iters > 64)
+            fatal("--search-iters must be in [1, 64]");
+        params.search.iterations = unsigned(iters);
+
+        // --trace installs a shared (thread-safe) counting sink on
+        // every simulation's event queue.
+        std::atomic<std::uint64_t> traced[3] = {};
+        if (args.flag("trace")) {
+            params.search.window.tracer =
+                [&traced](const sim::EventQueue::TraceRecord &r) {
+                    ++traced[std::size_t(r.kind)];
+                };
+        }
         DesignEvaluator evaluator(params);
 
         auto design = buildDesign(args);
@@ -168,6 +197,31 @@ main(int argc, char **argv)
             t.printCsv(std::cout);
         else
             t.print(std::cout);
+
+        if (args.flag("trace")) {
+            using Kind = sim::EventQueue::TraceRecord::Kind;
+            std::cerr << "trace: scheduled="
+                      << traced[std::size_t(Kind::Schedule)].load()
+                      << " dispatched="
+                      << traced[std::size_t(Kind::Dispatch)].load()
+                      << " cancelled="
+                      << traced[std::size_t(Kind::Cancel)].load()
+                      << "\n";
+        }
+
+        std::string report_path = args.get("report");
+        if (!report_path.empty()) {
+            auto report = buildSweepReport(evaluator, cells, "wsc_eval",
+                                           std::uint64_t(threads));
+            std::ofstream out(report_path);
+            if (!out)
+                fatal("cannot open report path '" + report_path + "'");
+            out << obs::toJson(report) << "\n";
+            if (!out)
+                fatal("failed writing report to '" + report_path + "'");
+            std::cerr << "report: " << report_path << " ("
+                      << report.cells.size() << " cells)\n";
+        }
         return 0;
     } catch (const FatalError &e) {
         std::cerr << e.what() << "\n";
