@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the fault-injection subsystem.
+ *
+ * The headline bound: an availability run with an EMPTY fault spec
+ * must cost essentially the same as the degraded-mode client loop
+ * alone — the injector registers no units and schedules nothing, so
+ * BM_Availability/none vs BM_Availability/all separates the protocol's
+ * fixed cost from the fault machinery. Compare the closed-loop pairs
+ * the same way: with the request timer off, the classic driver's event
+ * sequence is untouched, so BM_ClosedLoop/classic and
+ * BM_ClosedLoop/timer-off must agree within noise (<2%).
+ *
+ * Run with --benchmark_repetitions for CI-grade comparisons.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "faults/availability_sim.hh"
+#include "perfsim/closed_loop.hh"
+#include "perfsim/perf_eval.hh"
+#include "platform/catalog.hh"
+#include "workloads/suite.hh"
+#include "workloads/ytube.hh"
+
+using namespace wsc;
+
+namespace {
+
+perfsim::StationConfig
+websearchStations()
+{
+    perfsim::PerfEvaluator perf;
+    auto server = platform::makeSystem(platform::SystemClass::Emb1);
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    return perf.stationsFor(server, workload->traits(), {});
+}
+
+faults::AvailabilityParams
+availParams(bool injected)
+{
+    faults::AvailabilityParams p;
+    p.servers = 4;
+    p.horizonSeconds = 60.0;
+    p.epochSeconds = 5.0;
+    p.offeredRps = 200.0;
+    p.seed = 7;
+    if (injected) {
+        p.injector.spec = faults::FaultSpec::all();
+        p.injector.spec.mttfScale = 1e-6;
+        p.injector.memoryBlade = true;
+    }
+    return p;
+}
+
+void
+BM_Availability(benchmark::State &state, bool injected)
+{
+    auto st = websearchStations();
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    auto &iw =
+        dynamic_cast<workloads::InteractiveWorkload &>(*workload);
+    auto p = availParams(injected);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        auto r = faults::simulateAvailability(iw, st, p);
+        events += r.kernel.dispatched;
+        benchmark::DoNotOptimize(r.availability);
+    }
+    state.SetItemsProcessed(std::int64_t(events));
+}
+
+void
+BM_AvailabilityNone(benchmark::State &state)
+{
+    BM_Availability(state, false);
+}
+BENCHMARK(BM_AvailabilityNone);
+
+void
+BM_AvailabilityAll(benchmark::State &state)
+{
+    BM_Availability(state, true);
+}
+BENCHMARK(BM_AvailabilityAll);
+
+void
+BM_InjectorZeroFaultSetup(benchmark::State &state)
+{
+    // Construction + start() with an empty spec: the entire fixed
+    // price a zero-fault run pays for carrying the injector.
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        faults::FaultInjector inj(eq, faults::InjectorConfig{}, 64);
+        inj.start();
+        benchmark::DoNotOptimize(inj.upCount());
+    }
+}
+BENCHMARK(BM_InjectorZeroFaultSetup);
+
+void
+BM_ClosedLoop(benchmark::State &state, double timeoutSeconds)
+{
+    perfsim::PerfEvaluator perf;
+    workloads::Ytube yt;
+    auto st = perf.stationsFor(
+        platform::makeSystem(platform::SystemClass::Srvr2), yt.traits(),
+        {});
+    perfsim::ClosedLoopParams p;
+    p.epochSeconds = 5.0;
+    p.epochs = 6;
+    p.requestTimeoutSeconds = timeoutSeconds;
+    for (auto _ : state) {
+        Rng rng(11);
+        auto r = perfsim::runClosedLoop(yt, st, p, rng);
+        benchmark::DoNotOptimize(r.sustainedRps);
+    }
+}
+
+void
+BM_ClosedLoopClassic(benchmark::State &state)
+{
+    BM_ClosedLoop(state, 0.0);
+}
+BENCHMARK(BM_ClosedLoopClassic);
+
+void
+BM_ClosedLoopTimerArmed(benchmark::State &state)
+{
+    // Generous timeout: timers are scheduled and cancelled but almost
+    // never fire, pricing the protocol bookkeeping itself.
+    BM_ClosedLoop(state, 1e3);
+}
+BENCHMARK(BM_ClosedLoopTimerArmed);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "core/evaluator.hh"
 
 #include <chrono>
+#include <cmath>
 
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -35,28 +36,40 @@ DesignEvaluator::burdenFor(const DesignConfig &design) const
     return thermal::applyCooling(params_.burden, design.packaging);
 }
 
-CellObservation
-DesignEvaluator::computeCell(const DesignConfig &design,
-                             workloads::Benchmark benchmark) const
+perfsim::PerfOptions
+DesignEvaluator::perfOptionsFor(const DesignConfig &design) const
 {
     perfsim::PerfOptions opts;
-    // The seed hangs off the cell's identity, not the evaluation
-    // order, so parallel and serial sweeps agree bit-for-bit.
-    opts.seed = seedFor(params_.seed, design.name,
-                        std::uint64_t(benchmark));
     opts.search = params_.search;
     if (design.storage) {
-        auto storage_opts =
-            flashcache::perfOptionsFor(*design.storage, benchmark);
+        // Benchmark-independent overrides only; the flash hit rate is
+        // filled per benchmark by the caller.
+        auto storage_opts = flashcache::perfOptionsFor(
+            *design.storage, workloads::Benchmark::Websearch);
         opts.diskOverride = storage_opts.diskOverride;
         opts.extraDiskAccessMs = storage_opts.extraDiskAccessMs;
-        opts.flashCacheHitRate = storage_opts.flashCacheHitRate;
         opts.flashAccessMs = storage_opts.flashAccessMs;
         opts.flashReadMBs = storage_opts.flashReadMBs;
     }
     if (design.memorySharing)
         opts.serviceSlowdown =
             1.0 + design.bladeParams.assumedSlowdown;
+    return opts;
+}
+
+CellObservation
+DesignEvaluator::computeCell(const DesignConfig &design,
+                             workloads::Benchmark benchmark) const
+{
+    perfsim::PerfOptions opts = perfOptionsFor(design);
+    // The seed hangs off the cell's identity, not the evaluation
+    // order, so parallel and serial sweeps agree bit-for-bit.
+    opts.seed = seedFor(params_.seed, design.name,
+                        std::uint64_t(benchmark));
+    if (design.storage)
+        opts.flashCacheHitRate =
+            flashcache::perfOptionsFor(*design.storage, benchmark)
+                .flashCacheHitRate;
 
     CellObservation obs;
     auto start = std::chrono::steady_clock::now();
@@ -158,6 +171,118 @@ DesignEvaluator::evaluateBatch(const std::vector<EvalCell> &cells,
     for (const auto &cell : cells)
         out.push_back(metricsWithPerf(
             cell.design, measurePerf(cell.design, cell.benchmark)));
+    return out;
+}
+
+faults::InjectorConfig
+DesignEvaluator::injectorConfigFor(const DesignConfig &design,
+                                   const AvailabilityEvalParams &p) const
+{
+    faults::InjectorConfig cfg;
+    cfg.spec = p.spec;
+    cfg.seed = seedFor(params_.seed, "avail", design.name,
+                       std::uint64_t(p.benchmark));
+
+    auto server = adjustedServer(design);
+    cfg.serverWatts = server.totalWatts();
+    // One DIMM per 2 GB of the era's module capacity; ensemble memory
+    // sharing moves capacity off the server onto the blade.
+    cfg.dimmsPerServer = std::max(
+        1u, unsigned(std::lround(server.memory.capacityGB / 2.0)));
+    cfg.disksPerServer = 1;
+    // Remote disks are shared SAN targets: one target serves a
+    // fanout-sized group, and its failure takes the whole group down.
+    cfg.storageFanout =
+        server.disk.remote ? p.remoteStorageFanout : 1;
+    cfg.memoryBlade = design.memorySharing.has_value();
+    cfg.packaging = design.packaging;
+    cfg.fansPerServer = faults::defaultFansPerServer(design.packaging);
+    return cfg;
+}
+
+faults::AvailabilityResult
+DesignEvaluator::computeAvailability(const DesignConfig &design,
+                                     const AvailabilityEvalParams &p,
+                                     double singleRps) const
+{
+    WSC_ASSERT(singleRps > 0.0,
+               "availability needs a positive sustainable RPS for "
+                   << design.name);
+    auto workload = workloads::makeBenchmark(p.benchmark);
+    auto *iw =
+        dynamic_cast<workloads::InteractiveWorkload *>(workload.get());
+    WSC_ASSERT(iw, "availability evaluation needs an interactive "
+                   "benchmark: "
+                       << workloads::to_string(p.benchmark));
+
+    perfsim::PerfOptions opts = perfOptionsFor(design);
+    if (design.storage)
+        opts.flashCacheHitRate =
+            flashcache::perfOptionsFor(*design.storage, p.benchmark)
+                .flashCacheHitRate;
+    auto stations =
+        perf.stationsFor(design.server, iw->traits(), opts);
+
+    faults::AvailabilityParams ap;
+    ap.servers = p.servers;
+    ap.horizonSeconds = p.horizonSeconds;
+    ap.epochSeconds = p.epochSeconds;
+    ap.offeredRps = p.loadFactor * singleRps * double(p.servers);
+    ap.timeoutFactor = p.timeoutFactor;
+    ap.maxRetries = p.maxRetries;
+    ap.backoffSeconds = p.backoffSeconds;
+    // Seeded by identity so batch evaluation decomposes bit-identically
+    // for any thread count.
+    ap.seed = seedFor(params_.seed, "avail", design.name,
+                      std::uint64_t(p.benchmark));
+    ap.injector = injectorConfigFor(design, p);
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = faults::simulateAvailability(*iw, stations, ap);
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    metrics_.counter("eval.avail_runs").add();
+    metrics_.counter("eval.avail_events")
+        .add(result.kernel.dispatched);
+    metrics_.timer("eval.availability").record(dt.count());
+    return result;
+}
+
+faults::AvailabilityResult
+DesignEvaluator::evaluateAvailability(const DesignConfig &design,
+                                      const AvailabilityEvalParams &p)
+{
+    double singleRps =
+        observationFor(design, p.benchmark).measurement.sustainableRps;
+    return computeAvailability(design, p, singleRps);
+}
+
+std::vector<faults::AvailabilityResult>
+DesignEvaluator::evaluateAvailabilityBatch(
+    const std::vector<DesignConfig> &designs,
+    const AvailabilityEvalParams &p, ThreadPool *pool)
+{
+    // Populate the perf cache (parallel on first touch) so the
+    // availability fan-out reads sustainable RPS without touching
+    // shared state from workers.
+    std::vector<EvalCell> cells;
+    cells.reserve(designs.size());
+    for (const auto &d : designs)
+        cells.push_back({d, p.benchmark});
+    evaluateBatch(cells, pool);
+
+    std::vector<double> singleRps(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i)
+        singleRps[i] = observationFor(designs[i], p.benchmark)
+                           .measurement.sustainableRps;
+
+    std::vector<faults::AvailabilityResult> out(designs.size());
+    parallelFor(
+        designs.size(),
+        [&](std::size_t i) {
+            out[i] = computeAvailability(designs[i], p, singleRps[i]);
+        },
+        pool);
     return out;
 }
 

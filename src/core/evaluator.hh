@@ -18,6 +18,7 @@
 #include "core/design.hh"
 #include "core/metrics.hh"
 #include "cost/tco.hh"
+#include "faults/availability_sim.hh"
 #include "obs/metrics.hh"
 #include "perfsim/perf_eval.hh"
 #include "thermal/cooling_cost.hh"
@@ -40,6 +41,28 @@ struct EvaluatorParams {
 struct EvalCell {
     DesignConfig design;
     workloads::Benchmark benchmark;
+};
+
+/**
+ * Controls for dependability-aware evaluation: the fault population
+ * and the availability run each design is subjected to. The fault
+ * hardware description (fan count, DIMM count, storage fanout, memory
+ * blade) is derived from the design itself — see
+ * DesignEvaluator::injectorConfigFor.
+ */
+struct AvailabilityEvalParams {
+    faults::FaultSpec spec;
+    unsigned servers = 8;
+    double horizonSeconds = 600.0;
+    double epochSeconds = 10.0;
+    /** Offered load as a fraction of servers x single-server RPS. */
+    double loadFactor = 0.7;
+    double timeoutFactor = 4.0;
+    unsigned maxRetries = 2;
+    double backoffSeconds = 0.1;
+    /** Servers sharing one remote disk target (correlated blast). */
+    unsigned remoteStorageFanout = 4;
+    workloads::Benchmark benchmark = workloads::Benchmark::Websearch;
 };
 
 /**
@@ -118,6 +141,41 @@ class DesignEvaluator
                                           workloads::Benchmark benchmark);
 
     /**
+     * Availability of @p design under fault injection: a cluster of
+     * identical servers is driven at @p p.loadFactor of its aggregate
+     * sustainable throughput (from the cached perf measurement) while
+     * the FaultInjector exercises the spec's component failures.
+     * Results are seeded from (base seed, design name, benchmark) and
+     * bit-identical for any thread count.
+     */
+    faults::AvailabilityResult evaluateAvailability(
+        const DesignConfig &design, const AvailabilityEvalParams &p);
+
+    /**
+     * Availability of many designs, in parallel when @p pool has more
+     * than one thread (nullptr selects the global pool). Results in
+     * design order, bit-identical to serial evaluation.
+     */
+    std::vector<faults::AvailabilityResult> evaluateAvailabilityBatch(
+        const std::vector<DesignConfig> &designs,
+        const AvailabilityEvalParams &p, ThreadPool *pool = nullptr);
+
+    /**
+     * Fault hardware description a design implies: fan count from its
+     * packaging, DIMM count from its memory capacity, the memory blade
+     * when it shares ensemble memory, and correlated storage fanout
+     * when its disks are remote.
+     */
+    faults::InjectorConfig injectorConfigFor(
+        const DesignConfig &design,
+        const AvailabilityEvalParams &p) const;
+
+    /** Performance-model overrides a design implies (storage, memory
+     * sharing); the perf side of computeCell, exposed so availability
+     * runs use identical station derivation. */
+    perfsim::PerfOptions perfOptionsFor(const DesignConfig &design) const;
+
+    /**
      * Evaluator-level metrics: cells simulated, cache hits, wall-clock
      * spent simulating. Thread-safe; fed from batch workers too.
      */
@@ -138,6 +196,13 @@ class DesignEvaluator
      * evaluateBatch can run it from pool workers. */
     CellObservation computeCell(const DesignConfig &design,
                                 workloads::Benchmark benchmark) const;
+
+    /** Cache-free availability run; const and reentrant for pool
+     * workers. @p singleRps is the design's cached single-server
+     * sustainable throughput. */
+    faults::AvailabilityResult computeAvailability(
+        const DesignConfig &design, const AvailabilityEvalParams &p,
+        double singleRps) const;
 
     /** Cost/power/thermal side of evaluate(), given measured perf. */
     EfficiencyMetrics metricsWithPerf(const DesignConfig &design,

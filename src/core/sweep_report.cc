@@ -31,6 +31,59 @@ cellReport(const DesignConfig &design, workloads::Benchmark benchmark,
     return c;
 }
 
+obs::AvailReport
+availReport(const DesignConfig &design,
+            const AvailabilityEvalParams &params,
+            const faults::AvailabilityResult &result)
+{
+    obs::AvailReport a;
+    a.design = design.name;
+    a.benchmark = workloads::to_string(params.benchmark);
+    a.spec = params.spec.summary();
+    a.mttfScale = params.spec.mttfScale;
+    a.servers = params.servers;
+    a.offeredRps = result.offeredRps;
+    a.horizonSeconds = result.horizonSeconds;
+
+    a.availability = result.availability;
+    a.epochsTotal = result.epochsTotal;
+    a.epochsPassed = result.epochsPassed;
+    a.goodputRps = result.goodputRps;
+    a.goodputFraction = result.goodputFraction;
+    a.meanTimeToQosViolationSeconds =
+        result.meanTimeToQosViolationSeconds;
+
+    a.offered = result.offered;
+    a.completions = result.completions;
+    a.qosViolations = result.qosViolations;
+    a.timeouts = result.timeouts;
+    a.retries = result.retries;
+    a.giveups = result.giveups;
+    a.lateCompletions = result.lateCompletions;
+
+    for (auto c : faults::allComponents) {
+        auto i = std::size_t(c);
+        if (result.faults.failures[i] == 0 &&
+            result.faults.repairs[i] == 0)
+            continue;
+        a.faults.push_back({faults::to_string(c),
+                            result.faults.failures[i],
+                            result.faults.repairs[i]});
+    }
+    a.serverCrashes = result.faults.serverCrashes;
+    a.thermalThrottles = result.faults.thermalThrottles;
+    a.thermalShutdowns = result.faults.thermalShutdowns;
+    a.serverDownFraction = result.serverDownFraction;
+    a.serverDegradedFraction = result.serverDegradedFraction;
+    a.blastRadiusMean = result.faults.blastMean();
+    a.blastRadiusMax = result.faults.blastMax;
+
+    a.kernel = {result.kernel.scheduled, result.kernel.dispatched,
+                result.kernel.cancelled, result.kernel.compactions,
+                std::uint64_t(result.kernel.peakHeap)};
+    return a;
+}
+
 obs::SweepReport
 buildSweepReport(DesignEvaluator &evaluator,
                  const std::vector<EvalCell> &cells,

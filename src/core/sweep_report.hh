@@ -26,6 +26,15 @@ obs::CellReport cellReport(const DesignConfig &design,
                            const CellObservation &observation);
 
 /**
+ * Convert one availability run into its report form. Component classes
+ * with zero activity are omitted from the per-component list so
+ * disabled classes leave no trace in the JSON.
+ */
+obs::AvailReport availReport(const DesignConfig &design,
+                             const AvailabilityEvalParams &params,
+                             const faults::AvailabilityResult &result);
+
+/**
  * Build the full sweep report for @p cells: per-cell reports (from
  * the evaluator's cache, simulating any cell not yet touched) plus the
  * evaluator's metric registry snapshots.

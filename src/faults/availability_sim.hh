@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cluster availability simulation under fault injection.
+ *
+ * Runs an open-loop (Poisson) request stream against a cluster of
+ * identical servers while a FaultInjector crashes, degrades, and
+ * repairs components on the same event queue. Clients implement the
+ * degraded-mode protocol: per-request timeout, bounded retries with
+ * exponential backoff, and failover routing (least-outstanding among
+ * surviving servers). Work a crashed server held is lost (resource
+ * purge); work an overloaded server finishes after its client timed
+ * out counts only as a late completion.
+ *
+ * QoS is accounted per epoch: an epoch passes when the fraction of bad
+ * outcomes (late completions + give-ups) among resolved requests stays
+ * within the workload's QoS quantile. Availability is the fraction of
+ * epochs that pass — "the cluster sustains QoS at target load" — and
+ * mean time to QoS violation is the average length of passing runs
+ * preceding each violation episode.
+ *
+ * Determinism: one event queue per run; the load stream and every
+ * fault stream are identity-seeded (util/hash.hh), so results are
+ * bit-identical for any evaluation thread count.
+ */
+
+#ifndef WSC_FAULTS_AVAILABILITY_SIM_HH
+#define WSC_FAULTS_AVAILABILITY_SIM_HH
+
+#include <cstdint>
+
+#include "faults/injector.hh"
+#include "perfsim/server_sim.hh"
+#include "workloads/workload.hh"
+
+namespace wsc {
+namespace faults {
+
+/** One availability run's knobs. */
+struct AvailabilityParams {
+    unsigned servers = 8;
+    /** Normalized down to a whole number of epochs. */
+    double horizonSeconds = 600.0;
+    double epochSeconds = 10.0;
+    /** Aggregate offered load across the cluster. */
+    double offeredRps = 100.0;
+    /** Client timeout as a multiple of the QoS latency limit. */
+    double timeoutFactor = 4.0;
+    unsigned maxRetries = 2;
+    /** First retry backoff; doubles per subsequent attempt. */
+    double backoffSeconds = 0.1;
+    std::uint64_t seed = 0;
+    /** Fault population and models (spec may be empty: no faults). */
+    InjectorConfig injector;
+};
+
+/** Outcome of one availability run. */
+struct AvailabilityResult {
+    double offeredRps = 0.0;
+    double horizonSeconds = 0.0;
+
+    std::uint64_t epochsTotal = 0;
+    std::uint64_t epochsPassed = 0;
+    /** Fraction of epochs sustaining QoS at the offered load. */
+    double availability = 0.0;
+    /** QoS-meeting completions per second over the horizon. */
+    double goodputRps = 0.0;
+    /** QoS-meeting completions / offered requests. */
+    double goodputFraction = 0.0;
+    /** Mean passing-run length before a violation episode; equals the
+     * horizon when no epoch ever fails. */
+    double meanTimeToQosViolationSeconds = 0.0;
+
+    std::uint64_t offered = 0;
+    std::uint64_t completions = 0;     //!< client-visible successes
+    std::uint64_t qosViolations = 0;   //!< completions at/over the limit
+    std::uint64_t timeouts = 0;        //!< attempts abandoned by timer
+    std::uint64_t retries = 0;
+    std::uint64_t giveups = 0;         //!< requests out of retries
+    std::uint64_t lateCompletions = 0; //!< finished after abandonment
+
+    /** Fraction of server-seconds spent down / thermally throttled. */
+    double serverDownFraction = 0.0;
+    double serverDegradedFraction = 0.0;
+
+    InjectorStats faults;
+    sim::EventQueue::Counters kernel;
+};
+
+/**
+ * Run one availability simulation of @p workload on @p params.servers
+ * identical servers with stations @p st.
+ */
+AvailabilityResult
+simulateAvailability(workloads::InteractiveWorkload &workload,
+                     const perfsim::StationConfig &st,
+                     const AvailabilityParams &params);
+
+} // namespace faults
+} // namespace wsc
+
+#endif // WSC_FAULTS_AVAILABILITY_SIM_HH

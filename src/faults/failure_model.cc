@@ -1,0 +1,100 @@
+#include "faults/failure_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace faults {
+
+namespace {
+
+constexpr double secondsPerYear = 365.25 * 24.0 * 3600.0;
+constexpr double secondsPerHour = 3600.0;
+
+} // namespace
+
+std::string
+to_string(Component c)
+{
+    switch (c) {
+      case Component::Server:
+        return "server";
+      case Component::Disk:
+        return "disk";
+      case Component::Dimm:
+        return "dimm";
+      case Component::Fan:
+        return "fan";
+      case Component::Psu:
+        return "psu";
+      case Component::Nic:
+        return "nic";
+      case Component::MemoryBlade:
+        return "memory-blade";
+    }
+    panic("unknown component class");
+}
+
+double
+FailureModel::mttfSeconds() const
+{
+    WSC_ASSERT(afr > 0.0, "failure model needs a positive AFR");
+    return secondsPerYear / afr;
+}
+
+double
+FailureModel::drawLifetimeSeconds(Rng &rng, double mttfScale) const
+{
+    WSC_ASSERT(mttfScale > 0.0, "mttf scale must be positive");
+    WSC_ASSERT(weibullShape > 0.0, "Weibull shape must be positive");
+    double mean = mttfSeconds() * mttfScale;
+    // Weibull mean = eta * Gamma(1 + 1/k); pick eta to hit the mean.
+    double eta = mean / std::tgamma(1.0 + 1.0 / weibullShape);
+    // Inverse CDF over a single uniform draw. Clamp away from 0 so
+    // log() stays finite; uniform() already excludes 1.0.
+    double u = rng.uniform();
+    if (u <= 0.0)
+        u = 1e-300;
+    return eta * std::pow(-std::log(u), 1.0 / weibullShape);
+}
+
+double
+FailureModel::drawRepairSeconds(Rng &rng) const
+{
+    WSC_ASSERT(repairMeanHours > 0.0, "repair mean must be positive");
+    return rng.exponential(repairMeanHours * secondsPerHour);
+}
+
+FailureModel
+defaultModel(Component c)
+{
+    switch (c) {
+      case Component::Server:
+        // Residual whole-server rate: board, firmware, kernel crashes.
+        return {0.02, 1.0, 6.0};
+      case Component::Disk:
+        // Field AFR ~3-4% with infant mortality (shape < 1);
+        // hot-swap + RAID rebuild keeps repair short.
+        return {0.04, 0.8, 8.0};
+      case Component::Dimm:
+        // Uncorrectable-error rate per module; board-down repair.
+        return {0.01, 1.0, 24.0};
+      case Component::Fan:
+        // Mechanical wear-out (shape > 1); hot-swap repair.
+        return {0.05, 1.5, 2.0};
+      case Component::Psu:
+        return {0.03, 1.0, 4.0};
+      case Component::Nic:
+        return {0.01, 1.0, 12.0};
+      case Component::MemoryBlade:
+        // One blade serves the whole ensemble: engineered for
+        // reliability (redundant power, ECC) but repaired under
+        // priority escalation because everything leases from it.
+        return {0.015, 1.0, 3.0};
+    }
+    panic("unknown component class");
+}
+
+} // namespace faults
+} // namespace wsc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-component failure and repair models.
+ *
+ * Each hardware component class carries an annualized failure rate
+ * (AFR) and a Weibull lifetime shape. Shape 1.0 is the memoryless
+ * exponential model; shape < 1 models infant mortality (disks), and
+ * shape > 1 models wear-out. Repair times are exponential around a
+ * mean sourced from datacenter operations practice: hot-swappable
+ * parts (disks, fans, PSUs) turn around in hours, board-down repairs
+ * (DIMMs, NICs) take longer, and the shared memory blade is modeled
+ * as a priority repair because its blast radius spans the ensemble.
+ *
+ * AFRs follow the component-reliability literature of the paper's era
+ * (disk field studies reporting 2-4% AFR with burn-in failures
+ * dominating; DRAM/NIC/PSU in the ~1-3% band). They are inputs, not
+ * conclusions: the availability experiments scale them with
+ * --mttf-scale to compress years of fault exposure into a simulable
+ * horizon (accelerated-life framing), and the *relative* ranking of
+ * designs is what the study reads off.
+ */
+
+#ifndef WSC_FAULTS_FAILURE_MODEL_HH
+#define WSC_FAULTS_FAILURE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hh"
+
+namespace wsc {
+namespace faults {
+
+/** Component classes with distinct failure behavior. */
+enum class Component {
+    Server,      //!< whole-server residual (board, firmware, OS)
+    Disk,        //!< spindle (local or the remote laptop tier)
+    Dimm,        //!< memory module; failure crashes the server
+    Fan,         //!< cooling fan; failure degrades via thermal model
+    Psu,         //!< power supply; failure crashes the server
+    Nic,         //!< network interface; failure isolates the server
+    MemoryBlade, //!< shared PCIe memory blade (ensemble-wide)
+};
+
+/** Number of component classes (array sizing). */
+inline constexpr std::size_t componentCount = 7;
+
+/** All component classes, in enum order. */
+inline constexpr Component allComponents[componentCount] = {
+    Component::Server, Component::Disk,        Component::Dimm,
+    Component::Fan,    Component::Psu,         Component::Nic,
+    Component::MemoryBlade,
+};
+
+std::string to_string(Component c);
+
+/** Lifetime + repair distribution for one component class. */
+struct FailureModel {
+    /** Annualized failure rate: expected failures per device-year. */
+    double afr = 0.02;
+    /** Weibull lifetime shape; 1.0 = exponential (memoryless). */
+    double weibullShape = 1.0;
+    /** Mean repair turnaround, hours (exponential). */
+    double repairMeanHours = 4.0;
+
+    /** Mean time to failure implied by the AFR, seconds. */
+    double mttfSeconds() const;
+
+    /**
+     * Draw one lifetime in seconds via the Weibull inverse CDF, with
+     * the scale parameter chosen so the mean equals
+     * mttfSeconds() * @p mttfScale. Exactly one uniform draw per call,
+     * so streams stay aligned across model variants.
+     */
+    double drawLifetimeSeconds(Rng &rng, double mttfScale = 1.0) const;
+
+    /** Draw one repair duration in seconds (exponential; one draw). */
+    double drawRepairSeconds(Rng &rng) const;
+};
+
+/**
+ * Default model for a component class (the catalog the availability
+ * experiments run with; override per-spec for sensitivity studies).
+ */
+FailureModel defaultModel(Component c);
+
+} // namespace faults
+} // namespace wsc
+
+#endif // WSC_FAULTS_FAILURE_MODEL_HH

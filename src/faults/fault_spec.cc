@@ -1,0 +1,92 @@
+#include "faults/fault_spec.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace wsc {
+namespace faults {
+
+FaultSpec::FaultSpec()
+{
+    for (auto c : allComponents)
+        models[std::size_t(c)] = defaultModel(c);
+}
+
+FaultSpec
+FaultSpec::none()
+{
+    return FaultSpec{};
+}
+
+FaultSpec
+FaultSpec::all()
+{
+    FaultSpec s;
+    s.enable.fill(true);
+    return s;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    std::string spec = toLower(trim(text));
+    if (spec.empty() || spec == "none")
+        return none();
+    if (spec == "all")
+        return all();
+
+    FaultSpec s;
+    for (const auto &raw : split(spec, ',')) {
+        std::string token = trim(raw);
+        bool matched = false;
+        for (auto c : allComponents) {
+            if (token == to_string(c)) {
+                s.enable[std::size_t(c)] = true;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            std::string known;
+            for (auto c : allComponents) {
+                if (!known.empty())
+                    known += "|";
+                known += to_string(c);
+            }
+            fatal("unknown fault component '" + token +
+                  "' (all|none|" + known + ")");
+        }
+    }
+    return s;
+}
+
+bool
+FaultSpec::any() const
+{
+    for (bool b : enable)
+        if (b)
+            return true;
+    return false;
+}
+
+std::string
+FaultSpec::summary() const
+{
+    if (!any())
+        return "none";
+    std::string out;
+    bool allOn = true;
+    for (auto c : allComponents) {
+        if (!enabled(c)) {
+            allOn = false;
+            continue;
+        }
+        if (!out.empty())
+            out += ",";
+        out += to_string(c);
+    }
+    return allOn ? "all" : out;
+}
+
+} // namespace faults
+} // namespace wsc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * User-facing fault-injection specification.
+ *
+ * A FaultSpec names which component classes fail and how aggressively
+ * time is compressed. The CLI form (wsc_eval --faults <spec>) is a
+ * comma-separated list of component names, or "all" / "none":
+ *
+ *   --faults all
+ *   --faults disk,fan,memory-blade --mttf-scale 1e-5
+ *
+ * mttfScale multiplies every component's mean time to failure;
+ * values << 1 compress years of fault exposure into a simulable
+ * horizon (accelerated-life testing). Repair times are NOT scaled:
+ * compressing failures while keeping repairs real-length is what makes
+ * the availability price of wide blast radii visible in short runs.
+ */
+
+#ifndef WSC_FAULTS_FAULT_SPEC_HH
+#define WSC_FAULTS_FAULT_SPEC_HH
+
+#include <array>
+#include <string>
+
+#include "faults/failure_model.hh"
+
+namespace wsc {
+namespace faults {
+
+/** Which components fail, and the time-compression factor. */
+struct FaultSpec {
+    std::array<bool, componentCount> enable{};
+    double mttfScale = 1.0;
+    /** Per-class models; defaults from defaultModel(). */
+    std::array<FailureModel, componentCount> models;
+
+    FaultSpec();
+
+    /** No faults at all (the default spec). */
+    static FaultSpec none();
+
+    /** Every component class enabled. */
+    static FaultSpec all();
+
+    /**
+     * Parse a CLI spec: "all", "none", or a comma-separated list of
+     * component names (see to_string(Component)).
+     * @throws FatalError naming the offending token on bad input.
+     */
+    static FaultSpec parse(const std::string &text);
+
+    bool enabled(Component c) const
+    {
+        return enable[std::size_t(c)];
+    }
+
+    const FailureModel &model(Component c) const
+    {
+        return models[std::size_t(c)];
+    }
+
+    /** True when at least one component class is enabled. */
+    bool any() const;
+
+    /** Canonical text form ("none", "all", or the sorted name list). */
+    std::string summary() const;
+};
+
+} // namespace faults
+} // namespace wsc
+
+#endif // WSC_FAULTS_FAULT_SPEC_HH

@@ -1,0 +1,337 @@
+#include "faults/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace wsc {
+namespace faults {
+
+namespace {
+
+/** Crash-class components take servers down outright; fans degrade
+ * first and only crash via protective shutdown. */
+bool
+crashClass(Component c)
+{
+    return c != Component::Fan;
+}
+
+} // namespace
+
+std::string
+to_string(Health h)
+{
+    switch (h) {
+      case Health::Healthy:
+        return "healthy";
+      case Health::Degraded:
+        return "degraded";
+      case Health::Failed:
+        return "failed";
+      case Health::Repairing:
+        return "repairing";
+    }
+    panic("unknown health state");
+}
+
+std::uint64_t
+InjectorStats::totalFailures() const
+{
+    std::uint64_t n = 0;
+    for (auto f : failures)
+        n += f;
+    return n;
+}
+
+std::uint64_t
+InjectorStats::totalRepairs() const
+{
+    std::uint64_t n = 0;
+    for (auto r : repairs)
+        n += r;
+    return n;
+}
+
+FaultInjector::FaultInjector(sim::EventQueue &eq_, const InjectorConfig &cfg,
+                             unsigned servers)
+    : eq(eq_), cfg_(cfg)
+{
+    WSC_ASSERT(servers > 0, "fault injector needs at least one server");
+    servers_.resize(servers);
+    upCount_ = servers;
+
+    const FaultSpec &spec = cfg_.spec;
+    if (spec.enabled(Component::Fan) && cfg_.fansPerServer > 0)
+        thermal_ = fanFailureCoupling(
+            cfg_.packaging, cfg_.serverWatts, cfg_.fansPerServer,
+            cfg_.thermalTimeConstantSeconds, cfg_.throttleDeltaTFraction,
+            cfg_.shutdownDeltaTFraction);
+
+    if (spec.enabled(Component::Server))
+        registerUnits(Component::Server, servers, 1);
+    if (spec.enabled(Component::Disk)) {
+        if (cfg_.storageFanout <= 1) {
+            registerUnits(Component::Disk, servers, cfg_.disksPerServer);
+        } else {
+            // Shared remote targets: one group per fanout-sized slice.
+            unsigned groups =
+                (servers + cfg_.storageFanout - 1) / cfg_.storageFanout;
+            registerUnits(Component::Disk, groups, cfg_.disksPerServer);
+        }
+    }
+    if (spec.enabled(Component::Dimm))
+        registerUnits(Component::Dimm, servers, cfg_.dimmsPerServer);
+    if (spec.enabled(Component::Fan))
+        registerUnits(Component::Fan, servers, cfg_.fansPerServer);
+    if (spec.enabled(Component::Psu))
+        registerUnits(Component::Psu, servers, cfg_.psusPerServer);
+    if (spec.enabled(Component::Nic))
+        registerUnits(Component::Nic, servers, cfg_.nicsPerServer);
+    if (spec.enabled(Component::MemoryBlade) && cfg_.memoryBlade)
+        registerUnits(Component::MemoryBlade, 1, 1);
+}
+
+void
+FaultInjector::registerUnits(Component c, unsigned groups, unsigned perGroup)
+{
+    for (unsigned g = 0; g < groups; ++g) {
+        for (unsigned i = 0; i < perGroup; ++i) {
+            // Stream identity is (component class, position), never
+            // draw order: sweeps stay bit-identical under threading.
+            Rng rng(seedFor(cfg_.seed, "fault", to_string(c), g, i));
+            units.emplace_back(c, g, i, std::move(rng));
+        }
+    }
+}
+
+void
+FaultInjector::start()
+{
+    for (std::size_t u = 0; u < units.size(); ++u)
+        scheduleFailure(u);
+}
+
+void
+FaultInjector::scheduleFailure(std::size_t u)
+{
+    Unit &unit = units[u];
+    const FailureModel &model = cfg_.spec.model(unit.type);
+    double dt = model.drawLifetimeSeconds(unit.rng, cfg_.spec.mttfScale);
+    eq.scheduleAfter(dt, [this, u] { fail(u); });
+}
+
+void
+FaultInjector::affectedRange(const Unit &unit, unsigned *first,
+                             unsigned *last) const
+{
+    unsigned n = unsigned(servers_.size());
+    switch (unit.type) {
+      case Component::MemoryBlade:
+        *first = 0;
+        *last = n;
+        return;
+      case Component::Disk:
+        if (cfg_.storageFanout > 1) {
+            *first = unit.group * cfg_.storageFanout;
+            *last = std::min(n, (unit.group + 1) * cfg_.storageFanout);
+            return;
+        }
+        [[fallthrough]];
+      default:
+        *first = unit.group;
+        *last = unit.group + 1;
+        return;
+    }
+}
+
+void
+FaultInjector::fail(std::size_t u)
+{
+    Unit &unit = units[u];
+    unit.failed = true;
+    unit.failedAt = eq.now();
+    ++stats_.failures[std::size_t(unit.type)];
+
+    if (crashClass(unit.type)) {
+        unsigned first = 0, last = 0;
+        affectedRange(unit, &first, &last);
+        std::size_t newlyDown = 0;
+        for (unsigned s = first; s < last; ++s)
+            crashServer(s, &newlyDown);
+        ++stats_.blastEvents;
+        stats_.blastServerSum += newlyDown;
+        stats_.blastMax = std::max(stats_.blastMax, newlyDown);
+        for (unsigned s = first; s < last; ++s)
+            servers_[s].lastFailAt = eq.now();
+        if (downFn)
+            for (unsigned s = first; s < last; ++s)
+                downFn(s, unit.type);
+    } else {
+        // Fan: escalate thermally toward throttle, then shutdown.
+        if (std::isfinite(thermal_.timeToThrottleSeconds))
+            unit.pendingThrottle = eq.scheduleAfter(
+                thermal_.timeToThrottleSeconds,
+                [this, u] { applyThrottle(u); });
+        if (std::isfinite(thermal_.timeToShutdownSeconds))
+            unit.pendingShutdown = eq.scheduleAfter(
+                thermal_.timeToShutdownSeconds,
+                [this, u] { applyShutdown(u); });
+    }
+
+    const FailureModel &model = cfg_.spec.model(unit.type);
+    double repairDt =
+        cfg_.detectionSeconds + model.drawRepairSeconds(unit.rng);
+    eq.scheduleAfter(repairDt, [this, u] { repair(u); });
+}
+
+void
+FaultInjector::repair(std::size_t u)
+{
+    Unit &unit = units[u];
+    WSC_ASSERT(unit.failed, "repair of a unit that is not failed");
+    unit.failed = false;
+    ++stats_.repairs[std::size_t(unit.type)];
+
+    if (crashClass(unit.type)) {
+        unsigned first = 0, last = 0;
+        affectedRange(unit, &first, &last);
+        for (unsigned s = first; s < last; ++s)
+            restoreServer(s);
+    } else {
+        liftThermal(unit);
+    }
+
+    scheduleFailure(u);
+}
+
+void
+FaultInjector::crashServer(unsigned server, std::size_t *newlyDown)
+{
+    ServerState &st = servers_[server];
+    ++st.crashCauses;
+    if (st.down)
+        return;
+    st.down = true;
+    st.downSince = eq.now();
+    ++stats_.serverCrashes;
+    WSC_ASSERT(upCount_ > 0, "crash with no servers up");
+    --upCount_;
+    if (newlyDown)
+        ++*newlyDown;
+}
+
+void
+FaultInjector::restoreServer(unsigned server)
+{
+    ServerState &st = servers_[server];
+    WSC_ASSERT(st.crashCauses > 0, "restore of a server that is not down");
+    --st.crashCauses;
+    if (st.crashCauses > 0)
+        return;
+    st.down = false;
+    stats_.serverDownSeconds += eq.now() - st.downSince;
+    ++upCount_;
+    if (upFn)
+        upFn(server);
+}
+
+void
+FaultInjector::applyThrottle(std::size_t u)
+{
+    Unit &unit = units[u];
+    unit.pendingThrottle = 0;
+    unit.throttleApplied = true;
+    ++stats_.thermalThrottles;
+    ServerState &st = servers_[unit.group];
+    ++st.throttles;
+    if (st.throttles == 1) {
+        st.degradedSince = eq.now();
+        if (throttleFn)
+            throttleFn(unit.group, cfg_.throttleCapacityFactor);
+    }
+}
+
+void
+FaultInjector::applyShutdown(std::size_t u)
+{
+    Unit &unit = units[u];
+    unit.pendingShutdown = 0;
+    unit.shutdownApplied = true;
+    ++stats_.thermalShutdowns;
+    std::size_t newlyDown = 0;
+    crashServer(unit.group, &newlyDown);
+    ++stats_.blastEvents;
+    stats_.blastServerSum += newlyDown;
+    stats_.blastMax = std::max(stats_.blastMax, newlyDown);
+    servers_[unit.group].lastFailAt = eq.now();
+    if (downFn)
+        downFn(unit.group, Component::Fan);
+}
+
+void
+FaultInjector::liftThermal(Unit &unit)
+{
+    if (unit.pendingThrottle) {
+        eq.cancel(unit.pendingThrottle);
+        unit.pendingThrottle = 0;
+    }
+    if (unit.pendingShutdown) {
+        eq.cancel(unit.pendingShutdown);
+        unit.pendingShutdown = 0;
+    }
+    if (unit.throttleApplied) {
+        unit.throttleApplied = false;
+        ServerState &st = servers_[unit.group];
+        WSC_ASSERT(st.throttles > 0, "throttle lift without throttle");
+        --st.throttles;
+        if (st.throttles == 0) {
+            stats_.serverDegradedSeconds += eq.now() - st.degradedSince;
+            if (throttleFn)
+                throttleFn(unit.group, 1.0);
+        }
+    }
+    if (unit.shutdownApplied) {
+        unit.shutdownApplied = false;
+        restoreServer(unit.group);
+    }
+}
+
+void
+FaultInjector::finalize()
+{
+    for (ServerState &st : servers_) {
+        if (st.down) {
+            stats_.serverDownSeconds += eq.now() - st.downSince;
+            st.downSince = eq.now();
+        }
+        if (st.throttles > 0) {
+            stats_.serverDegradedSeconds += eq.now() - st.degradedSince;
+            st.degradedSince = eq.now();
+        }
+    }
+}
+
+bool
+FaultInjector::serverUp(unsigned server) const
+{
+    return !servers_[server].down;
+}
+
+Health
+FaultInjector::serverHealth(unsigned server) const
+{
+    const ServerState &st = servers_[server];
+    if (st.down)
+        return eq.now() < st.lastFailAt + cfg_.detectionSeconds
+                   ? Health::Failed
+                   : Health::Repairing;
+    if (st.throttles > 0)
+        return Health::Degraded;
+    return Health::Healthy;
+}
+
+} // namespace faults
+} // namespace wsc

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Fault injector: schedules component failures and repairs on the DES
+ * kernel and drives per-server health state machines.
+ *
+ * Every physical component instance (each disk, DIMM, fan, PSU, NIC,
+ * server board, and the shared memory blade) owns a private RNG stream
+ * derived by identity hashing (util/hash.hh) from the injector seed
+ * and the component's identity — never from draw order — so a
+ * fault-injected sweep is bit-identical whether evaluated serially or
+ * across any number of worker threads.
+ *
+ * State machine per server:
+ *
+ *   Healthy -> Degraded   fan failure heats the server past the
+ *                         throttle threshold (thermal_coupling.hh);
+ *                         capacity callback clocks the CPU down
+ *   Healthy -> Failed     crash-class component failure (server board,
+ *                         PSU, DIMM, NIC, serving disk, memory blade)
+ *   Failed  -> Repairing  after the detection lag
+ *   Repairing -> Healthy  when the last failed component affecting the
+ *                         server finishes repair
+ *
+ * Correlated failures: the memory blade takes down every server
+ * leasing remote capacity from it at once; a remote disk target takes
+ * down its whole storage-fanout group; a fan failure on a single-fan
+ * (aggregated-cooling) server marches to protective shutdown.
+ */
+
+#ifndef WSC_FAULTS_INJECTOR_HH
+#define WSC_FAULTS_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_spec.hh"
+#include "faults/thermal_coupling.hh"
+#include "sim/event_queue.hh"
+#include "util/random.hh"
+
+namespace wsc {
+namespace faults {
+
+/** Server health as exposed to the hosted simulation. */
+enum class Health { Healthy, Degraded, Failed, Repairing };
+
+std::string to_string(Health h);
+
+/** Static description of the cluster the injector operates on. */
+struct InjectorConfig {
+    FaultSpec spec;
+    /** Base seed; each component stream is identity-hashed off it. */
+    std::uint64_t seed = 0;
+
+    // Component population per server.
+    unsigned disksPerServer = 1;
+    unsigned dimmsPerServer = 4;
+    unsigned fansPerServer = 4;
+    unsigned psusPerServer = 1;
+    unsigned nicsPerServer = 1;
+
+    /**
+     * Servers sharing one disk target. 1 models local disks; > 1
+     * models the remote laptop-disk tier where a target's failure
+     * takes down every server in its group (correlated blast radius).
+     */
+    unsigned storageFanout = 1;
+
+    /** True when the ensemble leases capacity from a shared memory
+     * blade; its failure cascades to every server at once. */
+    bool memoryBlade = false;
+
+    /** Lag between a crash and repair start (detection + dispatch). */
+    double detectionSeconds = 60.0;
+
+    // Thermal coupling for fan failures.
+    thermal::PackagingDesign packaging =
+        thermal::PackagingDesign::Conventional1U;
+    double serverWatts = 250.0;
+    double thermalTimeConstantSeconds = 120.0;
+    /** CPU capacity multiplier applied while thermally throttled. */
+    double throttleCapacityFactor = 0.5;
+    double throttleDeltaTFraction = 1.1;
+    double shutdownDeltaTFraction = 1.6;
+};
+
+/** Aggregate fault activity over one run. */
+struct InjectorStats {
+    std::array<std::uint64_t, componentCount> failures{};
+    std::array<std::uint64_t, componentCount> repairs{};
+    std::uint64_t serverCrashes = 0;   //!< up -> down transitions
+    std::uint64_t thermalThrottles = 0;
+    std::uint64_t thermalShutdowns = 0;
+    double serverDownSeconds = 0.0;     //!< integrated over servers
+    double serverDegradedSeconds = 0.0; //!< integrated throttled time
+    /** Blast radius: servers newly downed per crash-class failure. */
+    std::uint64_t blastEvents = 0;
+    std::uint64_t blastServerSum = 0;
+    std::size_t blastMax = 0;
+
+    double blastMean() const
+    {
+        return blastEvents ? double(blastServerSum) / double(blastEvents)
+                           : 0.0;
+    }
+    std::uint64_t totalFailures() const;
+    std::uint64_t totalRepairs() const;
+};
+
+/**
+ * Schedules failure/repair events on a hosted EventQueue and reports
+ * server up/down/throttle transitions through callbacks.
+ *
+ * With an empty FaultSpec no component instances are registered and
+ * start() schedules nothing: a zero-fault run pays only the injector's
+ * construction (bench_faults bounds this).
+ */
+class FaultInjector
+{
+  public:
+    /** Server crashed; the hosted sim should purge its resources. */
+    using DownFn = std::function<void(unsigned server, Component cause)>;
+    /** Server repaired; the hosted sim may route to it again. */
+    using UpFn = std::function<void(unsigned server)>;
+    /** Thermal throttle state changed; @p capacityFactor is 1.0 when
+     * the throttle lifts. */
+    using ThrottleFn =
+        std::function<void(unsigned server, double capacityFactor)>;
+
+    FaultInjector(sim::EventQueue &eq, const InjectorConfig &cfg,
+                  unsigned servers);
+
+    void onServerDown(DownFn fn) { downFn = std::move(fn); }
+    void onServerUp(UpFn fn) { upFn = std::move(fn); }
+    void onServerThrottle(ThrottleFn fn) { throttleFn = std::move(fn); }
+
+    /** Draw initial lifetimes and schedule the first failures. */
+    void start();
+
+    /** Close the down/degraded time integrals at the current clock.
+     * Call once after the hosted simulation's final run(). */
+    void finalize();
+
+    bool serverUp(unsigned server) const;
+    Health serverHealth(unsigned server) const;
+    unsigned upCount() const { return upCount_; }
+    unsigned serverCount() const { return unsigned(servers_.size()); }
+
+    const InjectorStats &stats() const { return stats_; }
+    const InjectorConfig &config() const { return cfg_; }
+
+    /** Thermal response applied on fan failures (for tests). */
+    const ThermalCoupling &thermalResponse() const { return thermal_; }
+
+  private:
+    struct Unit {
+        Component type;
+        /** Server index; storage-group index for fanout disks;
+         * 0 for the memory blade. */
+        unsigned group = 0;
+        unsigned instance = 0;
+        Rng rng;
+        bool failed = false;
+        double failedAt = 0.0;
+        // Fan-failure thermal escalation bookkeeping.
+        sim::EventId pendingThrottle = 0;
+        sim::EventId pendingShutdown = 0;
+        bool throttleApplied = false;
+        bool shutdownApplied = false;
+
+        Unit(Component t, unsigned g, unsigned i, Rng r)
+            : type(t), group(g), instance(i), rng(std::move(r))
+        {
+        }
+    };
+
+    struct ServerState {
+        unsigned crashCauses = 0; //!< failed crash-class units affecting it
+        unsigned throttles = 0;   //!< active thermal throttles
+        bool down = false;
+        double downSince = 0.0;
+        double degradedSince = 0.0;
+        double lastFailAt = 0.0;
+    };
+
+    sim::EventQueue &eq;
+    InjectorConfig cfg_;
+    std::vector<Unit> units;
+    std::vector<ServerState> servers_;
+    unsigned upCount_ = 0;
+    InjectorStats stats_;
+    ThermalCoupling thermal_;
+    DownFn downFn;
+    UpFn upFn;
+    ThrottleFn throttleFn;
+
+    void registerUnits(Component c, unsigned groups, unsigned perGroup);
+    void scheduleFailure(std::size_t u);
+    void fail(std::size_t u);
+    void repair(std::size_t u);
+    void crashServer(unsigned server, std::size_t *newlyDown);
+    void restoreServer(unsigned server);
+    void applyThrottle(std::size_t u);
+    void applyShutdown(std::size_t u);
+    void liftThermal(Unit &unit);
+    /** Servers a crash-class unit failure affects: [first, last). */
+    void affectedRange(const Unit &unit, unsigned *first,
+                       unsigned *last) const;
+};
+
+} // namespace faults
+} // namespace wsc
+
+#endif // WSC_FAULTS_INJECTOR_HH

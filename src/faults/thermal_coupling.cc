@@ -1,0 +1,85 @@
+#include "faults/thermal_coupling.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace faults {
+
+namespace {
+
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+/** Residual flow fraction from natural convection / leakage when a
+ * server's only fan dies. */
+constexpr double naturalConvectionFraction = 0.08;
+
+/** Time for dT(t) = dTss + (dT0 - dTss) e^(-t/tau) to reach dTc. */
+double
+crossingTime(double dT0, double dTss, double dTc, double tau)
+{
+    if (dT0 >= dTc)
+        return 0.0; // already past the threshold when the fan dies
+    if (dTss <= dTc)
+        return inf; // degraded steady state never reaches it
+    return -tau * std::log((dTss - dTc) / (dTss - dT0));
+}
+
+} // namespace
+
+ThermalCoupling
+fanFailureCoupling(thermal::PackagingDesign packaging, double serverWatts,
+                   unsigned fansPerServer, double timeConstantSeconds,
+                   double throttleFraction, double shutdownFraction)
+{
+    WSC_ASSERT(serverWatts > 0.0, "thermal coupling needs positive power");
+    WSC_ASSERT(fansPerServer > 0, "thermal coupling needs at least one fan");
+    WSC_ASSERT(timeConstantSeconds > 0.0,
+               "thermal time constant must be positive");
+    WSC_ASSERT(throttleFraction > 0.0 && shutdownFraction >= throttleFraction,
+               "shutdown threshold must sit at or above throttle");
+
+    thermal::EnclosureModel enc = thermal::makeEnclosure(packaging);
+
+    ThermalCoupling tc;
+    // The enclosure's fans are sized to hold allowableDeltaT at the
+    // per-server power budget; at the actual dissipation the steady
+    // rise scales linearly (sensible-heat equation, fixed flow).
+    tc.baseDeltaT =
+        enc.allowableDeltaT * serverWatts / enc.serverPowerBudgetW;
+    // Losing one of n fans leaves (n-1)/n of the flow; delta-T scales
+    // inversely with flow. A single-fan server falls back to residual
+    // natural convection.
+    double flowFraction = fansPerServer > 1
+        ? double(fansPerServer - 1) / double(fansPerServer)
+        : naturalConvectionFraction;
+    tc.degradedDeltaT = tc.baseDeltaT / flowFraction;
+    tc.throttleDeltaT = enc.allowableDeltaT * throttleFraction;
+    tc.shutdownDeltaT = enc.allowableDeltaT * shutdownFraction;
+    tc.timeToThrottleSeconds =
+        crossingTime(tc.baseDeltaT, tc.degradedDeltaT, tc.throttleDeltaT,
+                     timeConstantSeconds);
+    tc.timeToShutdownSeconds =
+        crossingTime(tc.baseDeltaT, tc.degradedDeltaT, tc.shutdownDeltaT,
+                     timeConstantSeconds);
+    return tc;
+}
+
+unsigned
+defaultFansPerServer(thermal::PackagingDesign packaging)
+{
+    switch (packaging) {
+      case thermal::PackagingDesign::Conventional1U:
+        return 4; // discrete chassis fans
+      case thermal::PackagingDesign::DualEntry:
+        return 2; // shared inlet/exhaust plenum movers per blade column
+      case thermal::PackagingDesign::AggregatedMicroblade:
+        return 1; // one large shared mover for the aggregated sink
+    }
+    panic("unknown packaging design");
+}
+
+} // namespace faults
+} // namespace wsc

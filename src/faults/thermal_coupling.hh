@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fan-failure thermal coupling.
+ *
+ * Losing a fan cuts the volumetric airflow through a server's cooling
+ * path; by the sensible-heat equation (thermal/airflow.hh) the
+ * steady-state inlet-to-exhaust temperature rise scales inversely with
+ * flow. The component heats toward that new steady state with a
+ * first-order lag set by its thermal mass:
+ *
+ *   dT(t) = dTss + (dT0 - dTss) * exp(-t / tau)
+ *
+ * Crossing the throttle threshold clocks down the CPU (capacity
+ * factor < 1); crossing the shutdown threshold trips thermal
+ * protection and the server drops. Both crossing times are closed-form
+ * and deterministic — the thermal-coupling test asserts the injector
+ * throttles at exactly the modeled time.
+ */
+
+#ifndef WSC_FAULTS_THERMAL_COUPLING_HH
+#define WSC_FAULTS_THERMAL_COUPLING_HH
+
+#include "thermal/enclosure.hh"
+
+namespace wsc {
+namespace faults {
+
+/** Closed-form thermal response to one failed fan. */
+struct ThermalCoupling {
+    double baseDeltaT = 0.0;     //!< steady rise with all fans, K
+    double degradedDeltaT = 0.0; //!< steady rise with one fan out, K
+    double throttleDeltaT = 0.0; //!< throttle threshold, K
+    double shutdownDeltaT = 0.0; //!< protective-shutdown threshold, K
+    /** Seconds after the failure until each threshold is crossed;
+     * infinity when the degraded steady state stays below it. */
+    double timeToThrottleSeconds = 0.0;
+    double timeToShutdownSeconds = 0.0;
+};
+
+/**
+ * Thermal response of a server in @p packaging dissipating
+ * @p serverWatts when one of @p fansPerServer fans fails.
+ *
+ * @param timeConstantSeconds First-order thermal lag (mass / hA).
+ * @param throttleFraction Throttle threshold as a multiple of the
+ *     enclosure's allowable delta-T budget.
+ * @param shutdownFraction Shutdown threshold, same units.
+ *
+ * A single-fan server falls back to natural convection (a small
+ * residual flow fraction) when its only fan dies, which in practice
+ * means a fast march to shutdown — exactly the aggregated-cooling
+ * exposure the paper's N2 design trades against.
+ */
+ThermalCoupling fanFailureCoupling(thermal::PackagingDesign packaging,
+                                   double serverWatts,
+                                   unsigned fansPerServer,
+                                   double timeConstantSeconds = 120.0,
+                                   double throttleFraction = 1.1,
+                                   double shutdownFraction = 1.6);
+
+/**
+ * Default fan count per server for a packaging design: discrete fans
+ * in a 1U chassis, shared plenum fans in the dual-entry enclosure, and
+ * one large shared mover for aggregated micro-blades.
+ */
+unsigned defaultFansPerServer(thermal::PackagingDesign packaging);
+
+} // namespace faults
+} // namespace wsc
+
+#endif // WSC_FAULTS_THERMAL_COUPLING_HH

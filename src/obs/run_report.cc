@@ -67,6 +67,62 @@ writeCell(JsonWriter &w, const CellReport &c, const ReportOptions &opts)
     w.endObject();
 }
 
+void
+writeAvail(JsonWriter &w, const AvailReport &a)
+{
+    w.beginObject();
+    w.key("design").value(a.design);
+    w.key("benchmark").value(a.benchmark);
+    w.key("spec").value(a.spec);
+    w.key("mttf_scale").value(a.mttfScale);
+    w.key("servers").value(a.servers);
+    w.key("offered_rps").value(a.offeredRps);
+    w.key("horizon_seconds").value(a.horizonSeconds);
+    w.key("avail");
+    w.beginObject();
+    w.key("availability").value(a.availability);
+    w.key("epochs_total").value(a.epochsTotal);
+    w.key("epochs_passed").value(a.epochsPassed);
+    w.key("goodput_rps").value(a.goodputRps);
+    w.key("goodput_fraction").value(a.goodputFraction);
+    w.key("mean_time_to_qos_violation_seconds")
+        .value(a.meanTimeToQosViolationSeconds);
+    w.endObject();
+    w.key("protocol");
+    w.beginObject();
+    w.key("offered").value(a.offered);
+    w.key("completions").value(a.completions);
+    w.key("qos_violations").value(a.qosViolations);
+    w.key("timeouts").value(a.timeouts);
+    w.key("retries").value(a.retries);
+    w.key("giveups").value(a.giveups);
+    w.key("late_completions").value(a.lateCompletions);
+    w.endObject();
+    w.key("faults");
+    w.beginObject();
+    w.key("per_component");
+    w.beginArray();
+    for (const auto &f : a.faults) {
+        w.beginObject();
+        w.key("component").value(f.component);
+        w.key("failures").value(f.failures);
+        w.key("repairs").value(f.repairs);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("server_crashes").value(a.serverCrashes);
+    w.key("thermal_throttles").value(a.thermalThrottles);
+    w.key("thermal_shutdowns").value(a.thermalShutdowns);
+    w.key("server_down_fraction").value(a.serverDownFraction);
+    w.key("server_degraded_fraction").value(a.serverDegradedFraction);
+    w.key("blast_radius_mean").value(a.blastRadiusMean);
+    w.key("blast_radius_max").value(a.blastRadiusMax);
+    w.endObject();
+    w.key("kernel");
+    writeKernel(w, a.kernel);
+    w.endObject();
+}
+
 } // namespace
 
 SweepRollup
@@ -103,6 +159,14 @@ toJson(const CellReport &cell, const ReportOptions &opts)
 }
 
 std::string
+toJson(const AvailReport &avail, const ReportOptions &)
+{
+    JsonWriter w;
+    writeAvail(w, avail);
+    return w.str();
+}
+
+std::string
 toJson(const SweepReport &report, const ReportOptions &opts)
 {
     JsonWriter w;
@@ -116,6 +180,16 @@ toJson(const SweepReport &report, const ReportOptions &opts)
     for (const auto &c : report.cells)
         writeCell(w, c, opts);
     w.endArray();
+
+    // Omitted when empty: zero-fault reports keep their pre-fault
+    // byte layout.
+    if (!report.avail.empty()) {
+        w.key("avail");
+        w.beginArray();
+        for (const auto &a : report.avail)
+            writeAvail(w, a);
+        w.endArray();
+    }
 
     SweepRollup roll = report.rollup();
     w.key("rollup");

@@ -81,6 +81,57 @@ struct CellReport {
     double wallSeconds = 0.0;
 };
 
+/** Per-component fault activity for one availability run. */
+struct FaultClassReport {
+    std::string component;
+    std::uint64_t failures = 0;
+    std::uint64_t repairs = 0;
+};
+
+/**
+ * One design's availability evaluation under fault injection: the
+ * `avail.*` QoS-sustainment metrics, the degraded-mode protocol
+ * activity, and the `faults.*` injector accounting.
+ */
+struct AvailReport {
+    std::string design;
+    std::string benchmark;
+    std::string spec;       //!< canonical fault-spec text
+    double mttfScale = 1.0;
+    std::uint64_t servers = 0;
+    double offeredRps = 0.0;
+    double horizonSeconds = 0.0;
+
+    // avail.*
+    double availability = 0.0;
+    std::uint64_t epochsTotal = 0;
+    std::uint64_t epochsPassed = 0;
+    double goodputRps = 0.0;
+    double goodputFraction = 0.0;
+    double meanTimeToQosViolationSeconds = 0.0;
+
+    // Degraded-mode client protocol.
+    std::uint64_t offered = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t qosViolations = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t giveups = 0;
+    std::uint64_t lateCompletions = 0;
+
+    // faults.*
+    std::vector<FaultClassReport> faults;
+    std::uint64_t serverCrashes = 0;
+    std::uint64_t thermalThrottles = 0;
+    std::uint64_t thermalShutdowns = 0;
+    double serverDownFraction = 0.0;
+    double serverDegradedFraction = 0.0;
+    double blastRadiusMean = 0.0;
+    std::uint64_t blastRadiusMax = 0;
+
+    KernelReport kernel;
+};
+
 /** Sweep-level aggregate, derived from the cells. */
 struct SweepRollup {
     std::uint64_t cells = 0;
@@ -100,6 +151,10 @@ struct SweepReport {
     std::uint64_t baseSeed = 0;
     std::uint64_t threads = 0;
     std::vector<CellReport> cells;
+    /** Availability evaluations (empty without --faults; the "avail"
+     * JSON section is omitted when empty so zero-fault reports are
+     * byte-identical to pre-fault-subsystem output). */
+    std::vector<AvailReport> avail;
 
     /** Registry snapshots (e.g. cache hit counts, eval totals). */
     std::vector<MetricRegistry::CounterSnap> counters;
@@ -129,6 +184,10 @@ std::string toJson(const SweepReport &report,
 
 /** Serialize one cell (embedded by the sweep writer; also testable). */
 std::string toJson(const CellReport &cell,
+                   const ReportOptions &opts = {});
+
+/** Serialize one availability entry (embedded by the sweep writer). */
+std::string toJson(const AvailReport &avail,
                    const ReportOptions &opts = {});
 
 } // namespace obs

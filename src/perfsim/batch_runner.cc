@@ -1,5 +1,6 @@
 #include "perfsim/batch_runner.hh"
 
+#include <cmath>
 #include <deque>
 
 #include "perfsim/calibration.hh"
@@ -13,6 +14,19 @@ runBatch(const workloads::BatchWorkload &workload,
          const StationConfig &st, Rng &rng,
          const sim::EventQueue::Tracer &tracer)
 {
+    return runBatch(workload, st, rng, BatchFaultPolicy{}, tracer);
+}
+
+BatchResult
+runBatch(const workloads::BatchWorkload &workload,
+         const StationConfig &st, Rng &rng,
+         const BatchFaultPolicy &policy,
+         const sim::EventQueue::Tracer &tracer)
+{
+    for (std::size_t i = 1; i < policy.downWindows.size(); ++i)
+        WSC_ASSERT(policy.downWindows[i - 1].second <=
+                       policy.downWindows[i].first,
+                   "down windows must be sorted and non-overlapping");
     auto tasks = workload.tasks(rng);
     WSC_ASSERT(!tasks.empty(), "batch job has no tasks");
 
@@ -33,9 +47,34 @@ runBatch(const workloads::BatchWorkload &workload,
     unsigned running = 0;
     std::size_t maps_left = maps.size();
     double makespan = 0.0;
+    bool resume_pending = false;
+
+    // First outage window starting inside [start, end), or null.
+    auto kill_window =
+        [&](double start,
+            double end) -> const std::pair<double, double> * {
+        for (const auto &w : policy.downWindows)
+            if (w.first >= start && w.first < end)
+                return &w;
+        return nullptr;
+    };
 
     // Forward declaration so stages can chain back into the scheduler.
     std::function<void()> schedule = [&] {
+        // The master starts no task while the node is down; dispatch
+        // resumes when the current window ends.
+        for (const auto &w : policy.downWindows) {
+            if (eq.now() >= w.first && eq.now() < w.second) {
+                if (!resume_pending) {
+                    resume_pending = true;
+                    eq.schedule(w.second, [&] {
+                        resume_pending = false;
+                        schedule();
+                    });
+                }
+                return;
+            }
+        }
         while (running < slots) {
             std::deque<workloads::BatchTask> *queue = nullptr;
             if (!maps.empty())
@@ -48,8 +87,38 @@ runBatch(const workloads::BatchWorkload &workload,
             queue->pop_front();
             ++running;
 
-            auto retire = [&, task] {
+            auto retire = [&, task, start = eq.now()] {
                 --running;
+                // A task whose execution overlapped an outage lost its
+                // node: kill it and re-execute the unsaved remainder.
+                // Starts never happen inside a window (dispatch is
+                // deferred), so overlap means a window began mid-run.
+                if (const auto *w = kill_window(start, eq.now())) {
+                    double progress = w->first - start;
+                    double saved = 0.0;
+                    if (policy.checkpointIntervalSeconds > 0.0)
+                        saved = std::floor(
+                                    progress /
+                                    policy.checkpointIntervalSeconds) *
+                                policy.checkpointIntervalSeconds;
+                    double elapsed = eq.now() - start;
+                    double redo =
+                        elapsed > 0.0 ? (elapsed - saved) / elapsed
+                                      : 1.0;
+                    workloads::BatchTask again = task;
+                    again.cpuWork *= redo;
+                    again.diskReadBytes *= redo;
+                    again.diskWriteBytes *= redo;
+                    (again.isReduce ? reduces : maps)
+                        .push_front(again);
+                    ++result.tasksReexecuted;
+                    if (saved > 0.0)
+                        ++result.checkpointRestores;
+                    result.lostWorkSeconds +=
+                        std::max(0.0, progress - saved);
+                    schedule();
+                    return;
+                }
                 ++result.tasksRun;
                 if (!task.isReduce)
                     --maps_left;

@@ -17,6 +17,29 @@
 namespace wsc {
 namespace perfsim {
 
+/**
+ * Node-outage schedule applied to a batch run (fault injection).
+ *
+ * The runner approximates a MapReduce master's failure handling: no
+ * task starts while the node is down, and a task whose execution
+ * overlaps an outage is killed and re-executed from its last
+ * checkpoint (or from scratch without checkpointing). Windows must be
+ * sorted and non-overlapping. An empty policy leaves the classic
+ * runner's event sequence untouched.
+ */
+struct BatchFaultPolicy {
+    /** Sorted, non-overlapping [start, end) down intervals, seconds. */
+    std::vector<std::pair<double, double>> downWindows;
+    /**
+     * Checkpoint period; work completed in whole periods before the
+     * failure is not re-executed. 0 disables checkpointing (full
+     * task re-execution on any overlap).
+     */
+    double checkpointIntervalSeconds = 0.0;
+
+    bool any() const { return !downWindows.empty(); }
+};
+
 /** Result of one batch job execution. */
 struct BatchResult {
     double makespanSeconds = 0.0;
@@ -27,6 +50,10 @@ struct BatchResult {
     std::vector<sim::StationStats> stations;
     /** DES kernel activity for this run. */
     sim::EventQueue::Counters kernel;
+    // Fault-policy activity (zero without a policy).
+    std::uint64_t tasksReexecuted = 0;
+    std::uint64_t checkpointRestores = 0; //!< re-runs shortened by a ckpt
+    double lostWorkSeconds = 0.0; //!< task-seconds of discarded progress
 };
 
 /**
@@ -39,6 +66,16 @@ struct BatchResult {
  */
 BatchResult runBatch(const workloads::BatchWorkload &workload,
                      const StationConfig &stations, Rng &rng,
+                     const sim::EventQueue::Tracer &tracer = {});
+
+/**
+ * Execute @p workload under a node-outage schedule: deferred starts
+ * during outages plus kill-and-re-execute (optionally from
+ * checkpoints) for tasks that overlap one.
+ */
+BatchResult runBatch(const workloads::BatchWorkload &workload,
+                     const StationConfig &stations, Rng &rng,
+                     const BatchFaultPolicy &policy,
                      const sim::EventQueue::Tracer &tracer = {});
 
 } // namespace perfsim

@@ -28,8 +28,27 @@ struct DriverState {
     // Epoch accounting.
     std::uint64_t epochCompleted = 0;
     std::uint64_t epochViolations = 0;
+    std::uint64_t epochGiveups = 0;
     stats::PercentileTracker epochLatencies;
     double qosLimit = 0.0;
+    // Degraded-mode protocol (timer disabled when timeout <= 0).
+    double requestTimeout = 0.0;
+    unsigned maxRetries = 0;
+    double retryBackoff = 0.0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t giveups = 0;
+    std::uint64_t lateCompletions = 0;
+};
+
+/** Per-request retry state (timeout-enabled path only). */
+struct ReqCtl {
+    bool resolved = false;
+    unsigned attempts = 0;
+    sim::EventId timeoutEv = 0;
+    /** Re-sends the same request; cleared on resolution to break the
+     * ctl -> closure -> ctl ownership cycle. */
+    std::function<void()> reissue;
 };
 
 /** One client's think-request loop; stops when over the target. */
@@ -60,28 +79,99 @@ clientLoop(DriverState &s, double think_mean)
         }
         double net_mb = demand.netBytes / 1e6;
 
-        auto respond = [&s, issued, think_mean] {
-            double latency = s.eq.now() - issued;
-            ++s.epochCompleted;
-            s.epochLatencies.add(latency);
-            // Strict QoS boundary: latency == limit violates.
-            if (latency >= s.qosLimit)
-                ++s.epochViolations;
-            clientLoop(s, think_mean);
+        if (s.requestTimeout <= 0.0) {
+            // Classic driver: no timer, identical event sequence to
+            // the pre-fault-subsystem code.
+            auto respond = [&s, issued, think_mean] {
+                double latency = s.eq.now() - issued;
+                ++s.epochCompleted;
+                s.epochLatencies.add(latency);
+                // Strict QoS boundary: latency == limit violates.
+                if (latency >= s.qosLimit)
+                    ++s.epochViolations;
+                clientLoop(s, think_mean);
+            };
+            auto net_stage = [&s, net_mb, respond] {
+                if (net_mb > 0.0)
+                    s.nic->submit(net_mb, respond);
+                else
+                    respond();
+            };
+            auto disk_stage = [&s, disk_service, net_stage] {
+                if (disk_service > 0.0)
+                    s.disk->submit(disk_service, net_stage);
+                else
+                    net_stage();
+            };
+            s.cpu->submit(cpu_work, disk_stage);
+            return;
+        }
+
+        // Degraded-mode protocol: abandon on timeout, resend the same
+        // work (no extra RNG draws) with exponential backoff, give up
+        // after maxRetries and return to thinking.
+        auto ctl = std::make_shared<ReqCtl>();
+        ctl->reissue = [&s, issued, think_mean, cpu_work, disk_service,
+                        net_mb, ctl] {
+            ++ctl->attempts;
+            unsigned attempt = ctl->attempts;
+            auto respond = [&s, issued, think_mean, ctl, attempt] {
+                if (ctl->resolved || attempt != ctl->attempts) {
+                    ++s.lateCompletions;
+                    return;
+                }
+                ctl->resolved = true;
+                ctl->reissue = nullptr;
+                if (ctl->timeoutEv) {
+                    s.eq.cancel(ctl->timeoutEv);
+                    ctl->timeoutEv = 0;
+                }
+                double latency = s.eq.now() - issued;
+                ++s.epochCompleted;
+                s.epochLatencies.add(latency);
+                if (latency >= s.qosLimit)
+                    ++s.epochViolations;
+                clientLoop(s, think_mean);
+            };
+            auto net_stage = [&s, net_mb, respond] {
+                if (net_mb > 0.0)
+                    s.nic->submit(net_mb, respond);
+                else
+                    respond();
+            };
+            auto disk_stage = [&s, disk_service, net_stage] {
+                if (disk_service > 0.0)
+                    s.disk->submit(disk_service, net_stage);
+                else
+                    net_stage();
+            };
+            s.cpu->submit(cpu_work, disk_stage);
+
+            ctl->timeoutEv = s.eq.scheduleAfter(
+                s.requestTimeout, [&s, think_mean, ctl] {
+                    ctl->timeoutEv = 0;
+                    if (ctl->resolved)
+                        return;
+                    ++s.timeouts;
+                    if (ctl->attempts <= s.maxRetries) {
+                        ++s.retries;
+                        double backoff =
+                            s.retryBackoff *
+                            std::pow(2.0, double(ctl->attempts - 1));
+                        s.eq.scheduleAfter(backoff, [ctl] {
+                            if (ctl->reissue)
+                                ctl->reissue();
+                        });
+                    } else {
+                        ++s.giveups;
+                        ++s.epochGiveups;
+                        ctl->resolved = true;
+                        ctl->reissue = nullptr;
+                        clientLoop(s, think_mean);
+                    }
+                });
         };
-        auto net_stage = [&s, net_mb, respond] {
-            if (net_mb > 0.0)
-                s.nic->submit(net_mb, respond);
-            else
-                respond();
-        };
-        auto disk_stage = [&s, disk_service, net_stage] {
-            if (disk_service > 0.0)
-                s.disk->submit(disk_service, net_stage);
-            else
-                net_stage();
-        };
-        s.cpu->submit(cpu_work, disk_stage);
+        ctl->reissue();
     });
 }
 
@@ -110,6 +200,9 @@ runClosedLoop(workloads::InteractiveWorkload &workload,
     auto qos = workload.qos();
     s.qosLimit = qos.latencyLimit;
     s.targetClients = params.initialClients;
+    s.requestTimeout = params.requestTimeoutSeconds;
+    s.maxRetries = params.maxRetries;
+    s.retryBackoff = params.retryBackoffSeconds;
 
     auto spawn_to_target = [&] {
         while (s.liveClients < s.targetClients) {
@@ -123,15 +216,19 @@ runClosedLoop(workloads::InteractiveWorkload &workload,
     for (unsigned epoch = 0; epoch < params.epochs; ++epoch) {
         s.epochCompleted = 0;
         s.epochViolations = 0;
+        s.epochGiveups = 0;
         s.epochLatencies.clear();
         double end = s.eq.now() + params.epochSeconds;
         s.eq.run(end);
 
         double rps = double(s.epochCompleted) / params.epochSeconds;
+        // Give-ups count as violations among resolved requests; with
+        // the timer off both terms are zero and the rule is classic.
+        std::uint64_t resolved = s.epochCompleted + s.epochGiveups;
         bool passed =
             s.epochCompleted > 0 &&
-            double(s.epochViolations) <=
-                (1.0 - qos.quantile) * double(s.epochCompleted);
+            double(s.epochViolations + s.epochGiveups) <=
+                (1.0 - qos.quantile) * double(resolved);
         result.epochRps.push_back(rps);
         result.epochPassed.push_back(passed);
 
@@ -157,6 +254,10 @@ runClosedLoop(workloads::InteractiveWorkload &workload,
         }
     }
     result.finalClients = s.targetClients;
+    result.timeouts = s.timeouts;
+    result.retries = s.retries;
+    result.giveups = s.giveups;
+    result.lateCompletions = s.lateCompletions;
     return result;
 }
 

@@ -33,6 +33,17 @@ struct ClosedLoopParams {
     unsigned epochs = 14;         //!< total adaptation epochs
     double growFactor = 1.3;      //!< population growth while QoS holds
     double shrinkFactor = 0.75;   //!< contraction on QoS violation
+
+    /**
+     * Degraded-mode client protocol. 0 (the default) disables the
+     * request timer entirely, leaving the classic driver's event
+     * sequence untouched. When positive, a request unanswered for this
+     * many seconds is abandoned and retried with exponential backoff;
+     * a client out of retries gives up and returns to thinking.
+     */
+    double requestTimeoutSeconds = 0.0;
+    unsigned maxRetries = 2;
+    double retryBackoffSeconds = 0.1; //!< first backoff; doubles after
 };
 
 /** Outcome of an adaptive run. */
@@ -44,6 +55,11 @@ struct ClosedLoopResult {
     /** Per-epoch throughput trace (for inspection/tests). */
     std::vector<double> epochRps;
     std::vector<bool> epochPassed;
+    // Degraded-mode protocol activity (all zero with the timer off).
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t giveups = 0;
+    std::uint64_t lateCompletions = 0; //!< answered after abandonment
 };
 
 /**

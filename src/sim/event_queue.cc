@@ -65,7 +65,8 @@ EventQueue::releaseSlot(std::uint32_t slot)
 }
 
 EventId
-EventQueue::schedule(Time when, std::function<void()> action)
+EventQueue::schedule(Time when, std::function<void()> action,
+                     std::uint64_t owner)
 {
     WSC_ASSERT(when >= now_, "event scheduled in the past: " << when
                                                              << " < "
@@ -74,7 +75,7 @@ EventQueue::schedule(Time when, std::function<void()> action)
     std::uint32_t slot = acquireSlot();
     std::uint32_t gen = slotGen[slot];
     heap.push_back(
-        Entry{when, nextSeq++, slot, gen, std::move(action)});
+        Entry{when, nextSeq++, slot, gen, owner, std::move(action)});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++live_;
     ++counters_.scheduled;
@@ -101,6 +102,43 @@ EventQueue::cancel(EventId id)
         tracer_({TraceRecord::Kind::Cancel, now_, 0.0, id});
     maybeCompact();
     return true;
+}
+
+std::size_t
+EventQueue::cancelIf(
+    const std::function<bool(EventId, Time, std::uint64_t)> &pred)
+{
+    WSC_ASSERT(pred, "null bulk-cancel predicate");
+    // One sweep over heap storage; heap order is irrelevant because
+    // cancellation only flips generation stamps. Entries already stale
+    // are skipped so the predicate sees each live event exactly once.
+    std::size_t n = 0;
+    for (const Entry &e : heap) {
+        if (!liveEntry(e))
+            continue;
+        EventId id = makeId(e.slot, e.gen);
+        if (!pred(id, e.when, e.owner))
+            continue;
+        releaseSlot(e.slot);
+        --live_;
+        ++stale_;
+        ++counters_.cancelled;
+        ++n;
+        if (tracer_)
+            tracer_({TraceRecord::Kind::Cancel, now_, e.when, id});
+    }
+    if (n)
+        maybeCompact();
+    return n;
+}
+
+std::size_t
+EventQueue::cancelAll(std::uint64_t owner)
+{
+    WSC_ASSERT(owner != 0, "cancelAll needs a non-zero owner tag");
+    return cancelIf([owner](EventId, Time, std::uint64_t tag) {
+        return tag == owner;
+    });
 }
 
 void

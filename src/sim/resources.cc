@@ -30,9 +30,9 @@ workEpsilon(double progress)
 } // namespace
 
 PsResource::PsResource(EventQueue &eq, std::string name, double capacity,
-                       unsigned slots)
+                       unsigned slots, std::uint64_t owner)
     : eq(eq), name_(std::move(name)), cap(capacity), slots(slots),
-      lastUpdate(eq.now()), createdAt(eq.now())
+      owner_(owner), lastUpdate(eq.now()), createdAt(eq.now())
 {
     WSC_ASSERT(capacity > 0.0, "PS resource capacity must be positive");
     WSC_ASSERT(slots >= 1, "PS resource needs at least one slot");
@@ -76,7 +76,32 @@ PsResource::reschedule()
     double rate = perJobRate(heap.size());
     double dt =
         (remaining <= workEpsilon(progress)) ? 0.0 : remaining / rate;
-    completionEvent = eq.scheduleAfter(dt, [this] { onCompletion(); });
+    completionEvent =
+        eq.scheduleAfter(dt, [this] { onCompletion(); }, owner_);
+}
+
+std::size_t
+PsResource::purge()
+{
+    advance();
+    std::size_t dropped = heap.size();
+    heap = {};
+    if (completionEvent) {
+        eq.cancel(completionEvent);
+        completionEvent = 0;
+    }
+    return dropped;
+}
+
+void
+PsResource::setCapacity(double capacity)
+{
+    WSC_ASSERT(capacity > 0.0, "PS resource capacity must be positive");
+    // Bank progress at the old rate, then let the remaining work of
+    // every active job proceed at the new one.
+    advance();
+    cap = capacity;
+    reschedule();
 }
 
 void
@@ -160,11 +185,14 @@ PsResource::stats() const
 }
 
 FifoResource::FifoResource(EventQueue &eq, std::string name,
-                           unsigned servers)
-    : eq(eq), name_(std::move(name)), servers(servers),
+                           unsigned servers, std::uint64_t owner)
+    : eq(eq), name_(std::move(name)), servers(servers), owner_(owner),
       lastUpdate(eq.now()), createdAt(eq.now())
 {
     WSC_ASSERT(servers >= 1, "FIFO resource needs at least one server");
+    laneEvent.assign(servers, 0);
+    for (unsigned lane = servers; lane > 0; --lane)
+        freeLanes.push_back(lane - 1);
 }
 
 void
@@ -184,20 +212,45 @@ FifoResource::startService(Pending p)
 {
     accumulate();
     ++busy;
+    WSC_ASSERT(!freeLanes.empty(), "no free lane in " << name_);
+    unsigned lane = freeLanes.back();
+    freeLanes.pop_back();
     auto done = std::make_shared<Completion>(std::move(p.done));
-    eq.scheduleAfter(p.serviceTime, [this, done] {
-        accumulate();
-        --busy;
-        ++completed_;
-        // Start the next queued request before running the callback so
-        // a resubmitting callback queues behind existing work.
-        if (!queue.empty()) {
-            Pending next = std::move(queue.front());
-            queue.pop_front();
-            startService(std::move(next));
+    laneEvent[lane] = eq.scheduleAfter(
+        p.serviceTime,
+        [this, done, lane] {
+            accumulate();
+            --busy;
+            ++completed_;
+            laneEvent[lane] = 0;
+            freeLanes.push_back(lane);
+            // Start the next queued request before running the callback
+            // so a resubmitting callback queues behind existing work.
+            if (!queue.empty()) {
+                Pending next = std::move(queue.front());
+                queue.pop_front();
+                startService(std::move(next));
+            }
+            (*done)();
+        },
+        owner_);
+}
+
+std::size_t
+FifoResource::purge()
+{
+    accumulate();
+    std::size_t dropped = queue.size() + busy;
+    queue.clear();
+    for (unsigned lane = 0; lane < servers; ++lane) {
+        if (laneEvent[lane]) {
+            eq.cancel(laneEvent[lane]);
+            laneEvent[lane] = 0;
+            freeLanes.push_back(lane);
         }
-        (*done)();
-    });
+    }
+    busy = 0;
+    return dropped;
 }
 
 void

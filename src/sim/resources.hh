@@ -66,9 +66,11 @@ class PsResource
      * @param name Diagnostic name.
      * @param capacity Aggregate work units per second (> 0).
      * @param slots Number of parallel service slots (>= 1).
+     * @param owner Bulk-cancel tag for internally scheduled events
+     *     (see EventQueue::cancelAll); 0 = untagged.
      */
     PsResource(EventQueue &eq, std::string name, double capacity,
-               unsigned slots);
+               unsigned slots, std::uint64_t owner = 0);
 
     PsResource(const PsResource &) = delete;
     PsResource &operator=(const PsResource &) = delete;
@@ -78,6 +80,22 @@ class PsResource
      * Zero-work jobs complete via a zero-delay event.
      */
     void submit(double work, Completion done);
+
+    /**
+     * Crash semantics: drop every active job without running its
+     * completion, and cancel the pending completion event. Utilization
+     * history is preserved; the station goes idle immediately. Models
+     * losing all in-service requests when the owning server fails.
+     * @return number of jobs dropped.
+     */
+    std::size_t purge();
+
+    /**
+     * Change aggregate capacity (> 0) effective immediately; work
+     * already accumulated is kept and remaining work proceeds at the
+     * new rate. Models thermal throttling (fan failure) and recovery.
+     */
+    void setCapacity(double capacity);
 
     /** Jobs currently in service. */
     std::size_t active() const { return heap.size(); }
@@ -117,6 +135,7 @@ class PsResource
     std::string name_;
     double cap;
     unsigned slots;
+    std::uint64_t owner_;
     std::priority_queue<Job, std::vector<Job>, LaterFinish> heap;
     /** Progress every active job has accumulated since time zero. */
     double progress = 0.0;
@@ -154,8 +173,11 @@ class FifoResource
      * @param eq Event queue driving this resource.
      * @param name Diagnostic name.
      * @param servers Number of parallel servers (>= 1).
+     * @param owner Bulk-cancel tag for internally scheduled events
+     *     (see EventQueue::cancelAll); 0 = untagged.
      */
-    FifoResource(EventQueue &eq, std::string name, unsigned servers);
+    FifoResource(EventQueue &eq, std::string name, unsigned servers,
+                 std::uint64_t owner = 0);
 
     FifoResource(const FifoResource &) = delete;
     FifoResource &operator=(const FifoResource &) = delete;
@@ -165,6 +187,13 @@ class FifoResource
      * fires when service finishes (after any queueing delay).
      */
     void submit(double service_time, Completion done);
+
+    /**
+     * Crash semantics: drop every queued and in-service request
+     * without running completions, cancelling the in-service
+     * completion events. @return number of requests dropped.
+     */
+    std::size_t purge();
 
     /** Requests waiting (not yet in service). */
     std::size_t queued() const { return queue.size(); }
@@ -191,7 +220,12 @@ class FifoResource
     EventQueue &eq;
     std::string name_;
     unsigned servers;
+    std::uint64_t owner_;
     unsigned busy = 0;
+    /** Per-server-lane completion event, 0 when the lane is idle;
+     * lets purge() cancel in-service completions in O(servers). */
+    std::vector<EventId> laneEvent;
+    std::vector<unsigned> freeLanes;
     std::deque<Pending> queue;
     std::uint64_t completed_ = 0;
     double busyIntegral = 0.0;

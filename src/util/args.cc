@@ -1,11 +1,35 @@
 #include "util/args.hh"
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 
 #include "util/logging.hh"
 
 namespace wsc {
+
+namespace {
+
+/** Plain Levenshtein distance; option names are short, so the O(nm)
+ * table is fine. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
 
 ArgParser::ArgParser(std::string program_in, std::string description_in)
     : program(std::move(program_in)),
@@ -80,8 +104,13 @@ ArgParser::parse(int argc, const char *const *argv)
         }
 
         auto it = options.find(name);
-        if (it == options.end())
-            fatal("unknown option '--" + name + "'\n" + usage());
+        if (it == options.end()) {
+            std::string hint = suggest(name);
+            fatal("unknown option '--" + name + "'" +
+                  (hint.empty() ? ""
+                                : " (did you mean '--" + hint + "'?)") +
+                  "\n" + usage());
+        }
         if (it->second.isFlag) {
             if (has_inline) {
                 if (inline_value != "true" && inline_value != "false")
@@ -140,6 +169,25 @@ bool
 ArgParser::given(const std::string &name) const
 {
     return find(name).set;
+}
+
+std::string
+ArgParser::suggest(const std::string &name) const
+{
+    // Closest registered name within an edit distance small enough to
+    // look like a typo rather than a different word. Declaration order
+    // breaks distance ties deterministically.
+    std::string best;
+    std::size_t bestDist = 0;
+    for (const auto &candidate : order) {
+        std::size_t d = editDistance(name, candidate);
+        if (best.empty() || d < bestDist) {
+            best = candidate;
+            bestDist = d;
+        }
+    }
+    std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+    return bestDist <= budget ? best : std::string();
 }
 
 std::string

@@ -56,6 +56,13 @@ class ArgParser
     /** Render the usage text. */
     std::string usage() const;
 
+    /**
+     * Closest registered option name to @p name, or "" when nothing is
+     * near enough to plausibly be a typo. Used for the
+     * "did you mean" hint on unknown options; exposed for tests.
+     */
+    std::string suggest(const std::string &name) const;
+
   private:
     struct Option {
         std::string help;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <random>
 
+#include "util/hash.hh"
+
 namespace wsc {
 
 /**
@@ -22,7 +24,10 @@ class Rng
 {
   public:
     /** Construct with an explicit seed (default fixed for reproducibility). */
-    explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) : engine(seed) {}
+    explicit Rng(std::uint64_t seed = 0x5DEECE66DULL)
+        : engine(seed), seed_(seed)
+    {
+    }
 
     /** Uniform double in [0, 1). */
     double
@@ -76,6 +81,14 @@ class Rng
     /**
      * Derive an independent child stream. Splitting from a parent keeps
      * experiment-level determinism while decorrelating subsystems.
+     *
+     * NOTE: split() consumes one draw from the parent engine, so the
+     * child's seed depends on how many draws preceded the split. That
+     * is fine inside one strictly sequential simulation, but any code
+     * whose draw order can vary (parallel fan-outs, optional model
+     * features, fault/repair processes interleaving with load) must
+     * use stream() instead, which hangs the child off the construction
+     * seed plus an explicit identity and never touches the engine.
      */
     Rng
     split()
@@ -83,11 +96,31 @@ class Rng
         return Rng(engine() ^ 0x9E3779B97F4A7C15ULL);
     }
 
+    /**
+     * Derive an independent child stream from this Rng's construction
+     * seed plus an identity (integers and/or strings), without
+     * consuming parent state. Two streams with different identities
+     * are decorrelated; the same identity always yields the same
+     * stream no matter how many draws the parent has made. This is
+     * the required derivation for logically concurrent processes
+     * (per-component fault clocks, per-task sweeps).
+     */
+    template <typename... Parts>
+    Rng
+    stream(Parts &&...parts) const
+    {
+        return Rng(seedFor(seed_, std::forward<Parts>(parts)...));
+    }
+
+    /** The seed this Rng was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
     /** Access the raw engine (for std:: distributions). */
     std::mt19937_64 &raw() { return engine; }
 
   private:
     std::mt19937_64 engine;
+    std::uint64_t seed_;
 };
 
 } // namespace wsc

@@ -127,6 +127,51 @@ TEST(Args, UnknownOptionFatal)
     EXPECT_THROW(p.parse(3, argv), FatalError);
 }
 
+TEST(Args, UnknownOptionSuggestsNearestName)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--sytem", "emb1"};
+    try {
+        p.parse(3, argv);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown option '--sytem'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("did you mean '--system'?"),
+                  std::string::npos)
+            << msg;
+        // The full usage text still follows the hint.
+        EXPECT_NE(msg.find("--help"), std::string::npos) << msg;
+    }
+}
+
+TEST(Args, UnknownOptionFarFromEverythingGetsNoSuggestion)
+{
+    auto p = makeParser();
+    const char *argv[] = {"tool", "--frobnicate", "1"};
+    try {
+        p.parse(3, argv);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown option '--frobnicate'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+    }
+}
+
+TEST(Args, SuggestFindsTyposAndRejectsStrangers)
+{
+    auto p = makeParser();
+    EXPECT_EQ(p.suggest("sytem"), "system");
+    EXPECT_EQ(p.suggest("tarrif"), "tariff");
+    EXPECT_EQ(p.suggest("cvs"), "csv");
+    EXPECT_EQ(p.suggest("frobnicate"), "");
+}
+
 TEST(Args, MissingValueFatal)
 {
     auto p = makeParser();

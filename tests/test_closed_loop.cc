@@ -108,6 +108,84 @@ TEST(ClosedLoop, ThinkTimeBoundsThroughput)
         EXPECT_LE(rps, 10.0 / 10.0 * 1.5); // N/Z with slack
 }
 
+TEST(ClosedLoop, DefaultParamsLeaveDegradedCountersAtZero)
+{
+    // With the timer off (the default), the degraded-mode protocol
+    // never engages and the classic driver's results are untouched.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    ClosedLoopParams p;
+    p.epochSeconds = 10.0;
+    p.epochs = 6;
+
+    Rng a(37);
+    auto classic = runClosedLoop(yt, st, p, a);
+    EXPECT_EQ(classic.timeouts, 0u);
+    EXPECT_EQ(classic.retries, 0u);
+    EXPECT_EQ(classic.giveups, 0u);
+    EXPECT_EQ(classic.lateCompletions, 0u);
+
+    // Explicitly-zero timeout is the same code path: identical run.
+    ClosedLoopParams q = p;
+    q.requestTimeoutSeconds = 0.0;
+    Rng b(37);
+    auto same = runClosedLoop(yt, st, q, b);
+    EXPECT_EQ(same.sustainedRps, classic.sustainedRps);
+    EXPECT_EQ(same.epochRps, classic.epochRps);
+}
+
+TEST(ClosedLoop, TightTimeoutEngagesRetriesAndGiveups)
+{
+    // A timeout far below the service time forces every request
+    // through the retry ladder to a give-up; clients keep cycling
+    // (think -> attempts -> give up) instead of wedging.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    Rng rng(38);
+    ClosedLoopParams p;
+    p.initialClients = 4;
+    p.maxClients = 4;
+    p.thinkTimeMean = 0.5;
+    p.epochSeconds = 10.0;
+    p.epochs = 4;
+    p.requestTimeoutSeconds = 1e-4;
+    p.maxRetries = 2;
+    p.retryBackoffSeconds = 0.01;
+    auto r = runClosedLoop(yt, st, p, rng);
+    EXPECT_GT(r.timeouts, 0u);
+    EXPECT_GT(r.retries, 0u);
+    EXPECT_GT(r.giveups, 0u);
+    // Every abandoned attempt still finishes server-side eventually.
+    EXPECT_GT(r.lateCompletions, 0u);
+    // Give-ups count against QoS: no epoch should pass.
+    for (bool passed : r.epochPassed)
+        EXPECT_FALSE(passed);
+}
+
+TEST(ClosedLoop, GenerousTimeoutMatchesClassicThroughput)
+{
+    // A timeout the server never hits leaves throughput essentially
+    // unchanged from the classic driver (the protocol is pure
+    // bookkeeping until a timer actually fires).
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    ClosedLoopParams p;
+    p.epochSeconds = 10.0;
+    p.epochs = 6;
+
+    Rng a(39);
+    auto classic = runClosedLoop(yt, st, p, a);
+
+    ClosedLoopParams q = p;
+    q.requestTimeoutSeconds = 1e6;
+    Rng b(39);
+    auto timed = runClosedLoop(yt, st, q, b);
+    EXPECT_EQ(timed.timeouts, 0u);
+    EXPECT_EQ(timed.giveups, 0u);
+    EXPECT_NEAR(timed.sustainedRps, classic.sustainedRps,
+                0.2 * classic.sustainedRps + 1.0);
+}
+
 TEST(ClosedLoop, InvalidParamsPanic)
 {
     workloads::Ytube yt;

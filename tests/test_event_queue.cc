@@ -180,6 +180,86 @@ TEST(EventQueue, CompactionReclaimsCancelledEntries)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(EventQueue, CancelAllRetiresOnlyTheOwnersEvents)
+{
+    EventQueue eq;
+    int ran = 0;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(1.0 + i, [&ran] { ++ran; }, /*owner=*/7);
+    for (int i = 0; i < 3; ++i)
+        eq.schedule(1.5 + i, [&ran] { ++ran; }, /*owner=*/8);
+    eq.schedule(9.0, [&ran] { ++ran; }); // untagged
+    EXPECT_EQ(eq.pending(), 8u);
+
+    EXPECT_EQ(eq.cancelAll(7), 4u);
+    EXPECT_EQ(eq.pending(), 4u);
+    // A second sweep finds nothing: the entries are already retired.
+    EXPECT_EQ(eq.cancelAll(7), 0u);
+
+    eq.runAll();
+    EXPECT_EQ(ran, 4); // owner 8's three plus the untagged one
+}
+
+TEST(EventQueue, CancelAllLeavesUntaggedEventsAlone)
+{
+    // Owner 0 means untagged; bulk cancellation must never reach
+    // those events (and asking for owner 0 is a caller bug).
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(1.0, [&ran] { ++ran; });
+    eq.schedule(2.0, [&ran] { ++ran; }, /*owner=*/3);
+    EXPECT_EQ(eq.cancelAll(3), 1u);
+    eq.runAll();
+    EXPECT_EQ(ran, 1);
+    EXPECT_THROW(eq.cancelAll(0), PanicError);
+}
+
+TEST(EventQueue, CancelIfSelectsByTimeAndOwner)
+{
+    EventQueue eq;
+    int ran = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(double(i) + 0.5, [&ran] { ++ran; },
+                    /*owner=*/std::uint64_t(i % 2 ? 2 : 1));
+    // Retire owner 1's events firing after t=4 (i = 4, 6, and 8).
+    std::size_t n = eq.cancelIf(
+        [](sim::EventId, double when, std::uint64_t owner) {
+            return owner == 1 && when > 4.0;
+        });
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(eq.pending(), 7u);
+    eq.runAll();
+    EXPECT_EQ(ran, 7);
+}
+
+TEST(EventQueue, CancelledIdsStayDeadAfterBulkCancel)
+{
+    // Bulk cancellation recycles slots; a handle cancelled in bulk
+    // must not cancel a later event that reuses the slot.
+    EventQueue eq;
+    EventId doomed = eq.schedule(1.0, [] {}, /*owner=*/5);
+    EXPECT_EQ(eq.cancelAll(5), 1u);
+    bool ran = false;
+    eq.schedule(2.0, [&ran] { ran = true; });
+    EXPECT_FALSE(eq.cancel(doomed));
+    eq.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, BulkCancelFeedsCompaction)
+{
+    // cancelAll marks entries stale exactly like cancel(); a large
+    // bulk retirement must trigger the same heap compaction.
+    EventQueue eq;
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(double(i), [] {}, /*owner=*/(i % 10 ? 4u : 0u));
+    EXPECT_EQ(eq.cancelAll(4), 900u);
+    EXPECT_EQ(eq.pending(), 100u);
+    EXPECT_LT(eq.staleEntries(), 64u);
+    EXPECT_GE(eq.counters().compactions, 1u);
+    EXPECT_EQ(eq.runAll(), 100u);
+}
+
 TEST(EventQueue, StressScheduleCancelRunKeepsFifoOrder)
 {
     // Deterministic churn mixing schedule, cancel, and partial runs;

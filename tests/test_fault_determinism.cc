@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Determinism contract for the fault-injection subsystem: availability
+ * evaluation fans out over a thread pool yet must produce bit-identical
+ * results to the serial path at every pool width, and the serialized
+ * report (timings excluded) must be byte-identical. Also pins the
+ * zero-fault invariant: with no --faults spec the report carries no
+ * "avail" section and the perf content is untouched by the subsystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/sweep_report.hh"
+#include "faults/fault_spec.hh"
+#include "obs/run_report.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::core;
+
+EvaluatorParams
+fastParams()
+{
+    EvaluatorParams p;
+    p.search.window.warmupSeconds = 1.0;
+    p.search.window.measureSeconds = 4.0;
+    p.search.iterations = 3;
+    return p;
+}
+
+std::vector<DesignConfig>
+designs()
+{
+    return {DesignConfig::baseline(platform::SystemClass::Emb1),
+            DesignConfig::n1(), DesignConfig::n2()};
+}
+
+AvailabilityEvalParams
+availParams()
+{
+    AvailabilityEvalParams p;
+    p.spec = faults::FaultSpec::all();
+    // Compress MTTFs so a two-minute horizon sees real fault activity.
+    p.spec.mttfScale = 2e-5;
+    p.servers = 4;
+    p.horizonSeconds = 120.0;
+    p.epochSeconds = 5.0;
+    p.loadFactor = 0.6;
+    return p;
+}
+
+void
+expectBitIdentical(const faults::AvailabilityResult &a,
+                   const faults::AvailabilityResult &b,
+                   const std::string &where)
+{
+    // Bitwise, not EXPECT_DOUBLE_EQ: the contract is identity.
+    EXPECT_EQ(std::memcmp(&a.availability, &b.availability,
+                          sizeof(double)),
+              0)
+        << "availability differs: " << where;
+    EXPECT_EQ(
+        std::memcmp(&a.goodputRps, &b.goodputRps, sizeof(double)), 0)
+        << "goodput differs: " << where;
+    EXPECT_EQ(a.epochsPassed, b.epochsPassed) << where;
+    EXPECT_EQ(a.completions, b.completions) << where;
+    EXPECT_EQ(a.timeouts, b.timeouts) << where;
+    EXPECT_EQ(a.retries, b.retries) << where;
+    EXPECT_EQ(a.giveups, b.giveups) << where;
+    EXPECT_EQ(a.faults.totalFailures(), b.faults.totalFailures())
+        << where;
+    EXPECT_EQ(a.faults.serverCrashes, b.faults.serverCrashes) << where;
+    EXPECT_EQ(a.kernel.dispatched, b.kernel.dispatched) << where;
+}
+
+TEST(FaultDeterminism, BatchMatchesSerialAtEveryWidth)
+{
+    auto ds = designs();
+    auto ap = availParams();
+
+    // Serial reference: one-at-a-time evaluateAvailability calls.
+    DesignEvaluator ref(fastParams());
+    std::vector<faults::AvailabilityResult> serial;
+    for (const auto &d : ds)
+        serial.push_back(ref.evaluateAvailability(d, ap));
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        DesignEvaluator ev(fastParams());
+        auto batch = ev.evaluateAvailabilityBatch(ds, ap, &pool);
+        ASSERT_EQ(batch.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectBitIdentical(serial[i], batch[i],
+                               ds[i].name + " at width " +
+                                   std::to_string(threads));
+    }
+}
+
+TEST(FaultDeterminism, AvailReportJsonIdenticalAtEveryWidth)
+{
+    auto ds = designs();
+    auto ap = availParams();
+    obs::ReportOptions noTimings;
+    noTimings.includeTimings = false;
+
+    std::vector<std::string> reports;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        DesignEvaluator ev(fastParams());
+        auto runs = ev.evaluateAvailabilityBatch(ds, ap, &pool);
+        std::string all;
+        for (std::size_t i = 0; i < ds.size(); ++i)
+            all += obs::toJson(availReport(ds[i], ap, runs[i]),
+                               noTimings) +
+                   "\n";
+        reports.push_back(all);
+    }
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(reports[0], reports[2]);
+    // Sanity: the comparison covers real avail/fault content.
+    EXPECT_NE(reports[0].find("\"availability\""), std::string::npos);
+    EXPECT_NE(reports[0].find("\"per_component\""), std::string::npos);
+    EXPECT_NE(reports[0].find("\"blast_radius_max\""),
+              std::string::npos);
+}
+
+TEST(FaultDeterminism, SweepReportOmitsAvailSectionWhenEmpty)
+{
+    // The zero-fault invariant: a report built without availability
+    // entries must not mention the section at all, so pre-subsystem
+    // report consumers (and byte-level diffs) see no change.
+    DesignEvaluator ev(fastParams());
+    std::vector<EvalCell> cells{
+        {DesignConfig::baseline(platform::SystemClass::Emb1),
+         workloads::Benchmark::Websearch}};
+    ev.evaluateBatch(cells);
+    auto report = buildSweepReport(ev, cells, "test");
+    EXPECT_TRUE(report.avail.empty());
+    auto json = obs::toJson(report);
+    EXPECT_EQ(json.find("\"avail\""), std::string::npos);
+
+    obs::AvailReport entry;
+    entry.design = "probe";
+    report.avail.push_back(entry);
+    EXPECT_NE(obs::toJson(report).find("\"avail\""),
+              std::string::npos);
+}
+
+TEST(FaultDeterminism, ZeroFaultAvailabilityLeavesPerfMetricsAlone)
+{
+    // Running the availability mode with an empty spec must not
+    // perturb the evaluator's perf results: the injector registers no
+    // units and the cached measurements stay bit-identical.
+    auto d = DesignConfig::baseline(platform::SystemClass::Emb1);
+
+    DesignEvaluator plain(fastParams());
+    auto before = plain.evaluate(d, workloads::Benchmark::Websearch);
+
+    DesignEvaluator withAvail(fastParams());
+    AvailabilityEvalParams ap = availParams();
+    ap.spec = faults::FaultSpec::none();
+    auto run = withAvail.evaluateAvailability(d, ap);
+    EXPECT_EQ(run.faults.totalFailures(), 0u);
+    EXPECT_EQ(run.availability, 1.0);
+    auto after = withAvail.evaluate(d, workloads::Benchmark::Websearch);
+
+    EXPECT_EQ(std::memcmp(&before.perf, &after.perf, sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&before.tcoDollars, &after.tcoDollars,
+                          sizeof(double)),
+              0);
+}
+
+} // namespace

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Fault subsystem: failure models, spec parsing, injector state
+ * machines, correlated failures, thermal coupling, and the
+ * availability simulation's degraded-mode protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "faults/availability_sim.hh"
+#include "faults/fault_spec.hh"
+#include "faults/injector.hh"
+#include "faults/thermal_coupling.hh"
+#include "perfsim/perf_eval.hh"
+#include "platform/catalog.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::faults;
+
+TEST(FailureModel, MttfFollowsAfr)
+{
+    FailureModel m;
+    m.afr = 0.5; // one failure per two device-years
+    EXPECT_NEAR(m.mttfSeconds(), 2.0 * 365.25 * 24 * 3600, 1.0);
+}
+
+TEST(FailureModel, ExponentialDrawsHitTheMean)
+{
+    FailureModel m;
+    m.afr = 1.0;
+    m.weibullShape = 1.0;
+    Rng rng(7);
+    double sum = 0.0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        sum += m.drawLifetimeSeconds(rng);
+    double mean = sum / draws;
+    EXPECT_NEAR(mean / m.mttfSeconds(), 1.0, 0.05);
+}
+
+TEST(FailureModel, WeibullDrawsHitTheMeanForAnyShape)
+{
+    for (double shape : {0.8, 1.5, 3.0}) {
+        FailureModel m;
+        m.afr = 2.0;
+        m.weibullShape = shape;
+        Rng rng(11);
+        double sum = 0.0;
+        const int draws = 20000;
+        for (int i = 0; i < draws; ++i)
+            sum += m.drawLifetimeSeconds(rng);
+        EXPECT_NEAR(sum / draws / m.mttfSeconds(), 1.0, 0.08)
+            << "shape " << shape;
+    }
+}
+
+TEST(FailureModel, MttfScaleCompressesLifetimesOnly)
+{
+    FailureModel m = defaultModel(Component::Disk);
+    Rng a(3), b(3);
+    double full = m.drawLifetimeSeconds(a, 1.0);
+    double scaled = m.drawLifetimeSeconds(b, 1e-3);
+    EXPECT_NEAR(scaled, full * 1e-3, full * 1e-9);
+    // Repair draws are not scaled by design: compressed failures with
+    // real-length repairs expose blast-radius cost in short runs.
+    Rng c(5), d(5);
+    EXPECT_EQ(m.drawRepairSeconds(c), m.drawRepairSeconds(d));
+}
+
+TEST(FaultSpec, ParseAcceptsCanonicalForms)
+{
+    EXPECT_FALSE(FaultSpec::parse("none").any());
+    EXPECT_FALSE(FaultSpec::parse("").any());
+    EXPECT_TRUE(FaultSpec::parse("all").any());
+    for (auto c : allComponents)
+        EXPECT_TRUE(FaultSpec::parse("all").enabled(c));
+
+    auto s = FaultSpec::parse("disk, fan,memory-blade");
+    EXPECT_TRUE(s.enabled(Component::Disk));
+    EXPECT_TRUE(s.enabled(Component::Fan));
+    EXPECT_TRUE(s.enabled(Component::MemoryBlade));
+    EXPECT_FALSE(s.enabled(Component::Server));
+    EXPECT_EQ(s.summary(), "disk,fan,memory-blade");
+    EXPECT_EQ(FaultSpec::parse("all").summary(), "all");
+    EXPECT_EQ(FaultSpec::none().summary(), "none");
+}
+
+TEST(FaultSpec, ParseRejectsUnknownComponents)
+{
+    EXPECT_THROW(FaultSpec::parse("disk,flux-capacitor"), FatalError);
+}
+
+TEST(ThermalCoupling, BudgetPowerSitsAtAllowableDeltaT)
+{
+    auto enc =
+        thermal::makeEnclosure(thermal::PackagingDesign::Conventional1U);
+    auto tc = fanFailureCoupling(thermal::PackagingDesign::Conventional1U,
+                                 enc.serverPowerBudgetW, 4);
+    EXPECT_NEAR(tc.baseDeltaT, enc.allowableDeltaT, 1e-9);
+    // One of four fans out: delta-T rises by 4/3.
+    EXPECT_NEAR(tc.degradedDeltaT, tc.baseDeltaT * 4.0 / 3.0, 1e-9);
+}
+
+TEST(ThermalCoupling, CrossingTimeMatchesFirstOrderFormula)
+{
+    const double tau = 120.0;
+    // 90% of the power budget: below throttle at full flow, above it
+    // in the degraded (one-of-two-fans) steady state.
+    auto enc = thermal::makeEnclosure(thermal::PackagingDesign::DualEntry);
+    auto tc = fanFailureCoupling(thermal::PackagingDesign::DualEntry,
+                                 0.9 * enc.serverPowerBudgetW, 2, tau,
+                                 1.1, 1.6);
+    ASSERT_GT(tc.degradedDeltaT, tc.throttleDeltaT);
+    double expected =
+        -tau * std::log((tc.degradedDeltaT - tc.throttleDeltaT) /
+                        (tc.degradedDeltaT - tc.baseDeltaT));
+    EXPECT_DOUBLE_EQ(tc.timeToThrottleSeconds, expected);
+}
+
+TEST(ThermalCoupling, CoolDesignNeverThrottles)
+{
+    // Four fans and a fraction of the power budget: the degraded
+    // steady state stays below the throttle threshold.
+    auto enc =
+        thermal::makeEnclosure(thermal::PackagingDesign::Conventional1U);
+    auto tc = fanFailureCoupling(thermal::PackagingDesign::Conventional1U,
+                                 0.5 * enc.serverPowerBudgetW, 4);
+    EXPECT_TRUE(std::isinf(tc.timeToThrottleSeconds));
+    EXPECT_TRUE(std::isinf(tc.timeToShutdownSeconds));
+}
+
+TEST(ThermalCoupling, SingleFanMarchesToShutdown)
+{
+    // The aggregated micro-blade's lone mover: losing it leaves only
+    // natural convection, so even a modest load crosses shutdown.
+    auto enc = thermal::makeEnclosure(
+        thermal::PackagingDesign::AggregatedMicroblade);
+    auto tc = fanFailureCoupling(
+        thermal::PackagingDesign::AggregatedMicroblade,
+        0.8 * enc.serverPowerBudgetW, 1);
+    EXPECT_TRUE(std::isfinite(tc.timeToShutdownSeconds));
+    EXPECT_LE(tc.timeToThrottleSeconds, tc.timeToShutdownSeconds);
+}
+
+InjectorConfig
+serverOnlyConfig(double mttfScale)
+{
+    InjectorConfig cfg;
+    cfg.spec = FaultSpec::parse("server");
+    cfg.spec.mttfScale = mttfScale;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(FaultInjector, ServerWalksThroughTheStateMachine)
+{
+    sim::EventQueue eq;
+    auto cfg = serverOnlyConfig(1e-5);
+    FaultInjector inj(eq, cfg, 1);
+    std::vector<double> downAt, upAt;
+    inj.onServerDown(
+        [&](unsigned s, Component c) {
+            EXPECT_EQ(s, 0u);
+            EXPECT_EQ(c, Component::Server);
+            downAt.push_back(eq.now());
+        });
+    inj.onServerUp([&](unsigned s) {
+        EXPECT_EQ(s, 0u);
+        upAt.push_back(eq.now());
+    });
+
+    EXPECT_EQ(inj.serverHealth(0), Health::Healthy);
+    inj.start();
+
+    // Run to the first failure.
+    while (downAt.empty() && eq.step())
+        ;
+    ASSERT_EQ(downAt.size(), 1u);
+    EXPECT_FALSE(inj.serverUp(0));
+    EXPECT_EQ(inj.upCount(), 0u);
+    EXPECT_EQ(inj.serverHealth(0), Health::Failed);
+
+    // Detection lag turns Failed into Repairing before repair lands.
+    while (upAt.empty() && eq.step()) {
+        if (inj.serverUp(0))
+            break;
+        if (eq.now() > downAt[0] + cfg.detectionSeconds) {
+            EXPECT_EQ(inj.serverHealth(0), Health::Repairing);
+        }
+    }
+    ASSERT_EQ(upAt.size(), 1u);
+    EXPECT_TRUE(inj.serverUp(0));
+    EXPECT_EQ(inj.serverHealth(0), Health::Healthy);
+    EXPECT_GE(upAt[0] - downAt[0], cfg.detectionSeconds);
+    EXPECT_EQ(inj.stats().failures[std::size_t(Component::Server)], 1u);
+    EXPECT_EQ(inj.stats().repairs[std::size_t(Component::Server)], 1u);
+    EXPECT_EQ(inj.stats().serverCrashes, 1u);
+    EXPECT_NEAR(inj.stats().serverDownSeconds, upAt[0] - downAt[0],
+                1e-9);
+}
+
+TEST(FaultInjector, MemoryBladeTakesDownTheWholeEnsemble)
+{
+    sim::EventQueue eq;
+    InjectorConfig cfg;
+    cfg.spec = FaultSpec::parse("memory-blade");
+    cfg.spec.mttfScale = 1e-5;
+    cfg.memoryBlade = true;
+    cfg.seed = 7;
+    const unsigned servers = 6;
+    FaultInjector inj(eq, cfg, servers);
+    unsigned downs = 0, ups = 0;
+    inj.onServerDown([&](unsigned, Component c) {
+        EXPECT_EQ(c, Component::MemoryBlade);
+        ++downs;
+    });
+    inj.onServerUp([&](unsigned) { ++ups; });
+    inj.start();
+
+    while (downs == 0 && eq.step())
+        ;
+    EXPECT_EQ(downs, servers);
+    EXPECT_EQ(inj.upCount(), 0u);
+    EXPECT_EQ(inj.stats().blastMax, servers);
+
+    while (ups < servers && eq.step())
+        ;
+    EXPECT_EQ(ups, servers);
+    EXPECT_EQ(inj.upCount(), servers);
+}
+
+TEST(FaultInjector, RemoteDiskTargetDownsItsFanoutGroup)
+{
+    sim::EventQueue eq;
+    InjectorConfig cfg;
+    cfg.spec = FaultSpec::parse("disk");
+    cfg.spec.mttfScale = 1e-5;
+    cfg.storageFanout = 4;
+    cfg.seed = 13;
+    FaultInjector inj(eq, cfg, 8);
+    std::vector<unsigned> downed;
+    inj.onServerDown(
+        [&](unsigned s, Component c) {
+            EXPECT_EQ(c, Component::Disk);
+            downed.push_back(s);
+        });
+    inj.start();
+    while (downed.empty() && eq.step())
+        ;
+    // Exactly one fanout-sized group fell together.
+    ASSERT_EQ(downed.size(), 4u);
+    unsigned group = downed[0] / 4;
+    for (unsigned s : downed)
+        EXPECT_EQ(s / 4, group);
+    EXPECT_EQ(inj.stats().blastMax, 4u);
+    EXPECT_EQ(inj.upCount(), 4u);
+}
+
+TEST(FaultInjector, FanFailureThrottlesAtTheModeledTime)
+{
+    sim::EventQueue eq;
+    InjectorConfig cfg;
+    cfg.spec = FaultSpec::parse("fan");
+    cfg.spec.mttfScale = 1e-4;
+    cfg.seed = 99;
+    // A single fan makes the replay unambiguous (exactly one fan
+    // stream exists) and the thermal march fast (natural-convection
+    // fallback), so the throttle always lands before the repair.
+    cfg.fansPerServer = 1;
+    cfg.packaging = thermal::PackagingDesign::DualEntry;
+    // Run hot enough that the fan loss crosses the throttle threshold.
+    cfg.serverWatts =
+        thermal::makeEnclosure(thermal::PackagingDesign::DualEntry)
+            .serverPowerBudgetW;
+    FaultInjector inj(eq, cfg, 1);
+    ASSERT_TRUE(std::isfinite(
+        inj.thermalResponse().timeToThrottleSeconds));
+
+    std::vector<std::pair<double, double>> throttles;
+    inj.onServerThrottle([&](unsigned s, double factor) {
+        EXPECT_EQ(s, 0u);
+        throttles.push_back({eq.now(), factor});
+    });
+    inj.start();
+    while (throttles.empty() && eq.step())
+        ;
+    ASSERT_GE(throttles.size(), 1u);
+
+    // Replay the fan unit's identity-hashed stream to recover the
+    // failure instant; the throttle must land exactly at the modeled
+    // crossing time after it.
+    Rng stream(seedFor(cfg.seed, "fault", to_string(Component::Fan),
+                       0u, 0u));
+    double tFail = cfg.spec.model(Component::Fan)
+                       .drawLifetimeSeconds(stream, cfg.spec.mttfScale);
+    EXPECT_DOUBLE_EQ(throttles[0].first,
+                     tFail +
+                         inj.thermalResponse().timeToThrottleSeconds);
+    EXPECT_EQ(throttles[0].second, cfg.throttleCapacityFactor);
+    EXPECT_EQ(inj.serverHealth(0), Health::Degraded);
+
+    // The repair lifts the throttle (capacity factor back to 1).
+    while (throttles.size() < 2 && eq.step())
+        ;
+    ASSERT_EQ(throttles.size(), 2u);
+    EXPECT_EQ(throttles[1].second, 1.0);
+    EXPECT_EQ(inj.serverHealth(0), Health::Healthy);
+    EXPECT_GT(inj.stats().serverDegradedSeconds, 0.0);
+}
+
+TEST(FaultInjector, EmptySpecSchedulesNothing)
+{
+    sim::EventQueue eq;
+    InjectorConfig cfg; // spec defaults to none
+    FaultInjector inj(eq, cfg, 16);
+    inj.start();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(inj.stats().totalFailures(), 0u);
+    EXPECT_EQ(inj.upCount(), 16u);
+}
+
+perfsim::StationConfig
+testStations()
+{
+    perfsim::PerfEvaluator perf;
+    auto server = platform::makeSystem(platform::SystemClass::Emb1);
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    return perf.stationsFor(server, workload->traits(), {});
+}
+
+AvailabilityParams
+availParams()
+{
+    AvailabilityParams p;
+    p.servers = 4;
+    p.horizonSeconds = 120.0;
+    p.epochSeconds = 5.0;
+    p.offeredRps = 40.0;
+    p.seed = 2024;
+    return p;
+}
+
+TEST(AvailabilitySim, FaultFreeClusterIsFullyAvailable)
+{
+    auto st = testStations();
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(*workload);
+    auto r = simulateAvailability(iw, st, availParams());
+    EXPECT_EQ(r.availability, 1.0);
+    EXPECT_EQ(r.epochsPassed, r.epochsTotal);
+    EXPECT_EQ(r.faults.totalFailures(), 0u);
+    EXPECT_EQ(r.giveups, 0u);
+    EXPECT_EQ(r.meanTimeToQosViolationSeconds, r.horizonSeconds);
+    EXPECT_GT(r.goodputFraction, 0.95);
+}
+
+TEST(AvailabilitySim, InjectedFaultsCostAvailability)
+{
+    auto st = testStations();
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(*workload);
+    auto p = availParams();
+    // ~80% of the four Emb1 servers' aggregate sustainable websearch
+    // throughput (~210 rps each): healthy epochs pass, but losing one
+    // server pushes the survivors past saturation.
+    p.offeredRps = 680.0;
+    p.injector.spec = FaultSpec::parse("server");
+    // Compress MTTF so a 120 s horizon sees crashes: at 2e-7 a
+    // server's mean lifetime is ~315 s, so four servers average one
+    // to two crashes per run (and repairs outlast the horizon).
+    p.injector.spec.mttfScale = 2e-7;
+    auto r = simulateAvailability(iw, st, p);
+    EXPECT_GT(r.faults.totalFailures(), 0u);
+    EXPECT_GT(r.serverDownFraction, 0.0);
+    EXPECT_LT(r.availability, 1.0);
+    EXPECT_GT(r.availability, 0.0);
+    EXPECT_LT(r.meanTimeToQosViolationSeconds, r.horizonSeconds);
+    // The degraded-mode protocol engaged: timeouts and retries, and
+    // the survivors kept serving (goodput did not collapse to zero).
+    EXPECT_GT(r.timeouts, 0u);
+    EXPECT_GT(r.retries, 0u);
+    EXPECT_GT(r.goodputRps, 0.0);
+}
+
+TEST(AvailabilitySim, RunsAreBitIdentical)
+{
+    auto st = testStations();
+    auto workload =
+        workloads::makeBenchmark(workloads::Benchmark::Websearch);
+    auto &iw = dynamic_cast<workloads::InteractiveWorkload &>(*workload);
+    auto p = availParams();
+    p.injector.spec = FaultSpec::all();
+    p.injector.spec.mttfScale = 5e-5;
+    p.injector.memoryBlade = true;
+    auto a = simulateAvailability(iw, st, p);
+    auto b = simulateAvailability(iw, st, p);
+    EXPECT_EQ(a.availability, b.availability);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.faults.totalFailures(), b.faults.totalFailures());
+    EXPECT_EQ(a.goodputRps, b.goodputRps);
+}
+
+} // namespace

@@ -351,6 +351,69 @@ TEST(BatchRunner, SlowdownStretchesMakespan)
     EXPECT_NEAR(r1.makespanSeconds / r0.makespanSeconds, 1.2, 0.05);
 }
 
+TEST(BatchRunner, EmptyFaultPolicyMatchesClassicRunExactly)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             wc.traits(), {});
+    Rng a(40), b(40);
+    auto classic = runBatch(wc, st, a);
+    auto faulted = runBatch(wc, st, b, perfsim::BatchFaultPolicy{});
+    // Same RNG, same event sequence: bit-identical outcome.
+    EXPECT_EQ(faulted.makespanSeconds, classic.makespanSeconds);
+    EXPECT_EQ(faulted.tasksRun, classic.tasksRun);
+    EXPECT_EQ(faulted.kernel.dispatched, classic.kernel.dispatched);
+    EXPECT_EQ(faulted.tasksReexecuted, 0u);
+    EXPECT_EQ(faulted.checkpointRestores, 0u);
+    EXPECT_EQ(faulted.lostWorkSeconds, 0.0);
+}
+
+TEST(BatchRunner, OutageForcesReexecutionAndStretchesMakespan)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Srvr1),
+                             wc.traits(), {});
+    Rng a(41), b(41);
+    auto clean = runBatch(wc, st, a);
+
+    // A mid-job outage: tasks in flight at t=20 are killed and redone.
+    perfsim::BatchFaultPolicy policy;
+    policy.downWindows = {{20.0, 30.0}};
+    auto faulted = runBatch(wc, st, b, policy);
+    EXPECT_GT(faulted.tasksReexecuted, 0u);
+    EXPECT_GT(faulted.lostWorkSeconds, 0.0);
+    // Outage length plus redone work both stretch the job.
+    EXPECT_GT(faulted.makespanSeconds, clean.makespanSeconds + 10.0);
+    EXPECT_EQ(faulted.tasksRun, clean.tasksRun);
+    EXPECT_EQ(faulted.checkpointRestores, 0u); // no checkpointing
+}
+
+TEST(BatchRunner, CheckpointingRecoversLostWork)
+{
+    workloads::MapReduce wc(workloads::MapReduceApp::WordCount);
+    PerfEvaluator ev;
+    auto st = ev.stationsFor(makeSystem(SystemClass::Emb2), wc.traits(),
+                             {});
+
+    perfsim::BatchFaultPolicy full;
+    full.downWindows = {{100.0, 130.0}, {300.0, 330.0}};
+    Rng a(42);
+    auto noCkpt = runBatch(wc, st, a, full);
+    ASSERT_GT(noCkpt.tasksReexecuted, 0u);
+
+    perfsim::BatchFaultPolicy ckpt = full;
+    ckpt.checkpointIntervalSeconds = 2.0;
+    Rng b(42);
+    auto withCkpt = runBatch(wc, st, b, ckpt);
+    EXPECT_GT(withCkpt.checkpointRestores, 0u);
+    // Checkpoints shorten re-execution: less progress discarded and a
+    // shorter (or equal) job.
+    EXPECT_LT(withCkpt.lostWorkSeconds, noCkpt.lostWorkSeconds);
+    EXPECT_LE(withCkpt.makespanSeconds, noCkpt.makespanSeconds);
+}
+
 TEST(BatchRunner, ReportsStationStatsAndKernelCounters)
 {
     workloads::MapReduce wc(workloads::MapReduceApp::WordCount);

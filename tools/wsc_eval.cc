@@ -30,6 +30,15 @@ using namespace wsc::core;
 
 namespace {
 
+workloads::Benchmark
+parseBenchmark(const std::string &name)
+{
+    for (auto b : workloads::allBenchmarks)
+        if (workloads::to_string(b) == name)
+            return b;
+    fatal("unknown benchmark '" + name + "'");
+}
+
 platform::SystemClass
 parseSystem(const std::string &name)
 {
@@ -128,6 +137,27 @@ main(int argc, char **argv)
                    "40")
         .addOption("search-iters",
                    "bisection steps in the throughput search", "9")
+        .addOption("faults",
+                   "fault-injection spec: none|all|comma-list of "
+                   "components (e.g. disk,fan,memory-blade)",
+                   "none")
+        .addOption("mttf-scale",
+                   "MTTF multiplier for accelerated-life compression "
+                   "(repairs stay real-length)",
+                   "1e-4")
+        .addOption("avail-servers",
+                   "cluster size for the availability runs", "8")
+        .addOption("avail-horizon",
+                   "availability simulation horizon, seconds", "600")
+        .addOption("avail-epoch",
+                   "QoS accounting epoch, seconds", "10")
+        .addOption("avail-load",
+                   "offered load as a fraction of aggregate "
+                   "sustainable RPS",
+                   "0.7")
+        .addOption("avail-benchmark",
+                   "interactive benchmark driving the availability runs",
+                   "websearch")
         .addFlag("trace",
                  "count kernel trace records and summarize on stderr")
         .addFlag("csv", "emit CSV instead of an aligned table");
@@ -166,6 +196,31 @@ main(int argc, char **argv)
         auto baseline =
             DesignConfig::baseline(parseSystem(args.get("baseline")));
 
+        // Dependability-aware evaluation: --faults enables the
+        // availability mode; the default "none" leaves every zero-fault
+        // output (table and report bytes) untouched. Parse and validate
+        // up front so a bad spec fails before the perf sweep runs.
+        auto spec = faults::FaultSpec::parse(args.get("faults"));
+        spec.mttfScale = args.getDouble("mttf-scale");
+        if (spec.mttfScale <= 0)
+            fatal("--mttf-scale must be > 0");
+        AvailabilityEvalParams availParams;
+        if (spec.any()) {
+            availParams.spec = spec;
+            double servers = args.getDouble("avail-servers");
+            if (servers < 1 || servers > 4096)
+                fatal("--avail-servers must be in [1, 4096]");
+            availParams.servers = unsigned(servers);
+            availParams.horizonSeconds = args.getDouble("avail-horizon");
+            availParams.epochSeconds = args.getDouble("avail-epoch");
+            availParams.loadFactor = args.getDouble("avail-load");
+            if (availParams.loadFactor <= 0 ||
+                availParams.loadFactor > 1)
+                fatal("--avail-load must be in (0, 1]");
+            availParams.benchmark =
+                parseBenchmark(args.get("avail-benchmark"));
+        }
+
         // Run the whole (design + baseline) x suite matrix as one
         // parallel batch; the per-benchmark queries below then hit
         // the evaluator's cache.
@@ -198,6 +253,50 @@ main(int argc, char **argv)
         else
             t.print(std::cout);
 
+        std::vector<obs::AvailReport> availEntries;
+        if (spec.any()) {
+            std::vector<DesignConfig> designs{design, baseline};
+            auto runs = evaluator.evaluateAvailabilityBatch(
+                designs, availParams);
+
+            Table at({"Design", "Avail %", "Goodput RPS", "Goodput %",
+                      "MTT-QoS-viol s", "Failures", "Crashes",
+                      "Blast max", "Avail x Perf/TCO-$ rel"});
+            for (std::size_t i = 0; i < designs.size(); ++i) {
+                const auto &r = runs[i];
+                // Dependability-adjusted figure of merit: the perf-per-
+                // TCO ratio a design actually delivers once the epochs
+                // it cannot sustain QoS are discounted.
+                auto rel = evaluator.evaluateRelative(
+                    designs[i], baseline, availParams.benchmark);
+                double baseAvail = runs.back().availability;
+                double combined =
+                    baseAvail > 0 ? rel.perfPerTcoDollar *
+                                        r.availability / baseAvail
+                                  : 0.0;
+                at.addRow({designs[i].name,
+                           fmtF(100.0 * r.availability, 2),
+                           fmtF(r.goodputRps, 1),
+                           fmtF(100.0 * r.goodputFraction, 1),
+                           fmtF(r.meanTimeToQosViolationSeconds, 1),
+                           fmtF(double(r.faults.totalFailures()), 0),
+                           fmtF(double(r.faults.serverCrashes), 0),
+                           fmtF(double(r.faults.blastMax), 0),
+                           fmtPct(combined)});
+                availEntries.push_back(
+                    availReport(designs[i], availParams, r));
+            }
+            std::cout << "\nAvailability under faults ("
+                      << spec.summary()
+                      << ", mttf-scale=" << spec.mttfScale << ", "
+                      << availParams.servers << " servers, "
+                      << availParams.horizonSeconds << " s):\n\n";
+            if (args.flag("csv"))
+                at.printCsv(std::cout);
+            else
+                at.print(std::cout);
+        }
+
         if (args.flag("trace")) {
             using Kind = sim::EventQueue::TraceRecord::Kind;
             std::cerr << "trace: scheduled="
@@ -213,6 +312,7 @@ main(int argc, char **argv)
         if (!report_path.empty()) {
             auto report = buildSweepReport(evaluator, cells, "wsc_eval",
                                            std::uint64_t(threads));
+            report.avail = availEntries;
             std::ofstream out(report_path);
             if (!out)
                 fatal("cannot open report path '" + report_path + "'");
