@@ -28,9 +28,13 @@ main()
     Table t({"Workload", "Uncontended slowdown",
              "Max servers (1 ch)", "Max servers (2 ch)",
              "Max servers (4 ch)"});
+    // Saved for the utilization table below (same replay parameters).
+    ReplayStats websearch_stats;
     for (auto b : workloads::allBenchmarks) {
         auto prof = profileFor(b);
         auto st = replayProfile(prof, 0.25, PolicyKind::Random, n, 42);
+        if (b == workloads::Benchmark::Websearch)
+            websearch_stats = st;
         double base = contendedSlowdown(st, prof, link, 1,
                                         BladeLinkParams{});
         std::vector<std::string> row{prof.name, fmtPct(base, 2)};
@@ -54,7 +58,7 @@ main()
 
     std::cout << "\nBlade utilization vs sharers (websearch):\n";
     auto prof = profileFor(workloads::Benchmark::Websearch);
-    auto st = replayProfile(prof, 0.25, PolicyKind::Random, n, 42);
+    const auto &st = websearch_stats;
     double per_server = st.warmMissRate() * prof.touchesPerSecond;
     Table u({"Servers", "Fetches/s", "Utilization", "Mean wait (us)",
              "Slowdown"});

@@ -21,15 +21,23 @@ main()
 {
     std::cout << "=== Ablation: flash cache capacity sweep ===\n\n";
     const std::uint64_t accesses = 1500000;
+    const std::vector<double> capacities{0.25, 0.5, 1.0, 2.0, 4.0};
     for (auto b : workloads::allBenchmarks) {
         std::cout << workloads::to_string(b) << ":\n";
         Table t({"Flash GB", "Hit rate", "Lifetime (years)",
                  "Viable for 3-yr depreciation"});
-        for (double gb : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        // All capacities from one stack-distance pass over the trace.
+        std::vector<FlashSpec> specs;
+        for (double gb : capacities) {
             FlashSpec spec;
             spec.capacityGB = gb;
-            auto out = evaluateFlashCache(b, spec, accesses, 5.0e6, 99);
-            t.addRow({fmtF(gb, 2), fmtPct(out.hitRate, 1),
+            specs.push_back(spec);
+        }
+        auto outs = evaluateFlashCacheSweep(b, specs, accesses, 5.0e6,
+                                            99);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const auto &out = outs[i];
+            t.addRow({fmtF(capacities[i], 2), fmtPct(out.hitRate, 1),
                       fmtF(out.lifetimeYears, 1),
                       out.lifetimeYears >= 3.0 ? "yes" : "no"});
         }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "memblade/latency.hh"
+#include "memblade/stack_distance.hh"
 #include "util/table.hh"
 
 using namespace wsc;
@@ -22,18 +23,36 @@ main()
     std::cout << "=== Ablation: local-memory fraction x replacement "
                  "policy (PCIe x4 slowdowns) ===\n\n";
     const std::uint64_t n = 1500000;
+    const std::vector<double> fractions{0.0625, 0.125, 0.25, 0.5};
     for (auto kind :
          {PolicyKind::Random, PolicyKind::Lru, PolicyKind::Clock}) {
         std::cout << "Policy: " << to_string(kind) << "\n";
         Table t({"Local fraction", "websearch", "webmail", "ytube",
                  "mapred-wc", "mapred-wr"});
-        for (double f : {0.0625, 0.125, 0.25, 0.5}) {
-            std::vector<std::string> row{fmtPct(f, 2)};
+        // LRU: the whole fraction sweep falls out of one stack-
+        // distance pass per workload; random/clock replay per cell.
+        std::vector<std::vector<ReplayStats>> cols;
+        for (auto b : workloads::allBenchmarks) {
+            auto prof = profileFor(b);
+            if (kind == PolicyKind::Lru) {
+                cols.push_back(
+                    replayProfileSweep(prof, fractions, n, 42));
+            } else {
+                std::vector<ReplayStats> col;
+                for (double f : fractions)
+                    col.push_back(replayProfile(prof, f, kind, n, 42));
+                cols.push_back(std::move(col));
+            }
+        }
+        for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+            std::vector<std::string> row{fmtPct(fractions[fi], 2)};
+            std::size_t w = 0;
             for (auto b : workloads::allBenchmarks) {
                 auto prof = profileFor(b);
-                auto st = replayProfile(prof, f, kind, n, 42);
-                row.push_back(fmtPct(
-                    slowdown(st, prof, RemoteLink::pcieX4()), 1));
+                row.push_back(fmtPct(slowdown(cols[w][fi], prof,
+                                              RemoteLink::pcieX4()),
+                                     1));
+                ++w;
             }
             t.addRow(std::move(row));
         }

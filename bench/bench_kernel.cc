@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "memblade/replacement.hh"
+#include "memblade/replay.hh"
+#include "memblade/stack_distance.hh"
 #include "memblade/trace.hh"
 #include "sim/distributions.hh"
 #include "sim/event_queue.hh"
@@ -144,6 +146,61 @@ BM_TraceGeneration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_TraceGenerationBatch(benchmark::State &state)
+{
+    // Same stream as BM_TraceGeneration, pulled 4096 ids at a time.
+    auto profile = memblade::profileFor(workloads::Benchmark::Ytube);
+    memblade::TraceGenerator gen(profile, Rng(5));
+    std::vector<memblade::PageId> buf(4096);
+    for (auto _ : state) {
+        gen.nextBatch(buf.data(), buf.size());
+        benchmark::DoNotOptimize(buf[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TraceGenerationBatch);
+
+void
+BM_KernelReplay(benchmark::State &state)
+{
+    // Allocation-free kernels over a pregenerated trace; compare with
+    // BM_ReplacementReplay (the legacy virtual-dispatch policies).
+    auto kind = memblade::PolicyKind(state.range(0));
+    auto profile =
+        memblade::profileFor(workloads::Benchmark::Websearch);
+    auto trace = memblade::generateTrace(profile, 1 << 20, Rng(3));
+    auto frames = std::size_t(double(profile.footprintPages) * 0.25);
+    for (auto _ : state) {
+        auto st = memblade::replayPages(trace.data(), trace.size(),
+                                        kind, frames,
+                                        profile.footprintPages, Rng(4));
+        benchmark::DoNotOptimize(st.hits);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            std::int64_t(trace.size()));
+    state.SetLabel(memblade::to_string(kind));
+}
+BENCHMARK(BM_KernelReplay)
+    ->Arg(int(memblade::PolicyKind::Lru))
+    ->Arg(int(memblade::PolicyKind::Random))
+    ->Arg(int(memblade::PolicyKind::Clock));
+
+void
+BM_StackDistancePass(benchmark::State &state)
+{
+    // One pass = the exact LRU curve at every capacity.
+    auto profile =
+        memblade::profileFor(workloads::Benchmark::Websearch);
+    const std::uint64_t n = 1 << 19;
+    for (auto _ : state) {
+        auto curve = memblade::lruCurveForProfile(profile, n, 7);
+        benchmark::DoNotOptimize(curve.accesses);
+    }
+    state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_StackDistancePass);
 
 } // namespace
 

@@ -1,6 +1,9 @@
 #include "flashcache/io_trace.hh"
 
+#include "memblade/replay.hh"
+#include "memblade/stack_distance.hh"
 #include "util/logging.hh"
+#include "util/units.hh"
 
 namespace wsc {
 namespace flashcache {
@@ -62,6 +65,52 @@ ioProfileFor(workloads::Benchmark b)
     return p;
 }
 
+namespace {
+
+/** 4 KB-block frame count of a flash device (FlashCache's sizing). */
+std::size_t
+flashFrames(const FlashSpec &spec)
+{
+    WSC_ASSERT(spec.capacityGB > 0.0, "flash capacity must be positive");
+    auto frames = std::size_t(spec.capacityGB * units::GiB / 4096.0);
+    WSC_ASSERT(frames > 0, "flash too small for one block");
+    return frames;
+}
+
+/**
+ * Assemble an outcome from replay counts: the same arithmetic
+ * FlashCache's own stats produce (every miss is a read-allocate
+ * insertion of one 4 KB block, so wear = misses * blockBytes spread
+ * over the device).
+ */
+FlashCacheOutcome
+outcomeFrom(const FlashSpec &spec, std::uint64_t totalMisses,
+            std::uint64_t measuredHits, std::uint64_t measuredAccesses,
+            double diskReadBytesPerSecond)
+{
+    FlashCacheOutcome out;
+    out.hitRate = measuredAccesses
+                      ? double(measuredHits) / double(measuredAccesses)
+                      : 0.0;
+    double capacity_bytes = spec.capacityGB * units::GiB;
+    out.wearCyclesPerBlock =
+        double(totalMisses * std::uint64_t(4096)) / capacity_bytes;
+    // Flash absorbs one write per miss (read-allocate): the write rate
+    // is the miss fraction of the disk-read byte rate.
+    double write_rate = diskReadBytesPerSecond * (1.0 - out.hitRate);
+    if (write_rate > 0.0) {
+        double seconds = capacity_bytes / write_rate *
+                         spec.enduranceCycles;
+        out.lifetimeYears =
+            seconds / (units::hoursPerYear * units::secondsPerHour);
+    } else {
+        out.lifetimeYears = 1e9;
+    }
+    return out;
+}
+
+} // namespace
+
 FlashCacheOutcome
 evaluateFlashCache(workloads::Benchmark b, const FlashSpec &spec,
                    std::uint64_t accesses,
@@ -69,30 +118,41 @@ evaluateFlashCache(workloads::Benchmark b, const FlashSpec &spec,
 {
     WSC_ASSERT(accesses >= 2, "need at least two accesses");
     auto profile = ioProfileFor(b);
-    Rng rng(seed);
-    memblade::TraceGenerator gen(profile, rng);
-    FlashCache cache(spec);
+    memblade::TraceGenerator gen(profile, Rng(seed));
 
-    // Warm up on the first half; measure the second half.
-    std::uint64_t warm = accesses / 2;
-    for (std::uint64_t i = 0; i < warm; ++i)
-        cache.lookup(gen.next());
-    std::uint64_t hits = 0, lookups = 0;
-    for (std::uint64_t i = warm; i < accesses; ++i) {
-        if (cache.lookup(gen.next()))
-            ++hits;
-        ++lookups;
+    // Warm up on the first half; measure the second half. FlashCache
+    // is LRU with read-allocate, so the batched LRU kernel replays it
+    // exactly; the old per-iteration lookup counter is gone (it was
+    // always accesses - warm).
+    auto w = memblade::replayWindowed(
+        gen, memblade::PolicyKind::Lru, flashFrames(spec),
+        profile.footprintPages, accesses, accesses / 2, Rng(seed));
+    return outcomeFrom(spec, w.total.misses, w.measured.hits,
+                       w.measured.accesses, diskReadBytesPerSecond);
+}
+
+std::vector<FlashCacheOutcome>
+evaluateFlashCacheSweep(workloads::Benchmark b,
+                        const std::vector<FlashSpec> &specs,
+                        std::uint64_t accesses,
+                        double diskReadBytesPerSecond,
+                        std::uint64_t seed)
+{
+    WSC_ASSERT(accesses >= 2, "need at least two accesses");
+    auto profile = ioProfileFor(b);
+    memblade::TraceGenerator gen(profile, Rng(seed));
+    auto curve = memblade::lruCurve(gen, profile.footprintPages,
+                                    accesses, accesses / 2);
+
+    std::vector<FlashCacheOutcome> out;
+    out.reserve(specs.size());
+    for (const FlashSpec &spec : specs) {
+        auto frames = flashFrames(spec);
+        out.push_back(outcomeFrom(
+            spec, curve.accesses - curve.hitsAt(frames),
+            curve.measuredHitsAt(frames), curve.measuredAccesses,
+            diskReadBytesPerSecond));
     }
-
-    FlashCacheOutcome out;
-    out.hitRate = lookups ? double(hits) / double(lookups) : 0.0;
-    out.wearCyclesPerBlock = cache.wearCyclesPerBlock();
-    // Flash absorbs one write per miss (read-allocate): the write rate
-    // is the miss fraction of the disk-read byte rate.
-    double write_rate = diskReadBytesPerSecond * (1.0 - out.hitRate);
-    out.lifetimeYears = write_rate > 0.0
-                            ? cache.lifetimeYears(write_rate)
-                            : 1e9;
     return out;
 }
 

@@ -13,6 +13,8 @@
 #ifndef WSC_FLASHCACHE_IO_TRACE_HH
 #define WSC_FLASHCACHE_IO_TRACE_HH
 
+#include <vector>
+
 #include "flashcache/flash_cache.hh"
 #include "memblade/trace.hh"
 #include "workloads/suite.hh"
@@ -48,6 +50,18 @@ FlashCacheOutcome evaluateFlashCache(workloads::Benchmark b,
                                      std::uint64_t accesses,
                                      double diskReadBytesPerSecond,
                                      std::uint64_t seed);
+
+/**
+ * Evaluate one benchmark at every flash capacity in @p specs from a
+ * single stack-distance pass over the trace (the cache is LRU, so
+ * each spec's outcome is exactly what evaluateFlashCache would
+ * report, bit for bit, at one-pass cost instead of specs.size()
+ * replays).
+ */
+std::vector<FlashCacheOutcome> evaluateFlashCacheSweep(
+    workloads::Benchmark b, const std::vector<FlashSpec> &specs,
+    std::uint64_t accesses, double diskReadBytesPerSecond,
+    std::uint64_t seed);
 
 } // namespace flashcache
 } // namespace wsc

@@ -1,6 +1,7 @@
 #include "flashcache/storage.hh"
 
 #include <map>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -58,15 +59,27 @@ namespace {
 double
 flashHitRateFor(workloads::Benchmark b, const FlashSpec &spec)
 {
-    static std::map<workloads::Benchmark, double> cache;
-    auto it = cache.find(b);
-    if (it != cache.end())
-        return it->second;
+    // Called from DesignEvaluator's pool workers: the cache needs a
+    // lock, and keying on capacity keeps distinct specs distinct.
+    static std::mutex mutex;
+    static std::map<std::pair<workloads::Benchmark, double>, double>
+        cache;
+    auto key = std::make_pair(b, spec.capacityGB);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     // 2M post-page-cache accesses: enough to warm a 262144-block
-    // cache and measure a stable second-half hit rate.
+    // cache and measure a stable second-half hit rate. Replayed
+    // outside the lock; a racing duplicate replay computes the same
+    // deterministic value.
     auto outcome = evaluateFlashCache(b, spec, 2000000,
                                       /* bytes/s */ 5.0e6, 777);
-    cache[b] = outcome.hitRate;
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(key, outcome.hitRate);
     return outcome.hitRate;
 }
 

@@ -2,10 +2,58 @@
 
 #include <cmath>
 
+#include "memblade/replay.hh"
 #include "util/logging.hh"
 
 namespace wsc {
 namespace memblade {
+
+namespace {
+
+constexpr std::size_t kChunk = 4096;
+
+template <typename Kernel>
+HybridStats
+hybridLoop(Kernel &local, Kernel &dram_tier, TraceGenerator &gen,
+           std::uint64_t accesses, std::uint64_t pageBound)
+{
+    HybridStats out;
+    ColdTracker seen(pageBound);
+    std::vector<PageId> buf(kChunk);
+    std::uint64_t done = 0;
+    while (done < accesses) {
+        auto n = std::size_t(
+            std::min<std::uint64_t>(kChunk, accesses - done));
+        gen.nextBatch(buf.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            PageId page = buf[i];
+            ++out.local.accesses;
+            if (local.access(page)) {
+                ++out.local.hits;
+                continue;
+            }
+            ++out.local.misses;
+            if (seen.firstTouch(page)) {
+                ++out.local.coldMisses;
+                // First touch populates the hierarchy; it is not a
+                // blade swap, but the page enters the DRAM tier's
+                // history.
+                dram_tier.access(page);
+                continue;
+            }
+            // Exclusive swap with the blade: DRAM tier first, flash
+            // tail.
+            if (dram_tier.access(page))
+                ++out.dramHits;
+            else
+                ++out.flashHits;
+        }
+        done += n;
+    }
+    return out;
+}
+
+} // namespace
 
 HybridStats
 replayHybrid(const TraceProfile &profile, double localFraction,
@@ -25,36 +73,32 @@ replayHybrid(const TraceProfile &profile, double localFraction,
     auto dram_frames = std::size_t(
         std::ceil(remote_pages * params.dramTierFraction));
 
+    // Same split order as the original policy-based implementation
+    // (local, DRAM tier, generator) keeps results bit-identical.
     Rng rng(seed);
-    auto local = makePolicy(kind, local_frames, rng.split());
-    auto dram_tier = makePolicy(kind, dram_frames, rng.split());
+    Rng local_rng = rng.split();
+    Rng dram_rng = rng.split();
     TraceGenerator gen(profile, rng.split());
 
-    HybridStats out;
-    std::unordered_map<PageId, bool> seen;
-    for (std::uint64_t i = 0; i < accesses; ++i) {
-        PageId page = gen.next();
-        ++out.local.accesses;
-        if (local->access(page)) {
-            ++out.local.hits;
-            continue;
-        }
-        ++out.local.misses;
-        bool cold = seen.emplace(page, true).second;
-        if (cold) {
-            ++out.local.coldMisses;
-            // First touch populates the hierarchy; it is not a blade
-            // swap, but the page enters the DRAM tier's history.
-            dram_tier->access(page);
-            continue;
-        }
-        // Exclusive swap with the blade: DRAM tier first, flash tail.
-        if (dram_tier->access(page))
-            ++out.dramHits;
-        else
-            ++out.flashHits;
+    std::uint64_t bound = profile.footprintPages;
+    switch (kind) {
+      case PolicyKind::Lru: {
+        LruKernel local(local_frames, bound);
+        LruKernel dram_tier(dram_frames, bound);
+        return hybridLoop(local, dram_tier, gen, accesses, bound);
+      }
+      case PolicyKind::Random: {
+        RandomKernel local(local_frames, local_rng, bound);
+        RandomKernel dram_tier(dram_frames, dram_rng, bound);
+        return hybridLoop(local, dram_tier, gen, accesses, bound);
+      }
+      case PolicyKind::Clock: {
+        ClockKernel local(local_frames, bound);
+        ClockKernel dram_tier(dram_frames, bound);
+        return hybridLoop(local, dram_tier, gen, accesses, bound);
+      }
     }
-    return out;
+    panic("unknown policy kind");
 }
 
 double

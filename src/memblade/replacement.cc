@@ -38,17 +38,18 @@ RandomPolicy::RandomPolicy(std::size_t frames, Rng rng_in)
 bool
 RandomPolicy::access(PageId page)
 {
-    if (map.count(page))
+    // One lookup on the hit path (was count + erase/operator[]).
+    if (map.find(page) != map.end())
         return true;
     if (slots.size() < frames) {
-        map[page] = slots.size();
+        map.emplace(page, slots.size());
         slots.push_back(page);
         return false;
     }
     std::size_t idx = std::size_t(rng.uniformInt(0, frames - 1));
     map.erase(slots[idx]);
     slots[idx] = page;
-    map[page] = idx;
+    map.emplace(page, idx);
     return false;
 }
 

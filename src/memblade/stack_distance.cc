@@ -1,0 +1,202 @@
+#include "memblade/stack_distance.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+StackDistanceEngine::StackDistanceEngine(std::uint64_t pageBound,
+                                         std::uint64_t maxAccesses)
+{
+    WSC_ASSERT(pageBound > 0, "empty page-id space");
+    // Timestamps are uint32; one slot per access plus the unused 0.
+    WSC_ASSERT(maxAccesses < ~std::uint32_t(0),
+               "trace too long for 32-bit timestamps");
+    last.assign(std::size_t(pageBound), 0);
+    capacity_ = std::uint32_t(maxAccesses);
+    // One mark bit per timestamp (1-based; slot 0 unused) plus the
+    // block and superblock rank counters, all sized for the whole
+    // trace up front.
+    live.assign((std::size_t(maxAccesses) >> kWordShift) + 1, 0);
+    blockCnt.assign((std::size_t(maxAccesses) >> kBlockShift) + 1, 0);
+    superCnt.assign((std::size_t(maxAccesses) >> kSuperShift) + 1, 0);
+    // Distances are < min(pageBound, maxAccesses); sizing the
+    // histogram up front keeps record() from ever growing it.
+    hist.assign(std::size_t(std::min(pageBound, maxAccesses)) + 1, 0);
+}
+
+void
+StackDistanceEngine::setMark(std::uint32_t t)
+{
+    live[t >> kWordShift] |= std::uint64_t(1) << (t & 63);
+    ++blockCnt[t >> kBlockShift];
+    ++superCnt[t >> kSuperShift];
+}
+
+void
+StackDistanceEngine::clearMark(std::uint32_t t)
+{
+    live[t >> kWordShift] &= ~(std::uint64_t(1) << (t & 63));
+    --blockCnt[t >> kBlockShift];
+    --superCnt[t >> kSuperShift];
+}
+
+std::uint32_t
+StackDistanceEngine::rankAt(std::uint32_t t) const
+{
+    std::size_t word = t >> kWordShift;
+    std::size_t block = t >> kBlockShift;
+    std::size_t super = t >> kSuperShift;
+    std::uint32_t s = 0;
+    // Whole superblocks below t, then whole blocks within t's
+    // superblock, then whole words within t's block: three short
+    // contiguous sums over arrays that stay cache-resident.
+    for (std::size_t i = 0; i < super; ++i)
+        s += superCnt[i];
+    for (std::size_t b = super << (kSuperShift - kBlockShift);
+         b < block; ++b)
+        s += blockCnt[b];
+    for (std::size_t w = block << (kBlockShift - kWordShift); w < word;
+         ++w)
+        s += std::uint32_t(std::popcount(live[w]));
+    // Partial word: bits 0 .. (t & 63) inclusive.
+    std::uint64_t mask = ~std::uint64_t(0) >> (63 - (t & 63));
+    return s + std::uint32_t(std::popcount(live[word] & mask));
+}
+
+void
+StackDistanceEngine::record(std::vector<std::uint32_t> &hist,
+                            std::uint64_t d)
+{
+    if (d >= hist.size()) {
+        std::size_t sz = hist.empty() ? 64 : hist.size();
+        while (sz <= d)
+            sz *= 2;
+        hist.resize(sz, 0);
+    }
+    ++hist[d];
+}
+
+void
+StackDistanceEngine::access(PageId page)
+{
+    WSC_ASSERT(page < last.size(), "page id beyond declared bound");
+    WSC_ASSERT(now < capacity_, "engine capacity exceeded");
+    ++now;
+    if (measuring)
+        ++measuredAccesses_;
+    std::uint32_t prev = last[page];
+    if (prev == 0) {
+        // First touch: infinite distance, a miss at every capacity.
+        ++cold;
+        if (measuring)
+            ++measuredCold;
+    } else {
+        // Marks in (prev, now-1] = distinct other pages since the
+        // previous access; a C-frame LRU cache hits iff d < C. Every
+        // distinct page seen so far holds exactly one live mark at a
+        // time <= now-1, so the full rank at now-1 is just the
+        // cold-miss count — only rankAt(prev) needs the bitmap.
+        std::uint64_t d = cold - rankAt(prev);
+        record(hist, d);
+        if (measuring)
+            record(measuredHist, d);
+        // The page's mark moves from its old time to now.
+        clearMark(prev);
+    }
+    setMark(now);
+    last[page] = now;
+}
+
+namespace {
+
+std::vector<std::uint64_t>
+cumulate(const std::vector<std::uint32_t> &hist)
+{
+    std::size_t top = hist.size();
+    while (top > 0 && hist[top - 1] == 0)
+        --top;
+    std::vector<std::uint64_t> cum(top + 1, 0);
+    for (std::size_t d = 0; d < top; ++d)
+        cum[d + 1] = cum[d] + hist[d];
+    return cum;
+}
+
+} // namespace
+
+StackDistanceCurve
+StackDistanceEngine::finish() const
+{
+    StackDistanceCurve c;
+    c.accesses = now;
+    c.coldMisses = cold;
+    c.measuredAccesses = measuredAccesses_;
+    c.measuredColdMisses = measuredCold;
+    c.cumHits = cumulate(hist);
+    c.measuredCumHits = cumulate(measuredHist);
+    return c;
+}
+
+StackDistanceCurve
+lruCurve(TraceGenerator &gen, std::uint64_t pageBound,
+         std::uint64_t accesses, std::uint64_t warmup)
+{
+    StackDistanceEngine eng(pageBound, accesses);
+    constexpr std::size_t kChunk = 4096;
+    std::vector<PageId> buf(kChunk);
+    std::uint64_t done = 0;
+    while (done < accesses) {
+        auto n = std::size_t(
+            std::min<std::uint64_t>(kChunk, accesses - done));
+        gen.nextBatch(buf.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + 16 < n)
+                eng.prefetchPage(buf[i + 16]);
+            if (i + 6 < n)
+                eng.prefetchPaths(buf[i + 6]);
+            if (done + i == warmup)
+                eng.beginMeasurement();
+            eng.access(buf[i]);
+        }
+        done += n;
+    }
+    return eng.finish();
+}
+
+StackDistanceCurve
+lruCurveForProfile(const TraceProfile &profile, std::uint64_t accesses,
+                   std::uint64_t seed)
+{
+    // Mirror replayProfile's Rng derivation: the kernel split is
+    // drawn (and discarded — LRU consumes no randomness) so the
+    // generator sees the identical stream.
+    Rng rng(seed);
+    (void)rng.split();
+    TraceGenerator gen(profile, rng.split());
+    return lruCurve(gen, profile.footprintPages, accesses, accesses);
+}
+
+std::vector<ReplayStats>
+replayProfileSweep(const TraceProfile &profile,
+                   const std::vector<double> &localFractions,
+                   std::uint64_t accesses, std::uint64_t seed)
+{
+    auto curve = lruCurveForProfile(profile, accesses, seed);
+    std::vector<ReplayStats> out;
+    out.reserve(localFractions.size());
+    for (double f : localFractions) {
+        WSC_ASSERT(f > 0.0 && f <= 1.0,
+                   "local fraction out of (0, 1]");
+        auto frames = std::size_t(
+            std::ceil(double(profile.footprintPages) * f));
+        out.push_back(curve.statsAt(frames));
+    }
+    return out;
+}
+
+} // namespace memblade
+} // namespace wsc

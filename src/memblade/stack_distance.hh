@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Mattson stack-distance engine: exact LRU hit rates at every
+ * capacity from one trace pass.
+ *
+ * LRU has the inclusion property (Mattson et al. 1970): a reference
+ * hits in a C-frame LRU cache iff its stack distance — one plus the
+ * number of distinct other pages touched since its previous access —
+ * is at most C. Histogramming those distances over one pass therefore
+ * yields the exact hit count of a *direct* LRU replay at *every*
+ * capacity simultaneously, so sweeps over local-memory fractions
+ * (Figure 4b style curves) or flash-cache sizes collapse from N
+ * replays to a single pass per workload.
+ *
+ * Reuse distances are computed with a ranked bitmap over last-access
+ * timestamps: each live page contributes one mark (bit) at the time
+ * of its most recent access, and two small count arrays — one per
+ * 512-timestamp block, one per 64-block superblock — turn "marks at
+ * times <= t" into a handful of contiguous sums plus at most eight
+ * popcounts. The whole structure is ~1.04 bits per trace access
+ * (256 KB for a 2M-access trace), so queries stay cache-resident
+ * where a Fenwick tree of 32-bit nodes would wander an array 32x
+ * larger. Total cost O(n * n/superblock) worst case but with tiny
+ * constants; space O(n/8 + footprint).
+ *
+ * Determinism contract: lruCurveForProfile consumes its Rng in
+ * exactly the order replayProfile does, so curve.statsAt(frames) is
+ * bit-identical — same integer hit/miss/cold counts, hence the same
+ * double rates — to replayProfile(profile, fraction, Lru, accesses,
+ * seed) for every fraction, and the measured window matches the
+ * flash-cache warmup/measure split the same way. The per-access LRU
+ * kernel stays in the tree as the validation oracle (test_replay).
+ */
+
+#ifndef WSC_MEMBLADE_STACK_DISTANCE_HH
+#define WSC_MEMBLADE_STACK_DISTANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memblade/trace.hh"
+#include "memblade/two_level.hh"
+
+namespace wsc {
+namespace memblade {
+
+/**
+ * The finished product of a stack-distance pass: cumulative hit
+ * counts indexed by capacity, for the whole trace and for the
+ * measured (post-warmup) window.
+ */
+struct StackDistanceCurve {
+    std::uint64_t accesses = 0;
+    std::uint64_t coldMisses = 0;
+    std::uint64_t measuredAccesses = 0;
+    std::uint64_t measuredColdMisses = 0;
+
+    /** cumHits[c] = hits of a c-frame LRU cache (clamped at the
+     * largest observed distance; larger capacities change nothing). */
+    std::vector<std::uint64_t> cumHits;
+    std::vector<std::uint64_t> measuredCumHits;
+
+    /** Exact LRU hits over the whole trace at @p frames frames. */
+    std::uint64_t
+    hitsAt(std::size_t frames) const
+    {
+        return cumHits[std::min(frames, cumHits.size() - 1)];
+    }
+
+    /** Exact LRU hits over the measured window at @p frames frames. */
+    std::uint64_t
+    measuredHitsAt(std::size_t frames) const
+    {
+        return measuredCumHits[std::min(frames,
+                                        measuredCumHits.size() - 1)];
+    }
+
+    /**
+     * Whole-trace replay statistics at @p frames frames;
+     * bit-identical to a direct LRU replay of the same trace.
+     */
+    ReplayStats
+    statsAt(std::size_t frames) const
+    {
+        ReplayStats st;
+        st.accesses = accesses;
+        st.hits = hitsAt(frames);
+        st.misses = accesses - st.hits;
+        st.coldMisses = coldMisses;
+        return st;
+    }
+
+    /** Measured-window hit rate at @p frames frames. */
+    double
+    measuredHitRateAt(std::size_t frames) const
+    {
+        return measuredAccesses ? double(measuredHitsAt(frames)) /
+                                      double(measuredAccesses)
+                                : 0.0;
+    }
+};
+
+/**
+ * Streaming stack-distance accumulator. Feed it the trace in access
+ * order; call beginMeasurement() where the measured window starts
+ * (never, for whole-trace curves); finish() builds the curve.
+ */
+class StackDistanceEngine
+{
+  public:
+    /**
+     * @param pageBound Page ids are < pageBound.
+     * @param maxAccesses Capacity: at most this many access() calls.
+     */
+    StackDistanceEngine(std::uint64_t pageBound,
+                        std::uint64_t maxAccesses);
+
+    /** Record the next reference. */
+    void access(PageId page);
+
+    /** Pull @p page's last-access slot toward the cache; issue ~16
+     * accesses ahead of the access() that uses it. */
+    void
+    prefetchPage(PageId page) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        if (page < last.size())
+            __builtin_prefetch(last.data() + page);
+#else
+        (void)page;
+#endif
+    }
+
+    /**
+     * Second prefetch stage, issued once the last-access slot has had
+     * time to arrive: read the page's previous timestamp and pull its
+     * bitmap line — the only randomly-indexed line in the query (the
+     * count arrays are small enough to stay resident). Purely a hint:
+     * a stale timestamp only mistrains the prefetch.
+     */
+    void
+    prefetchPaths(PageId page) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        std::uint32_t prev = page < last.size()
+                                 ? last[std::size_t(page)]
+                                 : 0;
+        if (prev != 0)
+            __builtin_prefetch(live.data() + (prev >> kWordShift));
+#else
+        (void)page;
+#endif
+    }
+
+    /** Subsequent accesses also count toward the measured window. */
+    void beginMeasurement() { measuring = true; }
+
+    /** Build the cumulative curve from the histograms. */
+    StackDistanceCurve finish() const;
+
+  private:
+    /** Ranked-bitmap geometry: 64-bit words, 512-timestamp blocks
+     * (one cache line of bitmap), 64-block superblocks. */
+    static constexpr std::uint32_t kWordShift = 6;
+    static constexpr std::uint32_t kBlockShift = 9;
+    static constexpr std::uint32_t kSuperShift = 15;
+
+    void setMark(std::uint32_t t);
+    void clearMark(std::uint32_t t);
+    /** Live marks at times <= @p t (t >= 1). */
+    std::uint32_t rankAt(std::uint32_t t) const;
+    static void record(std::vector<std::uint32_t> &hist,
+                       std::uint64_t d);
+
+    std::vector<std::uint32_t> last; //!< last[p] = time (1-based); 0 = never
+    std::vector<std::uint64_t> live;     //!< mark bit per timestamp
+    std::vector<std::uint16_t> blockCnt; //!< marks per 512 timestamps
+    std::vector<std::uint32_t> superCnt; //!< marks per 32768 timestamps
+    /** hist[d] counts; uint32 suffices (counts <= maxAccesses < 2^32)
+     * and halves the randomly-indexed footprint. */
+    std::vector<std::uint32_t> hist, measuredHist;
+    std::uint32_t now = 0;
+    std::uint32_t capacity_ = 0; //!< max access() calls
+    std::uint64_t cold = 0, measuredCold = 0, measuredAccesses_ = 0;
+    bool measuring = false;
+};
+
+/**
+ * Drain @p accesses pages from @p gen (batched) through the engine.
+ *
+ * Accesses at index >= @p warmup form the measured window (pass
+ * warmup == accesses for a whole-trace curve with no window).
+ */
+StackDistanceCurve lruCurve(TraceGenerator &gen,
+                            std::uint64_t pageBound,
+                            std::uint64_t accesses,
+                            std::uint64_t warmup);
+
+/**
+ * Single-pass exact-LRU curve for a synthetic profile, mirroring
+ * replayProfile's RNG derivation: statsAt(ceil(footprint * f)) is
+ * bit-identical to replayProfile(profile, f, PolicyKind::Lru,
+ * accesses, seed) for any fraction f.
+ */
+StackDistanceCurve lruCurveForProfile(const TraceProfile &profile,
+                                      std::uint64_t accesses,
+                                      std::uint64_t seed);
+
+/**
+ * Exact-LRU replay stats at every requested local fraction from one
+ * trace pass (the N-replay sweep collapsed). Only LRU has the
+ * inclusion property; Random/Clock sweeps still replay per fraction.
+ */
+std::vector<ReplayStats> replayProfileSweep(
+    const TraceProfile &profile,
+    const std::vector<double> &localFractions, std::uint64_t accesses,
+    std::uint64_t seed);
+
+} // namespace memblade
+} // namespace wsc
+
+#endif // WSC_MEMBLADE_STACK_DISTANCE_HH

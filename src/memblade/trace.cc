@@ -46,7 +46,7 @@ profileFor(workloads::Benchmark b)
         p.zipfS = 0.9;
         p.seqRunMean = 24.0;
         p.touchesPerSecond = 8.3e4;
-      break;
+        break;
       case Benchmark::MapredWc:
         // Streaming splits: sequential runs over a large footprint,
         // but a compact hot heap (0.7% slowdown).
@@ -117,6 +117,44 @@ TraceGenerator::next()
         runLeft = len;
     }
     return runPage;
+}
+
+void
+TraceGenerator::nextBatch(PageId *out, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        if (runLeft > 0) {
+            // Drain the pending run in one block. Runs draw no RNG,
+            // so this is where batching wins without perturbing the
+            // draw order.
+            auto take = std::size_t(
+                std::min<std::uint64_t>(runLeft, n - i));
+            if (runPage + take < p.footprintPages) {
+                PageId page = runPage;
+                for (std::size_t j = 0; j < take; ++j)
+                    out[i + j] = ++page;
+                runPage = page;
+            } else {
+                for (std::size_t j = 0; j < take; ++j) {
+                    runPage = (runPage + 1) % p.footprintPages;
+                    out[i + j] = runPage;
+                }
+            }
+            runLeft -= take;
+            i += take;
+            continue;
+        }
+        runPage = drawStart();
+        if (p.seqRunMean > 1.0) {
+            double continue_prob = 1.0 - 1.0 / p.seqRunMean;
+            std::uint64_t len = 0;
+            while (rng.bernoulli(continue_prob) && len < 4096)
+                ++len;
+            runLeft = len;
+        }
+        out[i++] = runPage;
+    }
 }
 
 std::vector<PageId>

@@ -59,6 +59,17 @@ class TraceGenerator
     /** Next page id in [0, footprintPages). */
     PageId next();
 
+    /**
+     * Fill @p out[0..n) with the next @p n page ids.
+     *
+     * Draws the RNG in exactly the same order as @p n scalar next()
+     * calls — the generator state and every subsequent id are
+     * identical whichever way the trace is pulled — but drains
+     * sequential runs in blocks, so batched replay loops avoid the
+     * per-access call and branch overhead.
+     */
+    void nextBatch(PageId *out, std::size_t n);
+
     const TraceProfile &profile() const { return p; }
 
   private:

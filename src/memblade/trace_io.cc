@@ -1,11 +1,13 @@
 #include "memblade/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "memblade/replay.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -134,10 +136,13 @@ replayTrace(const std::vector<PageId> &trace, std::size_t localFrames,
             PolicyKind kind, std::uint64_t seed)
 {
     WSC_ASSERT(localFrames > 0, "need at least one local frame");
-    TwoLevelMemory mem(localFrames, kind, Rng(seed));
+    // Dense id spaces get bitset cold tracking; sparse ones fall back
+    // to a hash set inside ColdTracker.
+    std::uint64_t bound = 0;
     for (PageId p : trace)
-        mem.access(p);
-    return mem.stats();
+        bound = std::max(bound, p + 1);
+    return replayPages(trace.data(), trace.size(), kind, localFrames,
+                       bound, Rng(seed));
 }
 
 } // namespace memblade

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "memblade/replay.hh"
 #include "util/logging.hh"
 
 namespace wsc {
@@ -45,11 +46,15 @@ replayProfile(const TraceProfile &profile, double localFraction,
                "local fraction out of (0, 1]");
     auto frames = std::size_t(
         std::ceil(double(profile.footprintPages) * localFraction));
+    // Same Rng derivation as the original TwoLevelMemory path, so
+    // results stay bit-identical for any (profile, fraction, seed);
+    // the replay itself runs on the allocation-free kernels.
     Rng rng(seed);
-    TwoLevelMemory mem(frames, kind, rng.split());
+    Rng kernel_rng = rng.split();
     TraceGenerator gen(profile, rng.split());
-    mem.replay(gen, accesses);
-    return mem.stats();
+    return replayWindowed(gen, kind, frames, profile.footprintPages,
+                          accesses, 0, kernel_rng)
+        .total;
 }
 
 } // namespace memblade

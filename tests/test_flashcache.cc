@@ -177,6 +177,33 @@ TEST(IoTrace, LifetimeWithinDepreciationForInteractive)
     EXPECT_GT(ws.lifetimeYears, 3.0);
 }
 
+TEST(IoTrace, SweepMatchesPerSpecEvaluationExactly)
+{
+    // The single-pass stack-distance sweep must report exactly what
+    // per-capacity replays report — bitwise on the doubles, since
+    // both sides run the same arithmetic on the same integer counts.
+    std::vector<FlashSpec> specs;
+    for (double gb : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        FlashSpec s;
+        s.capacityGB = gb;
+        specs.push_back(s);
+    }
+    for (auto b : {workloads::Benchmark::Websearch,
+                   workloads::Benchmark::Webmail}) {
+        auto swept = evaluateFlashCacheSweep(b, specs, 300000, 5e6, 3);
+        ASSERT_EQ(swept.size(), specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            SCOPED_TRACE(specs[i].capacityGB);
+            auto direct =
+                evaluateFlashCache(b, specs[i], 300000, 5e6, 3);
+            EXPECT_EQ(swept[i].hitRate, direct.hitRate);
+            EXPECT_EQ(swept[i].wearCyclesPerBlock,
+                      direct.wearCyclesPerBlock);
+            EXPECT_EQ(swept[i].lifetimeYears, direct.lifetimeYears);
+        }
+    }
+}
+
 TEST(Storage, FourOptionsInOrder)
 {
     auto all = StorageOption::all();

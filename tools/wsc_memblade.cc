@@ -13,9 +13,11 @@
  *   wsc_memblade --benchmark ytube --generate /tmp/ytube.btrace
  */
 
+#include <cmath>
 #include <iostream>
 
 #include "memblade/contention.hh"
+#include "memblade/stack_distance.hh"
 #include "memblade/trace_io.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -70,7 +72,11 @@ main(int argc, char **argv)
         .addOption("seed", "RNG seed", "42")
         .addOption("generate",
                    "write the synthetic trace to this file and exit",
-                   "");
+                   "")
+        .addOption("curve",
+                   "print an N-point local-fraction LRU miss-rate "
+                   "curve from one stack-distance pass and exit",
+                   "0");
 
     try {
         if (!args.parse(argc, argv))
@@ -100,6 +106,31 @@ main(int argc, char **argv)
                 std::cout << "Wrote " << trace.size()
                           << " accesses to " << args.get("generate")
                           << "\n";
+                return 0;
+            }
+            double curve_pts = args.getDouble("curve");
+            if (curve_pts < 0.0 || curve_pts > 1e6)
+                fatal("--curve must be in [0, 1e6]");
+            auto points = unsigned(curve_pts);
+            if (points > 0) {
+                // Exact LRU at every capacity from one replay pass.
+                auto curve = lruCurveForProfile(profile, n, seed);
+                std::cout << "LRU miss-rate curve for " << profile.name
+                          << " (" << n << " accesses, single pass):\n";
+                Table c({"Local fraction", "Miss rate",
+                         "Warm miss rate", "PCIe x4 slowdown"});
+                for (unsigned i = 1; i <= points; ++i) {
+                    double f = double(i) / double(points);
+                    auto frames = std::size_t(std::ceil(
+                        double(profile.footprintPages) * f));
+                    auto st = curve.statsAt(frames);
+                    c.addRow({fmtPct(f, 2), fmtPct(st.missRate(), 2),
+                              fmtPct(st.warmMissRate(), 2),
+                              fmtPct(slowdown(st, profile,
+                                              RemoteLink::pcieX4()),
+                                     2)});
+                }
+                c.print(std::cout);
                 return 0;
             }
             stats = replayProfile(profile, args.getDouble("local"),
