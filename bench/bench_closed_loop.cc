@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Closed-loop driver throughput: the seed lambda-chain driver (kept
+ * compiled as runClosedLoopOracle) vs the pooled request-arena driver
+ * (runClosedLoop), across the interactive workloads with both the
+ * classic and the timeout/retry client protocols.
+ *
+ * Every comparison is gated on a bit-identical ClosedLoopResult —
+ * same sustained throughput, same per-epoch traces, same protocol
+ * counters, same DES kernel counters — and the bench exits nonzero on
+ * any mismatch, so CI catches a driver that got fast by getting
+ * wrong. Timings land in BENCH_closed_loop.json for the perf
+ * trajectory.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perfsim/closed_loop.hh"
+#include "perfsim/perf_eval.hh"
+#include "platform/catalog.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/suite.hh"
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+sameKernel(const sim::EventQueue::Counters &a,
+           const sim::EventQueue::Counters &b)
+{
+    return a.scheduled == b.scheduled && a.dispatched == b.dispatched &&
+           a.cancelled == b.cancelled &&
+           a.compactions == b.compactions && a.peakHeap == b.peakHeap;
+}
+
+/** Field-by-field bit comparison (doubles compared exactly). */
+bool
+sameResult(const ClosedLoopResult &a, const ClosedLoopResult &b)
+{
+    return a.sustainedRps == b.sustainedRps &&
+           a.clientsAtBest == b.clientsAtBest &&
+           a.finalClients == b.finalClients &&
+           a.finalLiveClients == b.finalLiveClients &&
+           a.p95AtBest == b.p95AtBest && a.epochRps == b.epochRps &&
+           a.epochPassed == b.epochPassed &&
+           a.epochCompleted == b.epochCompleted &&
+           a.epochViolations == b.epochViolations &&
+           a.epochGiveups == b.epochGiveups &&
+           a.epochP95 == b.epochP95 && a.timeouts == b.timeouts &&
+           a.retries == b.retries && a.giveups == b.giveups &&
+           a.lateCompletions == b.lateCompletions &&
+           sameKernel(a.kernel, b.kernel);
+}
+
+std::uint64_t
+totalCompleted(const ClosedLoopResult &r)
+{
+    std::uint64_t n = 0;
+    for (auto c : r.epochCompleted)
+        n += c;
+    return n;
+}
+
+struct Comparison {
+    std::string name;
+    double oracleSec = 0.0;
+    double pooledSec = 0.0;
+    std::uint64_t requests = 0;
+    std::uint64_t events = 0;
+    bool identical = false;
+
+    double
+    speedup() const
+    {
+        return pooledSec > 0.0 ? oracleSec / pooledSec : 0.0;
+    }
+    double
+    oracleReqPerSec() const
+    {
+        return oracleSec > 0.0 ? double(requests) / oracleSec : 0.0;
+    }
+    double
+    pooledReqPerSec() const
+    {
+        return pooledSec > 0.0 ? double(requests) / pooledSec : 0.0;
+    }
+    double
+    pooledEventsPerSec() const
+    {
+        return pooledSec > 0.0 ? double(events) / pooledSec : 0.0;
+    }
+};
+
+/** Best-of-N timing: the minimum discards interference from a noisy
+ * shared host, which the mean does not. */
+constexpr int kTimedReps = 3;
+
+Comparison
+compareDrivers(workloads::Benchmark b, const StationConfig &st,
+               const ClosedLoopParams &params, std::uint64_t seed,
+               const std::string &tag)
+{
+    Comparison c;
+    c.name = workloads::to_string(b) + " " + tag;
+
+    auto wl = workloads::makeBenchmark(b);
+    auto *iw = dynamic_cast<workloads::InteractiveWorkload *>(wl.get());
+    WSC_ASSERT(iw, "closed-loop bench needs an interactive workload");
+
+    ClosedLoopResult oracle, pooled;
+    for (int rep = 0; rep < kTimedReps; ++rep) {
+        Rng rng(seed);
+        auto t0 = std::chrono::steady_clock::now();
+        oracle = runClosedLoopOracle(*iw, st, params, rng);
+        double sec = secondsSince(t0);
+        if (rep == 0 || sec < c.oracleSec)
+            c.oracleSec = sec;
+    }
+    for (int rep = 0; rep < kTimedReps; ++rep) {
+        Rng rng(seed);
+        auto t0 = std::chrono::steady_clock::now();
+        pooled = runClosedLoop(*iw, st, params, rng);
+        double sec = secondsSince(t0);
+        if (rep == 0 || sec < c.pooledSec)
+            c.pooledSec = sec;
+    }
+
+    c.requests = totalCompleted(pooled);
+    c.events = pooled.kernel.dispatched;
+    c.identical = sameResult(oracle, pooled);
+    return c;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    ArgParser args("bench_closed_loop",
+                   "oracle (lambda-chain) vs pooled (request-arena) "
+                   "closed-loop drivers, classic and timeout paths");
+    args.addOption("epochs", "adaptation epochs per run", "14")
+        .addOption("epoch-seconds", "simulated seconds per epoch", "15")
+        .addOption("out", "JSON output path", "BENCH_closed_loop.json");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    double epochsArg = args.getDouble("epochs");
+    if (epochsArg < 1.0 || epochsArg > 1000.0)
+        fatal("--epochs must be in [1, 1000]");
+    double epochSecArg = args.getDouble("epoch-seconds");
+    if (epochSecArg <= 0.0 || epochSecArg > 1e6)
+        fatal("--epoch-seconds must be in (0, 1e6]");
+
+    PerfEvaluator ev;
+    auto srvr2 = platform::makeSystem(platform::SystemClass::Srvr2);
+
+    ClosedLoopParams classic;
+    classic.epochs = unsigned(epochsArg);
+    classic.epochSeconds = epochSecArg;
+
+    ClosedLoopParams timeout = classic;
+    timeout.requestTimeoutSeconds = 0.05;
+    timeout.maxRetries = 2;
+    timeout.retryBackoffSeconds = 0.01;
+
+    const std::vector<workloads::Benchmark> benches{
+        workloads::Benchmark::Websearch, workloads::Benchmark::Webmail,
+        workloads::Benchmark::Ytube};
+
+    std::cout << "=== Closed-loop driver throughput (srvr2, "
+              << classic.epochs << " epochs x " << classic.epochSeconds
+              << "s) ===\n\n";
+
+    std::vector<Comparison> rows;
+    bool allIdentical = true;
+    for (auto b : benches) {
+        auto wl = workloads::makeBenchmark(b);
+        auto *iw =
+            dynamic_cast<workloads::InteractiveWorkload *>(wl.get());
+        WSC_ASSERT(iw, "interactive workload expected");
+        auto st = ev.stationsFor(srvr2, iw->traits(), {});
+        rows.push_back(
+            compareDrivers(b, st, classic, 101, "classic"));
+        allIdentical = allIdentical && rows.back().identical;
+        rows.push_back(
+            compareDrivers(b, st, timeout, 202, "timeout"));
+        allIdentical = allIdentical && rows.back().identical;
+    }
+
+    Table t({"Driver run", "Requests", "Oracle req/s", "Pooled req/s",
+             "Pooled Mev/s", "Speedup", "Result"});
+    for (const auto &c : rows) {
+        t.addRow({c.name, std::to_string(c.requests),
+                  fmtF(c.oracleReqPerSec() / 1e3, 1) + "k",
+                  fmtF(c.pooledReqPerSec() / 1e3, 1) + "k",
+                  fmtF(c.pooledEventsPerSec() / 1e6, 2),
+                  fmtF(c.speedup(), 2) + "x",
+                  c.identical ? "bit-identical" : "MISMATCH"});
+    }
+    t.print(std::cout);
+
+    // Acceptance target: >= 3x requests per wallclock second on the
+    // classic websearch and webmail runs.
+    bool target = true;
+    for (const auto &c : rows)
+        if (c.name == "websearch classic" || c.name == "webmail classic")
+            target = target && c.speedup() >= 3.0;
+    std::cout << "\nTarget: websearch+webmail classic >= 3x "
+              << (target ? "met" : "NOT MET") << "\n";
+
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(6);
+    json << "{\n"
+         << "  \"bench\": \"closed_loop\",\n"
+         << "  \"schema_version\": 1,\n"
+         << "  \"config\": {\n"
+         << "    \"system\": \"srvr2\",\n"
+         << "    \"epochs\": " << classic.epochs << ",\n"
+         << "    \"epoch_seconds\": " << classic.epochSeconds << ",\n"
+         << "    \"timeout_seconds\": "
+         << timeout.requestTimeoutSeconds << ",\n"
+         << "    \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << "\n"
+         << "  },\n"
+         << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &c = rows[i];
+        json << "    {\"run\": \"" << c.name
+             << "\", \"requests\": " << c.requests
+             << ", \"events\": " << c.events
+             << ", \"oracle_seconds\": " << c.oracleSec
+             << ", \"pooled_seconds\": " << c.pooledSec
+             << ", \"oracle_req_per_sec\": " << c.oracleReqPerSec()
+             << ", \"pooled_req_per_sec\": " << c.pooledReqPerSec()
+             << ", \"pooled_events_per_sec\": "
+             << c.pooledEventsPerSec()
+             << ", \"speedup\": " << c.speedup()
+             << ", \"bit_identical\": "
+             << (c.identical ? "true" : "false") << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"targets\": {\n"
+         << "    \"classic_3x\": " << (target ? "true" : "false")
+         << "\n"
+         << "  }\n"
+         << "}\n";
+
+    std::ofstream out(args.get("out"));
+    out << json.str();
+    std::cout << "\nWrote " << args.get("out") << "\n";
+
+    return allIdentical ? 0 : 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

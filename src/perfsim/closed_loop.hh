@@ -50,24 +50,50 @@ struct ClosedLoopParams {
 struct ClosedLoopResult {
     double sustainedRps = 0.0;   //!< best QoS-passing epoch throughput
     unsigned clientsAtBest = 0;
-    unsigned finalClients = 0;
+    unsigned finalClients = 0;   //!< target population after the run
+    unsigned finalLiveClients = 0; //!< clients actually alive at the end
     double p95AtBest = 0.0;
-    /** Per-epoch throughput trace (for inspection/tests). */
+    /** Per-epoch traces (for inspection/tests/bit-identity gates). */
     std::vector<double> epochRps;
     std::vector<bool> epochPassed;
+    std::vector<std::uint64_t> epochCompleted;
+    std::vector<std::uint64_t> epochViolations;
+    std::vector<std::uint64_t> epochGiveups;
+    /** Per-epoch p95 latency (0 for epochs with no completions). */
+    std::vector<double> epochP95;
     // Degraded-mode protocol activity (all zero with the timer off).
     std::uint64_t timeouts = 0;
     std::uint64_t retries = 0;
     std::uint64_t giveups = 0;
     std::uint64_t lateCompletions = 0; //!< answered after abandonment
+    /** DES kernel activity for the whole run. */
+    sim::EventQueue::Counters kernel;
 };
 
 /**
  * Run the adaptive closed-loop driver for @p workload on @p stations.
+ *
+ * The hot path is allocation-free per request: request state lives in
+ * a pooled RequestArena and continuations are InlineActions capturing
+ * a context pointer plus a slot+generation handle (see DESIGN.md
+ * "Request arena & inline actions").
  */
 ClosedLoopResult runClosedLoop(workloads::InteractiveWorkload &workload,
                                const StationConfig &stations,
                                const ClosedLoopParams &params, Rng &rng);
+
+/**
+ * The seed lambda-chain driver, kept compiled as the correctness
+ * oracle for the pooled driver: per-request nested closures and a
+ * shared_ptr'd retry control block, heap-allocating per request. It
+ * must produce bit-identical ClosedLoopResults (same RNG draw order,
+ * same event order, same kernel counters) as runClosedLoop;
+ * bench_closed_loop and the state-machine tests gate on that.
+ */
+ClosedLoopResult runClosedLoopOracle(
+    workloads::InteractiveWorkload &workload,
+    const StationConfig &stations, const ClosedLoopParams &params,
+    Rng &rng);
 
 } // namespace perfsim
 } // namespace wsc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "perfsim/calibration.hh"
+#include "perfsim/request_arena.hh"
 #include "perfsim/throughput.hh"
 #include "stats/percentile.hh"
 #include "util/hash.hh"
@@ -43,6 +44,184 @@ struct ServerNode {
     std::size_t inFlight = 0;
 };
 
+/**
+ * Pooled per-request state: as in closed_loop.cc / server_sim.cc, the
+ * slot carries the demand and the dispatch target so continuations
+ * capture only {simulation pointer, handle}.
+ */
+struct ClusterRequest {
+    double arrival = 0.0;
+    double diskService = 0.0;
+    double netMb = 0.0;
+    std::uint32_t nodeIdx = 0;
+    bool measured = false;
+};
+
+enum class Stage : unsigned { Cpu, Disk, Net };
+
+/** All run state the continuations need, behind one pointer. */
+struct ClusterSim {
+    workloads::InteractiveWorkload &workload;
+    const StationConfig &st;
+    const SimWindow &window;
+    Rng &rng;
+    unsigned servers;
+    DispatchPolicy policy;
+    double rps;
+    double horizon;
+
+    sim::EventQueue eq;
+    std::vector<ServerNode> nodes;
+    stats::PercentileTracker latencies;
+    workloads::QosSpec qos;
+    RequestArena<ClusterRequest> arena;
+    ClusterSimResult result;
+    std::uint64_t offered = 0;
+    std::uint64_t violations = 0;
+    std::size_t totalInFlight = 0;
+    bool aborted = false;
+    unsigned rrNext = 0;
+
+    ClusterSim(workloads::InteractiveWorkload &workload,
+               const StationConfig &st, unsigned servers,
+               DispatchPolicy policy, double rps,
+               const SimWindow &window, Rng &rng)
+        : workload(workload), st(st), window(window), rng(rng),
+          servers(servers), policy(policy), rps(rps),
+          horizon(window.warmupSeconds + window.measureSeconds),
+          nodes(servers), qos(workload.qos())
+    {
+        for (unsigned i = 0; i < servers; ++i) {
+            auto tag = std::to_string(i);
+            nodes[i].cpu = std::make_unique<sim::PsResource>(
+                eq, "cpu" + tag, st.cpuCapacityGHz, st.cpuSlots);
+            nodes[i].disk = std::make_unique<sim::FifoResource>(
+                eq, "disk" + tag, 1);
+            nodes[i].nic = std::make_unique<sim::PsResource>(
+                eq, "nic" + tag, st.nicMBs, 1);
+        }
+    }
+
+    std::uint32_t
+    pick()
+    {
+        switch (policy) {
+          case DispatchPolicy::RoundRobin: {
+            unsigned n = rrNext;
+            rrNext = (rrNext + 1) % servers;
+            return n;
+          }
+          case DispatchPolicy::Random:
+            return std::uint32_t(rng.uniformInt(0, servers - 1));
+          case DispatchPolicy::LeastOutstanding: {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < nodes.size(); ++i)
+                if (nodes[i].inFlight < nodes[best].inFlight)
+                    best = i;
+            return std::uint32_t(best);
+          }
+        }
+        panic("unknown dispatch policy");
+    }
+};
+
+void clusterAdvance(ClusterSim &s, RequestHandle h, Stage done);
+
+void
+clusterLaunch(ClusterSim &s, double arrival, bool measured)
+{
+    std::uint32_t nodeIdx = s.pick();
+    ServerNode &node = s.nodes[nodeIdx];
+    ++node.inFlight;
+    ++s.totalInFlight;
+    auto demand = s.workload.nextRequest(s.rng);
+    double cpu_work = demand.cpuWork * s.st.serviceSlowdown;
+    double disk_service = 0.0;
+    if (demand.diskReadBytes > 0.0 &&
+        !s.rng.bernoulli(s.st.diskCacheHitRate)) {
+        disk_service += s.st.diskAccessMs * 1e-3 +
+                        demand.diskReadBytes /
+                            (s.st.diskReadMBs * 1e6);
+    }
+    if (demand.diskWriteBytes > 0.0) {
+        disk_service +=
+            s.st.diskAccessMs * 1e-3 * writeAccessFactor +
+            demand.diskWriteBytes / (s.st.diskWriteMBs * 1e6);
+    }
+    double net_mb = demand.netBytes / 1e6;
+
+    RequestHandle h = s.arena.acquire();
+    ClusterRequest &r = s.arena.get(h);
+    r.arrival = arrival;
+    r.diskService = disk_service;
+    r.netMb = net_mb;
+    r.nodeIdx = nodeIdx;
+    r.measured = measured;
+
+    node.cpu->submit(cpu_work, [sp = &s, h] {
+        clusterAdvance(*sp, h, Stage::Cpu);
+    });
+}
+
+void
+clusterAdvance(ClusterSim &s, RequestHandle h, Stage done)
+{
+    ClusterRequest &r = s.arena.get(h);
+    ServerNode &node = s.nodes[r.nodeIdx];
+    switch (done) {
+      case Stage::Cpu:
+        if (r.diskService > 0.0) {
+            node.disk->submit(r.diskService, [sp = &s, h] {
+                clusterAdvance(*sp, h, Stage::Disk);
+            });
+            return;
+        }
+        [[fallthrough]];
+      case Stage::Disk:
+        if (r.netMb > 0.0) {
+            node.nic->submit(r.netMb, [sp = &s, h] {
+                clusterAdvance(*sp, h, Stage::Net);
+            });
+            return;
+        }
+        [[fallthrough]];
+      case Stage::Net: {
+        --node.inFlight;
+        --s.totalInFlight;
+        double latency = s.eq.now() - r.arrival;
+        if (r.measured) {
+            s.latencies.add(latency);
+            ++s.result.completed;
+            // Strict QoS boundary: latency == limit violates.
+            if (latency >= s.qos.latencyLimit)
+                ++s.violations;
+        }
+        s.arena.release(h);
+        break;
+      }
+    }
+}
+
+void
+clusterArrive(ClusterSim &s)
+{
+    if (s.aborted)
+        return;
+    if (s.totalInFlight > s.window.maxInFlight * s.servers) {
+        s.aborted = true;
+        return;
+    }
+    double now = s.eq.now();
+    if (now < s.horizon) {
+        bool measured = now >= s.window.warmupSeconds;
+        if (measured)
+            ++s.offered;
+        clusterLaunch(s, now, measured);
+        s.eq.scheduleAfter(s.rng.exponential(1.0 / s.rps),
+                           [sp = &s] { clusterArrive(*sp); });
+    }
+}
+
 } // namespace
 
 ClusterSimResult
@@ -54,130 +233,29 @@ simulateCluster(workloads::InteractiveWorkload &workload,
     WSC_ASSERT(servers >= 1, "empty cluster");
     WSC_ASSERT(rps > 0.0, "offered load must be positive");
 
-    sim::EventQueue eq;
-    std::vector<ServerNode> nodes(servers);
-    for (unsigned i = 0; i < servers; ++i) {
-        auto tag = std::to_string(i);
-        nodes[i].cpu = std::make_unique<sim::PsResource>(
-            eq, "cpu" + tag, st.cpuCapacityGHz, st.cpuSlots);
-        nodes[i].disk =
-            std::make_unique<sim::FifoResource>(eq, "disk" + tag, 1);
-        nodes[i].nic = std::make_unique<sim::PsResource>(
-            eq, "nic" + tag, st.nicMBs, 1);
-    }
+    ClusterSim s(workload, st, servers, policy, rps, window, rng);
+    s.result.offeredRps = rps;
 
-    auto qos = workload.qos();
-    stats::PercentileTracker latencies;
-    ClusterSimResult result;
-    result.offeredRps = rps;
-    double horizon = window.warmupSeconds + window.measureSeconds;
-    std::uint64_t offered = 0, violations = 0;
-    std::size_t total_in_flight = 0;
-    bool aborted = false;
-    unsigned rr_next = 0;
+    s.eq.scheduleAfter(rng.exponential(1.0 / rps),
+                       [sp = &s] { clusterArrive(*sp); });
 
-    auto pick = [&]() -> ServerNode & {
-        switch (policy) {
-          case DispatchPolicy::RoundRobin: {
-            auto &n = nodes[rr_next];
-            rr_next = (rr_next + 1) % servers;
-            return n;
-          }
-          case DispatchPolicy::Random:
-            return nodes[rng.uniformInt(0, servers - 1)];
-          case DispatchPolicy::LeastOutstanding: {
-            std::size_t best = 0;
-            for (std::size_t i = 1; i < nodes.size(); ++i)
-                if (nodes[i].inFlight < nodes[best].inFlight)
-                    best = i;
-            return nodes[best];
-          }
-        }
-        panic("unknown dispatch policy");
-    };
+    s.eq.run(s.horizon);
+    double grace = s.horizon + std::max(30.0, 5.0 * s.qos.latencyLimit);
+    while (!s.eq.empty() && s.eq.now() < grace && !s.aborted)
+        s.eq.step();
 
-    auto launch = [&](double arrival, bool measured) {
-        auto &node = pick();
-        ++node.inFlight;
-        ++total_in_flight;
-        auto demand = workload.nextRequest(rng);
-        double cpu_work = demand.cpuWork * st.serviceSlowdown;
-        double disk_service = 0.0;
-        if (demand.diskReadBytes > 0.0 &&
-            !rng.bernoulli(st.diskCacheHitRate)) {
-            disk_service += st.diskAccessMs * 1e-3 +
-                            demand.diskReadBytes /
-                                (st.diskReadMBs * 1e6);
-        }
-        if (demand.diskWriteBytes > 0.0) {
-            disk_service +=
-                st.diskAccessMs * 1e-3 * writeAccessFactor +
-                demand.diskWriteBytes / (st.diskWriteMBs * 1e6);
-        }
-        double net_mb = demand.netBytes / 1e6;
-
-        auto finish = [&, arrival, measured, node_ptr = &node] {
-            --node_ptr->inFlight;
-            --total_in_flight;
-            double latency = eq.now() - arrival;
-            if (measured) {
-                latencies.add(latency);
-                ++result.completed;
-                // Strict QoS boundary: latency == limit violates.
-                if (latency >= qos.latencyLimit)
-                    ++violations;
-            }
-        };
-        auto net_stage = [&, net_mb, finish, node_ptr = &node] {
-            if (net_mb > 0.0)
-                node_ptr->nic->submit(net_mb, finish);
-            else
-                finish();
-        };
-        auto disk_stage = [&, disk_service, net_stage,
-                           node_ptr = &node] {
-            if (disk_service > 0.0)
-                node_ptr->disk->submit(disk_service, net_stage);
-            else
-                net_stage();
-        };
-        node.cpu->submit(cpu_work, disk_stage);
-    };
-
-    std::function<void()> arrive = [&] {
-        if (aborted)
-            return;
-        if (total_in_flight > window.maxInFlight * servers) {
-            aborted = true;
-            return;
-        }
-        double now = eq.now();
-        if (now < horizon) {
-            bool measured = now >= window.warmupSeconds;
-            if (measured)
-                ++offered;
-            launch(now, measured);
-            eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
-        }
-    };
-    eq.scheduleAfter(rng.exponential(1.0 / rps), arrive);
-
-    eq.run(horizon);
-    double grace = horizon + std::max(30.0, 5.0 * qos.latencyLimit);
-    while (!eq.empty() && eq.now() < grace && !aborted)
-        eq.step();
-
+    ClusterSimResult result = s.result;
     result.saturated =
-        aborted || total_in_flight > 0 ||
-        (offered > 0 &&
-         double(result.completed) < 0.97 * double(offered));
-    if (latencies.count() > 0)
-        result.p95Latency = latencies.quantile(0.95);
+        s.aborted || s.totalInFlight > 0 ||
+        (s.offered > 0 &&
+         double(result.completed) < 0.97 * double(s.offered));
+    if (s.latencies.count() > 0)
+        result.p95Latency = s.latencies.quantile(0.95);
     result.qosViolationFraction =
-        offered ? double(violations) / double(offered) : 0.0;
+        s.offered ? double(s.violations) / double(s.offered) : 0.0;
 
     double util_sum = 0.0, util_max = 0.0;
-    for (auto &n : nodes) {
+    for (auto &n : s.nodes) {
         double u = n.cpu->utilization();
         util_sum += u;
         util_max = std::max(util_max, u);

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pooled, generation-stamped storage for in-flight request state.
+ *
+ * The request-level simulators used to thread a request's state
+ * through nested heap-allocated closures (and, on the timeout path,
+ * a shared_ptr'd control block with a self-referential std::function).
+ * RequestArena replaces both: request state lives in a free-listed
+ * slot array, continuations capture only a {context pointer, handle}
+ * pair — small enough for sim::InlineAction's inline storage — and a
+ * handle's generation stamp distinguishes the current tenant from any
+ * stale reference to a previous one, exactly like sim::EventQueue's
+ * event slots. Late completions of abandoned attempts are detected by
+ * a failed generation check instead of a kept-alive control block, so
+ * the seed's ctl -> closure -> ctl ownership cycle is gone by
+ * construction.
+ */
+
+#ifndef WSC_PERFSIM_REQUEST_ARENA_HH
+#define WSC_PERFSIM_REQUEST_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace perfsim {
+
+/** Opaque handle to an arena slot: (slot << 32) | generation.
+ * 0 is never valid (generations start at 1). */
+using RequestHandle = std::uint64_t;
+
+template <typename T>
+class RequestArena
+{
+  public:
+    /**
+     * Claim a slot (recycling the most recently released one first)
+     * and reset its payload to a default-constructed T.
+     * @return handle valid until release().
+     */
+    RequestHandle
+    acquire()
+    {
+        std::uint32_t slot;
+        if (!freeList.empty()) {
+            slot = freeList.back();
+            freeList.pop_back();
+            slots[slot] = T{};
+        } else {
+            WSC_ASSERT(gens.size() < (std::size_t(1) << 32),
+                       "request arena slot space exhausted");
+            slot = std::uint32_t(gens.size());
+            gens.push_back(1);
+            slots.emplace_back();
+        }
+        ++live_;
+        return (RequestHandle(slot) << 32) | gens[slot];
+    }
+
+    /** True while @p h refers to its slot's current tenant. */
+    bool
+    valid(RequestHandle h) const
+    {
+        std::uint32_t slot = std::uint32_t(h >> 32);
+        return slot < gens.size() && gens[slot] == std::uint32_t(h);
+    }
+
+    /** Payload for a handle the caller knows is valid. */
+    T &
+    get(RequestHandle h)
+    {
+        WSC_ASSERT(valid(h), "stale request handle");
+        return slots[std::uint32_t(h >> 32)];
+    }
+
+    /** Payload for @p h, or nullptr when the handle is stale. */
+    T *
+    find(RequestHandle h)
+    {
+        return valid(h) ? &slots[std::uint32_t(h >> 32)] : nullptr;
+    }
+
+    /**
+     * Release @p h's slot: the generation bump invalidates every
+     * outstanding copy of the handle (in-flight stage completions,
+     * pending retry timers), and the slot returns to the free list.
+     */
+    void
+    release(RequestHandle h)
+    {
+        WSC_ASSERT(valid(h), "releasing stale request handle");
+        std::uint32_t slot = std::uint32_t(h >> 32);
+        ++gens[slot];
+        freeList.push_back(slot);
+        --live_;
+    }
+
+    /** Pre-size for @p n simultaneous requests. */
+    void
+    reserve(std::size_t n)
+    {
+        slots.reserve(n);
+        gens.reserve(n);
+        freeList.reserve(n);
+    }
+
+    /** Requests currently holding slots. */
+    std::size_t live() const { return live_; }
+
+  private:
+    std::vector<T> slots;
+    std::vector<std::uint32_t> gens;
+    std::vector<std::uint32_t> freeList;
+    std::size_t live_ = 0;
+};
+
+} // namespace perfsim
+} // namespace wsc
+
+#endif // WSC_PERFSIM_REQUEST_ARENA_HH

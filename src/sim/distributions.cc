@@ -29,7 +29,8 @@ LognormalDist::LognormalDist(double mean, double cov) : mean_(mean)
 }
 
 BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
-    : lo(lo), hi(hi), alpha(alpha)
+    : lo(lo), hi(hi), alpha(alpha), loAlpha(std::pow(lo, alpha)),
+      hiAlpha(std::pow(hi, alpha)), negInvAlpha(-1.0 / alpha)
 {
     WSC_ASSERT(lo > 0.0 && hi > lo, "bounded pareto needs 0 < lo < hi");
     WSC_ASSERT(alpha > 0.0, "pareto shape must be positive");
@@ -38,11 +39,12 @@ BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
 double
 BoundedParetoDist::sample(Rng &rng)
 {
-    // Inverse CDF of the bounded Pareto.
+    // Inverse CDF of the bounded Pareto; the pow(lo, alpha) /
+    // pow(hi, alpha) constants are hoisted into the constructor.
     double u = rng.uniform();
-    double la = std::pow(lo, alpha);
-    double ha = std::pow(hi, alpha);
-    double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+    double la = loAlpha;
+    double ha = hiAlpha;
+    double x = std::pow(-(u * ha - u * la - ha) / (ha * la), negInvAlpha);
     return std::clamp(x, lo, hi);
 }
 
@@ -58,6 +60,23 @@ BoundedParetoDist::mean() const
                  (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha));
     double den = (alpha - 1.0) * (1.0 - std::pow(lo / hi, alpha));
     return num / den;
+}
+
+GuideTable::GuideTable(const std::vector<double> &cdf)
+{
+    WSC_ASSERT(!cdf.empty(), "guide table over empty cdf");
+    WSC_ASSERT(cdf.size() <= std::uint32_t(-1),
+               "cdf too large for guide table");
+    // Two-pointer merge: guide[b] = first index with cdf[idx] >= b/n.
+    std::size_t n = cdf.size();
+    guide.resize(n);
+    std::size_t k = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+        double edge = double(b) / double(n);
+        while (k < n && cdf[k] < edge)
+            ++k;
+        guide[b] = std::uint32_t(k);
+    }
 }
 
 ZipfDist::ZipfDist(std::uint64_t n, double s) : n(n), s(s)
@@ -78,6 +97,7 @@ ZipfDist::ZipfDist(std::uint64_t n, double s) : n(n), s(s)
         c /= norm;
     cdf.back() = 1.0; // guard FP drift
     mean_ = mean_acc / norm;
+    guide = GuideTable(cdf);
 }
 
 double
@@ -89,9 +109,11 @@ ZipfDist::sample(Rng &rng)
 std::uint64_t
 ZipfDist::sampleRank(Rng &rng)
 {
+    // Same single uniform draw as the seed's lower_bound search, and
+    // GuideTable::indexFor returns the lower_bound index exactly, so
+    // every rank ever drawn is unchanged.
     double u = rng.uniform();
-    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    return std::uint64_t(it - cdf.begin()) + 1;
+    return std::uint64_t(guide.indexFor(cdf, u)) + 1;
 }
 
 double
@@ -124,6 +146,7 @@ EmpiricalDist::EmpiricalDist(std::vector<double> values_in,
         mean_ += values[i] * weights[i] / total;
     }
     cdf.back() = 1.0;
+    guide = GuideTable(cdf);
 }
 
 double
@@ -135,9 +158,9 @@ EmpiricalDist::sample(Rng &rng)
 std::size_t
 EmpiricalDist::sampleIndex(Rng &rng)
 {
+    // Single uniform draw; indexFor matches lower_bound bit-exactly.
     double u = rng.uniform();
-    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    return std::size_t(it - cdf.begin());
+    return guide.indexFor(cdf, u);
 }
 
 } // namespace sim

@@ -98,15 +98,65 @@ class BoundedParetoDist : public Distribution
 
   private:
     double lo, hi, alpha;
+    /** Constants of the inverse CDF, hoisted out of sample(): the
+     * seed code recomputed pow(lo, alpha) and pow(hi, alpha) on
+     * every draw. pow is deterministic for fixed arguments, so the
+     * samples are bit-identical. */
+    double loAlpha, hiAlpha, negInvAlpha;
+};
+
+/**
+ * Guide table (indexed inversion) over a monotone CDF.
+ *
+ * Precomputes, for each of n equal-width buckets of [0, 1), the first
+ * CDF index whose value reaches the bucket's lower edge. A draw then
+ * jumps straight to its bucket's start and walks at most the entries
+ * that share the bucket — expected O(1) with as many buckets as CDF
+ * entries — instead of binary-searching the whole table. The walk
+ * reproduces std::lower_bound exactly (first index with cdf[i] >= u)
+ * for every u, so samplers built on it are bit-identical to the seed's
+ * O(log n) search while dropping its cache-missing probes.
+ */
+class GuideTable
+{
+  public:
+    GuideTable() = default;
+
+    /** Build over @p cdf (nondecreasing, back() == 1.0). */
+    explicit GuideTable(const std::vector<double> &cdf);
+
+    /** First index with cdf[i] >= u, for u in [0, 1). */
+    std::size_t
+    indexFor(const std::vector<double> &cdf, double u) const
+    {
+        std::size_t b = std::size_t(u * double(guide.size()));
+        if (b >= guide.size()) // FP guard: u*n can round up to n
+            b = guide.size() - 1;
+        std::size_t k = guide[b];
+        // The bucket start is a lower bound for the bucket's real
+        // edge, but FP rounding of u * n can land u one bucket high;
+        // the backward walk restores exactness (it is almost never
+        // taken). The forward walk covers the bucket's entries.
+        while (k > 0 && cdf[k - 1] >= u)
+            --k;
+        while (cdf[k] < u)
+            ++k;
+        return k;
+    }
+
+  private:
+    /** guide[b] = first index with cdf[index] >= b / guide.size(). */
+    std::vector<std::uint32_t> guide;
 };
 
 /**
  * Zipf distribution over ranks 1..n with exponent s:
  * P(rank = k) proportional to 1/k^s.
  *
- * Sampling uses an explicit inverse-CDF table, O(log n) per draw; the
- * table is built once at construction. Suitable for the catalog sizes
- * the workloads use (up to a few million items).
+ * Sampling uses an explicit inverse-CDF table accelerated by a guide
+ * table (see GuideTable), expected O(1) per draw; both tables are
+ * built once at construction. Suitable for the catalog sizes the
+ * workloads use (up to a few million items).
  */
 class ZipfDist : public Distribution
 {
@@ -136,6 +186,8 @@ class ZipfDist : public Distribution
     double mean_;
     /** cdf[i] = P(rank <= i+1). */
     std::vector<double> cdf;
+    /** O(1) indexed inversion over cdf (see GuideTable). */
+    GuideTable guide;
 };
 
 /**
@@ -161,6 +213,8 @@ class EmpiricalDist : public Distribution
   private:
     std::vector<double> values;
     std::vector<double> cdf;
+    /** O(1) indexed inversion over cdf (see GuideTable). */
+    GuideTable guide;
     double mean_;
 };
 

@@ -35,6 +35,8 @@ EventQueue::reserve(std::size_t events)
 {
     heap.reserve(events);
     slotGen.reserve(events);
+    slotAction.reserve(events);
+    slotOwner.reserve(events);
     freeSlots.reserve(events);
 }
 
@@ -50,6 +52,8 @@ EventQueue::acquireSlot()
                "event slot space exhausted");
     // Generations start at 1 so id 0 (slot 0, gen 0) is never valid.
     slotGen.push_back(1);
+    slotAction.emplace_back();
+    slotOwner.push_back(0);
     return std::uint32_t(slotGen.size() - 1);
 }
 
@@ -65,7 +69,7 @@ EventQueue::releaseSlot(std::uint32_t slot)
 }
 
 EventId
-EventQueue::schedule(Time when, std::function<void()> action,
+EventQueue::schedule(Time when, InlineAction action,
                      std::uint64_t owner)
 {
     WSC_ASSERT(when >= now_, "event scheduled in the past: " << when
@@ -74,8 +78,9 @@ EventQueue::schedule(Time when, std::function<void()> action,
     WSC_ASSERT(action, "null event action");
     std::uint32_t slot = acquireSlot();
     std::uint32_t gen = slotGen[slot];
-    heap.push_back(
-        Entry{when, nextSeq++, slot, gen, owner, std::move(action)});
+    slotAction[slot] = std::move(action);
+    slotOwner[slot] = owner;
+    heap.push_back(Entry{when, nextSeq++, slot, gen});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++live_;
     ++counters_.scheduled;
@@ -95,6 +100,9 @@ EventQueue::cancel(EventId id)
     if (slot >= slotGen.size() || slotGen[slot] != gen)
         return false; // already dispatched or cancelled
     releaseSlot(slot);
+    // Destroy the closure now; the stale heap entry carries only
+    // metadata, so captures are not held hostage until compaction.
+    slotAction[slot].reset();
     --live_;
     ++stale_;
     ++counters_.cancelled;
@@ -117,9 +125,10 @@ EventQueue::cancelIf(
         if (!liveEntry(e))
             continue;
         EventId id = makeId(e.slot, e.gen);
-        if (!pred(id, e.when, e.owner))
+        if (!pred(id, e.when, slotOwner[e.slot]))
             continue;
         releaseSlot(e.slot);
+        slotAction[e.slot].reset();
         --live_;
         ++stale_;
         ++counters_.cancelled;
@@ -170,17 +179,16 @@ EventQueue::skipStale()
     }
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::dispatchTop()
 {
-    skipStale();
-    if (heap.empty())
-        return false;
-    // Move the entry out before popping so the action survives dispatch
-    // even if the action schedules further events.
     std::pop_heap(heap.begin(), heap.end(), Later{});
-    Entry e = std::move(heap.back());
+    Entry e = heap.back();
     heap.pop_back();
+    // Move the action out of the slot pool before releasing the slot,
+    // so it survives dispatch even if it schedules further events
+    // that reuse the slot.
+    InlineAction action = std::move(slotAction[e.slot]);
     releaseSlot(e.slot);
     --live_;
     now_ = e.when;
@@ -188,7 +196,16 @@ EventQueue::step()
     if (tracer_)
         tracer_({TraceRecord::Kind::Dispatch, now_, e.when,
                  makeId(e.slot, e.gen)});
-    e.action();
+    action();
+}
+
+bool
+EventQueue::step()
+{
+    skipStale();
+    if (heap.empty())
+        return false;
+    dispatchTop();
     return true;
 }
 
@@ -200,7 +217,7 @@ EventQueue::run(Time until)
         skipStale();
         if (heap.empty() || heap.front().when > until)
             break;
-        step();
+        dispatchTop();
         ++n;
     }
     if (now_ < until)

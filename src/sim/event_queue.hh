@@ -13,6 +13,8 @@
 #include <functional>
 #include <vector>
 
+#include "sim/inline_action.hh"
+
 namespace wsc {
 namespace sim {
 
@@ -86,6 +88,10 @@ class EventQueue
     /**
      * Schedule @p action at absolute time @p when.
      *
+     * The action is an InlineAction: any callable converts implicitly,
+     * and callables within InlineAction::kInlineBytes are stored
+     * without heap allocation (see inline_action.hh).
+     *
      * @param owner Optional bulk-cancellation tag. Events sharing a
      *     non-zero owner can be retired together with cancelAll();
      *     owner 0 (the default) means untagged. The fault injector
@@ -94,12 +100,12 @@ class EventQueue
      * @return id usable with cancel().
      * Scheduling in the past is a caller bug and panics.
      */
-    EventId schedule(Time when, std::function<void()> action,
+    EventId schedule(Time when, InlineAction action,
                      std::uint64_t owner = 0);
 
     /** Schedule @p action @p delay seconds from now. */
     EventId
-    scheduleAfter(Time delay, std::function<void()> action,
+    scheduleAfter(Time delay, InlineAction action,
                   std::uint64_t owner = 0)
     {
         return schedule(now_ + delay, std::move(action), owner);
@@ -169,13 +175,22 @@ class EventQueue
     std::size_t staleEntries() const { return stale_; }
 
   private:
+    /**
+     * Heap entries carry ordering metadata only; the action and the
+     * bulk-cancel owner tag live in the slot pool (slotAction and
+     * slotOwner, parallel to slotGen). Keeping the 24-byte entry free
+     * of the 80-byte InlineAction makes the push/pop-heap sift moves
+     * cheap, and lets cancel() destroy the closure immediately instead
+     * of holding captures until the stale entry is skipped or
+     * compacted away. The owner tag moves out too: it is read only by
+     * the bulk-cancel sweeps, never on the sift path, and shaving it
+     * fits two entries per cache line during sifts.
+     */
     struct Entry {
         Time when;
-        std::uint64_t seq;   //!< global scheduling order, breaks ties
+        std::uint64_t seq; //!< global scheduling order, breaks ties
         std::uint32_t slot;
         std::uint32_t gen;
-        std::uint64_t owner; //!< bulk-cancel tag; 0 = untagged
-        std::function<void()> action;
     };
 
     struct Later {
@@ -195,6 +210,12 @@ class EventQueue
     /** Per-slot current generation; a heap entry is live iff its
      * stamp matches. Bumped on dispatch and on cancel. */
     std::vector<std::uint32_t> slotGen;
+    /** Per-slot pending action, engaged while the slot's event is
+     * live. Indexed in lockstep with slotGen. */
+    std::vector<InlineAction> slotAction;
+    /** Per-slot bulk-cancel owner tag (see schedule()); 0 = untagged.
+     * Indexed in lockstep with slotGen. */
+    std::vector<std::uint64_t> slotOwner;
     std::vector<std::uint32_t> freeSlots;
     Time now_ = 0.0;
     std::uint64_t nextSeq = 1;
@@ -213,6 +234,9 @@ class EventQueue
 
     /** Pop stale entries off the heap top. */
     void skipStale();
+
+    /** Dispatch the heap top, which must be live (post skipStale). */
+    void dispatchTop();
 
     /** Rebuild the heap without stale entries when they dominate. */
     void maybeCompact();

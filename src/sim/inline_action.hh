@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Inline-storage callable for the DES hot path.
+ *
+ * Every event the kernel dispatches and every completion a resource
+ * runs used to be a std::function<void()>; closures capturing more
+ * than std::function's tiny SBO (16 bytes on libstdc++) heap-allocate,
+ * which made scheduling an event or submitting to a resource cost a
+ * malloc. InlineAction stores callables up to kInlineBytes directly in
+ * the object, so the simulation drivers — whose continuations are a
+ * context pointer plus a pooled-request handle — never allocate.
+ *
+ * Contract (documented in DESIGN.md "Request arena & inline actions"):
+ *
+ *  - Callables with sizeof <= kInlineBytes, alignment <= max_align_t,
+ *    and a noexcept move constructor are stored inline: construction,
+ *    move, invocation, and destruction perform no heap allocation.
+ *  - Anything larger (or over-aligned, or with a throwing move) takes
+ *    the escape hatch: the callable is moved to the heap once and a
+ *    small owning thunk is stored inline. Semantics are identical;
+ *    only that one allocation differs. Cold control paths (fault
+ *    injection, batch scheduling) use this freely.
+ *  - InlineAction is move-only, so it can hold move-only closures —
+ *    e.g. a lambda that captured another InlineAction. std::function
+ *    could not, which is why FifoResource used to shared_ptr-wrap its
+ *    completions.
+ *  - Constructing from an empty std::function yields an empty
+ *    InlineAction (preserving the kernel's null-action panic).
+ */
+
+#ifndef WSC_SIM_INLINE_ACTION_HH
+#define WSC_SIM_INLINE_ACTION_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wsc {
+namespace sim {
+
+class InlineAction
+{
+  public:
+    /** Inline storage size; fits every hot-path closure with room to
+     * spare (they capture a context pointer, a 64-bit handle, and a
+     * few scalars). */
+    static constexpr std::size_t kInlineBytes = 64;
+
+    /** True when F will be stored inline (no allocation, ever). */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= kInlineBytes &&
+        alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineAction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineAction(F &&f) // NOLINT: implicit by design (callable sink)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineAction(InlineAction &&other) noexcept { moveFrom(other); }
+
+    InlineAction &
+    operator=(InlineAction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineAction(const InlineAction &) = delete;
+    InlineAction &operator=(const InlineAction &) = delete;
+
+    ~InlineAction() { reset(); }
+
+    /** Destroy the held callable, leaving the action empty. */
+    void
+    reset()
+    {
+        if (manage_) {
+            manage_(&storage_, nullptr);
+            manage_ = nullptr;
+            invoke_ = nullptr;
+        }
+    }
+
+    /** True when a callable is held. */
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /** Invoke the held callable. Caller guarantees engagement. */
+    void
+    operator()()
+    {
+        invoke_(&storage_);
+    }
+
+  private:
+    /** Move-construct the payload from src into dst, destroying src;
+     * with dst == nullptr, just destroy src. */
+    using Manage = void (*)(void *src, void *dst);
+    using Invoke = void (*)(void *payload);
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (std::is_same_v<D, std::function<void()>>) {
+            if (!f)
+                return; // empty function -> empty action
+        }
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void *>(&storage_))
+                D(std::forward<F>(f));
+            invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
+            manage_ = [](void *src, void *dst) {
+                D *s = static_cast<D *>(src);
+                if (dst)
+                    ::new (dst) D(std::move(*s));
+                s->~D();
+            };
+        } else {
+            // Escape hatch: one heap allocation, thunk stored inline.
+            construct([owned = std::make_unique<D>(
+                           std::forward<F>(f))]() { (*owned)(); });
+        }
+    }
+
+    void
+    moveFrom(InlineAction &other) noexcept
+    {
+        if (other.manage_) {
+            other.manage_(&other.storage_, &storage_);
+            invoke_ = other.invoke_;
+            manage_ = other.manage_;
+            other.invoke_ = nullptr;
+            other.manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+};
+
+} // namespace sim
+} // namespace wsc
+
+#endif // WSC_SIM_INLINE_ACTION_HH

@@ -36,6 +36,10 @@ PsResource::PsResource(EventQueue &eq, std::string name, double capacity,
 {
     WSC_ASSERT(capacity > 0.0, "PS resource capacity must be positive");
     WSC_ASSERT(slots >= 1, "PS resource needs at least one slot");
+    heap.reserve(64);
+    doneSlots.reserve(64);
+    doneFree.reserve(64);
+    finishedScratch.reserve(64);
 }
 
 double
@@ -72,7 +76,7 @@ PsResource::reschedule()
     }
     if (heap.empty())
         return;
-    double remaining = heap.top().finishMark - progress;
+    double remaining = heap.front().finishMark - progress;
     double rate = perJobRate(heap.size());
     double dt =
         (remaining <= workEpsilon(progress)) ? 0.0 : remaining / rate;
@@ -85,7 +89,11 @@ PsResource::purge()
 {
     advance();
     std::size_t dropped = heap.size();
-    heap = {};
+    for (const Job &job : heap) {
+        doneSlots[job.doneSlot].reset();
+        doneFree.push_back(job.doneSlot);
+    }
+    heap.clear();
     if (completionEvent) {
         eq.cancel(completionEvent);
         completionEvent = 0;
@@ -110,7 +118,17 @@ PsResource::submit(double work, Completion done)
     WSC_ASSERT(work >= 0.0, "negative work submitted to " << name_);
     WSC_ASSERT(done, "null completion for " << name_);
     advance();
-    heap.push(Job{progress + work, nextSeq++, std::move(done)});
+    std::uint32_t slot;
+    if (!doneFree.empty()) {
+        slot = doneFree.back();
+        doneFree.pop_back();
+        doneSlots[slot] = std::move(done);
+    } else {
+        slot = std::uint32_t(doneSlots.size());
+        doneSlots.push_back(std::move(done));
+    }
+    heap.push_back(Job{progress + work, nextSeq++, slot});
+    std::push_heap(heap.begin(), heap.end(), LaterFinish{});
     if (heap.size() > peakDepth)
         peakDepth = heap.size();
     reschedule();
@@ -122,29 +140,35 @@ PsResource::onCompletion()
     completionEvent = 0;
     advance();
     // Collect finished jobs first: their callbacks may resubmit into
-    // this resource, so restore invariants before invoking any of them.
-    std::vector<Completion> finished;
+    // this resource, so restore invariants before invoking any of
+    // them. The scratch buffer is a member (capacity retained) so the
+    // steady state performs no allocation; completions cannot re-enter
+    // onCompletion synchronously, so it is free for the taking here.
+    finishedScratch.clear();
     auto pop_top = [&] {
-        finished.push_back(std::move(const_cast<Job &>(heap.top()).done));
-        heap.pop();
+        std::pop_heap(heap.begin(), heap.end(), LaterFinish{});
+        std::uint32_t slot = heap.back().doneSlot;
+        finishedScratch.push_back(std::move(doneSlots[slot]));
+        doneFree.push_back(slot);
+        heap.pop_back();
         ++completed_;
     };
     while (!heap.empty() &&
-           heap.top().finishMark - progress <= workEpsilon(progress)) {
+           heap.front().finishMark - progress <= workEpsilon(progress)) {
         pop_top();
     }
-    if (finished.empty() && !heap.empty()) {
+    if (finishedScratch.empty() && !heap.empty()) {
         // Defensive guard against a zero-progress spin: if the head
         // job's remaining service cannot advance the event clock by
         // even one representable tick, it is FP residue - retire it.
-        double remaining = heap.top().finishMark - progress;
+        double remaining = heap.front().finishMark - progress;
         double dt = remaining / perJobRate(heap.size());
         if (eq.now() + dt == eq.now())
             pop_top();
     }
     reschedule();
-    for (auto &f : finished)
-        f();
+    for (std::size_t i = 0; i < finishedScratch.size(); ++i)
+        finishedScratch[i]();
 }
 
 double
@@ -191,6 +215,7 @@ FifoResource::FifoResource(EventQueue &eq, std::string name,
 {
     WSC_ASSERT(servers >= 1, "FIFO resource needs at least one server");
     laneEvent.assign(servers, 0);
+    laneDone.resize(servers);
     for (unsigned lane = servers; lane > 0; --lane)
         freeLanes.push_back(lane - 1);
 }
@@ -215,14 +240,19 @@ FifoResource::startService(Pending p)
     WSC_ASSERT(!freeLanes.empty(), "no free lane in " << name_);
     unsigned lane = freeLanes.back();
     freeLanes.pop_back();
-    auto done = std::make_shared<Completion>(std::move(p.done));
+    // The completion parks in the lane's slot and the event closure
+    // captures only {this, lane}: the seed code's shared_ptr
+    // indirection (and its allocation) is gone, and the closure stays
+    // far inside InlineAction's inline storage.
+    laneDone[lane] = std::move(p.done);
     laneEvent[lane] = eq.scheduleAfter(
         p.serviceTime,
-        [this, done, lane] {
+        [this, lane] {
             accumulate();
             --busy;
             ++completed_;
             laneEvent[lane] = 0;
+            Completion done = std::move(laneDone[lane]);
             freeLanes.push_back(lane);
             // Start the next queued request before running the callback
             // so a resubmitting callback queues behind existing work.
@@ -231,7 +261,7 @@ FifoResource::startService(Pending p)
                 queue.pop_front();
                 startService(std::move(next));
             }
-            (*done)();
+            done();
         },
         owner_);
 }
@@ -246,6 +276,7 @@ FifoResource::purge()
         if (laneEvent[lane]) {
             eq.cancel(laneEvent[lane]);
             laneEvent[lane] = 0;
+            laneDone[lane].reset();
             freeLanes.push_back(lane);
         }
     }

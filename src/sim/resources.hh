@@ -15,19 +15,85 @@
 #define WSC_SIM_RESOURCES_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_action.hh"
 
 namespace wsc {
 namespace sim {
 
-/** Completion callback for resource requests. */
-using Completion = std::function<void()>;
+/**
+ * Completion callback for resource requests.
+ *
+ * An InlineAction: move-only, and allocation-free for closures within
+ * InlineAction::kInlineBytes — which covers every completion the
+ * request-level simulators submit (a context pointer, a pooled-request
+ * handle, and a stage tag). See inline_action.hh for the contract.
+ */
+using Completion = InlineAction;
+
+/**
+ * Fixed-capacity-amortized FIFO of move-only elements.
+ *
+ * std::deque allocates and frees block storage as elements churn
+ * through it, which puts a malloc on the steady-state path of a busy
+ * FIFO station. This ring buffer doubles its backing vector when full
+ * and never gives storage back, so a station's queue is allocation-free
+ * once it has seen its peak depth.
+ */
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    void
+    push_back(T v)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(v);
+        ++count_;
+    }
+
+    T &front() { return buf_[head_]; }
+
+    void
+    pop_front()
+    {
+        buf_[head_] = T{};
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        while (count_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    /** Power-of-two capacity so the index wrap is a mask. */
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
 
 /**
  * Point-in-time snapshot of a station's activity, for run reports.
@@ -115,10 +181,16 @@ class PsResource
     StationStats stats() const;
 
   private:
+    /**
+     * Heap entries carry ordering metadata only; the completion lives
+     * in the doneSlots pool. Sifting 24-byte jobs is a plain memmove,
+     * where sifting inline-storage completions would move-construct a
+     * closure through a function pointer at every heap level.
+     */
     struct Job {
         double finishMark; //!< global progress at which the job is done
         std::uint64_t seq; //!< FIFO tie-break
-        Completion done;
+        std::uint32_t doneSlot; //!< index into doneSlots
     };
 
     struct LaterFinish {
@@ -136,7 +208,18 @@ class PsResource
     double cap;
     unsigned slots;
     std::uint64_t owner_;
-    std::priority_queue<Job, std::vector<Job>, LaterFinish> heap;
+    /** Min-heap on finishMark, maintained with std::push_heap /
+     * std::pop_heap over a plain vector (instead of priority_queue)
+     * so storage can be pre-reserved and kept across jobs. */
+    std::vector<Job> heap;
+    /** Pooled completions, indexed by Job::doneSlot. */
+    std::vector<Completion> doneSlots;
+    std::vector<std::uint32_t> doneFree;
+    /** Scratch for onCompletion's finished batch; member so the
+     * per-completion vector allocation of the seed code is gone.
+     * Safe as a member: onCompletion only runs from event dispatch
+     * and completions cannot re-enter it synchronously. */
+    std::vector<Completion> finishedScratch;
     /** Progress every active job has accumulated since time zero. */
     double progress = 0.0;
     EventId completionEvent = 0;
@@ -213,7 +296,7 @@ class FifoResource
 
   private:
     struct Pending {
-        double serviceTime;
+        double serviceTime = 0.0;
         Completion done;
     };
 
@@ -225,8 +308,12 @@ class FifoResource
     /** Per-server-lane completion event, 0 when the lane is idle;
      * lets purge() cancel in-service completions in O(servers). */
     std::vector<EventId> laneEvent;
+    /** Per-lane parked completion: the in-service request's callback
+     * lives here so the completion event captures only {this, lane}
+     * and stays inline (see Completion). */
+    std::vector<Completion> laneDone;
     std::vector<unsigned> freeLanes;
-    std::deque<Pending> queue;
+    RingQueue<Pending> queue;
     std::uint64_t completed_ = 0;
     double busyIntegral = 0.0;
     double depthIntegral = 0.0; //!< integral of (busy + queued)

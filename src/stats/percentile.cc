@@ -11,8 +11,9 @@ namespace stats {
 void
 PercentileTracker::add(double x)
 {
+    if (sorted && !samples.empty() && x < samples.back())
+        sorted = false;
     samples.push_back(x);
-    sorted = false;
 }
 
 void
@@ -69,6 +70,12 @@ PercentileTracker::clear()
 {
     samples.clear();
     sorted = true;
+}
+
+void
+PercentileTracker::reserve(std::size_t n)
+{
+    samples.reserve(n);
 }
 
 } // namespace stats

@@ -55,11 +55,28 @@ class PercentileTracker
      */
     double fractionAtLeast(double threshold) const;
 
-    /** Remove all samples. */
+    /**
+     * Remove all samples. Capacity is retained, so a tracker reused
+     * across measurement epochs stops allocating once it has seen its
+     * largest epoch.
+     */
     void clear();
+
+    /**
+     * Pre-size sample storage for @p n samples. A no-op when capacity
+     * already suffices; lets epoch drivers (perfsim::runClosedLoop)
+     * keep steady-state accounting allocation-free.
+     */
+    void reserve(std::size_t n);
 
   private:
     mutable std::vector<double> samples;
+    /**
+     * Sortedness is tracked across inserts, not just queries: add()
+     * only clears the flag when the new sample actually breaks the
+     * order, so nondecreasing streams (and repeated queries on
+     * unchanged data, via the mutable flag) never pay a re-sort.
+     */
     mutable bool sorted = true;
     void ensureSorted() const;
 };

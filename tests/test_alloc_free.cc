@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Steady-state allocation accounting for the pooled closed-loop
+ * driver: once the arenas, slot pools, and sample reservoirs are warm,
+ * extra epochs of request traffic must perform zero heap allocations.
+ *
+ * The test instruments global operator new and diffs whole runs that
+ * differ only in epoch count: the longer run's extra epochs are pure
+ * steady state, so any per-request allocation shows up as a nonzero
+ * delta multiplied by thousands of requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "perfsim/closed_loop.hh"
+#include "perfsim/perf_eval.hh"
+#include "platform/catalog.hh"
+#include "workloads/ytube.hh"
+
+namespace {
+std::uint64_t g_allocations = 0;
+
+void *
+countedAlloc(std::size_t n)
+{
+    ++g_allocations;
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+ClosedLoopParams
+fixedPopulation(unsigned epochs)
+{
+    // A fixed population (maxClients == initialClients) keeps the
+    // adaptation loop from resizing anything between epochs, so every
+    // epoch past the first is steady state.
+    ClosedLoopParams p;
+    p.initialClients = 8;
+    p.maxClients = 8;
+    p.epochs = epochs;
+    p.epochSeconds = 8.0;
+    return p;
+}
+
+std::uint64_t
+allocationsDuringRun(workloads::InteractiveWorkload &wl,
+                     const StationConfig &st,
+                     const ClosedLoopParams &params, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::uint64_t before = g_allocations;
+    auto r = runClosedLoop(wl, st, params, rng);
+    std::uint64_t delta = g_allocations - before;
+    EXPECT_GT(r.sustainedRps, 0.0);
+    return delta;
+}
+
+TEST(AllocFree, ClassicSteadyStateEpochsAllocateNothing)
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    auto st = ev.stationsFor(
+        platform::makeSystem(platform::SystemClass::Srvr2), yt.traits(),
+        {});
+
+    auto shortRun = allocationsDuringRun(yt, st, fixedPopulation(4), 51);
+    auto longRun = allocationsDuringRun(yt, st, fixedPopulation(12), 51);
+    // Both runs are identical through epoch 4; the 8 extra epochs
+    // complete thousands more requests. One allocation per request
+    // would put the delta in the thousands.
+    EXPECT_EQ(longRun, shortRun)
+        << "steady-state epochs allocated " << (longRun - shortRun)
+        << " times";
+}
+
+TEST(AllocFree, TimeoutProtocolSteadyStateEpochsAllocateNothing)
+{
+    PerfEvaluator ev;
+    workloads::Ytube yt;
+    auto st = ev.stationsFor(
+        platform::makeSystem(platform::SystemClass::Srvr2), yt.traits(),
+        {});
+
+    auto params4 = fixedPopulation(4);
+    params4.requestTimeoutSeconds = 0.05;
+    params4.maxRetries = 2;
+    params4.retryBackoffSeconds = 0.01;
+    auto params12 = params4;
+    params12.epochs = 12;
+
+    auto shortRun = allocationsDuringRun(yt, st, params4, 52);
+    auto longRun = allocationsDuringRun(yt, st, params12, 52);
+    EXPECT_EQ(longRun, shortRun)
+        << "steady-state epochs allocated " << (longRun - shortRun)
+        << " times";
+}
+
+} // namespace

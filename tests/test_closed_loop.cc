@@ -12,6 +12,7 @@
 #include "perfsim/throughput.hh"
 #include "platform/catalog.hh"
 #include "util/logging.hh"
+#include "workloads/suite.hh"
 #include "workloads/ytube.hh"
 
 namespace {
@@ -184,6 +185,145 @@ TEST(ClosedLoop, GenerousTimeoutMatchesClassicThroughput)
     EXPECT_EQ(timed.giveups, 0u);
     EXPECT_NEAR(timed.sustainedRps, classic.sustainedRps,
                 0.2 * classic.sustainedRps + 1.0);
+}
+
+/**
+ * Field-by-field exact comparison of pooled-vs-oracle results: doubles
+ * compared bitwise (EXPECT_EQ, not NEAR), and the kernel counters too,
+ * so a driver that merely lands on the same aggregate numbers through
+ * a different event sequence still fails.
+ */
+void
+expectBitIdentical(const ClosedLoopResult &pooled,
+                   const ClosedLoopResult &oracle)
+{
+    EXPECT_EQ(pooled.sustainedRps, oracle.sustainedRps);
+    EXPECT_EQ(pooled.clientsAtBest, oracle.clientsAtBest);
+    EXPECT_EQ(pooled.finalClients, oracle.finalClients);
+    EXPECT_EQ(pooled.finalLiveClients, oracle.finalLiveClients);
+    EXPECT_EQ(pooled.p95AtBest, oracle.p95AtBest);
+    EXPECT_EQ(pooled.epochRps, oracle.epochRps);
+    EXPECT_EQ(pooled.epochPassed, oracle.epochPassed);
+    EXPECT_EQ(pooled.epochCompleted, oracle.epochCompleted);
+    EXPECT_EQ(pooled.epochViolations, oracle.epochViolations);
+    EXPECT_EQ(pooled.epochGiveups, oracle.epochGiveups);
+    EXPECT_EQ(pooled.epochP95, oracle.epochP95);
+    EXPECT_EQ(pooled.timeouts, oracle.timeouts);
+    EXPECT_EQ(pooled.retries, oracle.retries);
+    EXPECT_EQ(pooled.giveups, oracle.giveups);
+    EXPECT_EQ(pooled.lateCompletions, oracle.lateCompletions);
+    EXPECT_EQ(pooled.kernel.scheduled, oracle.kernel.scheduled);
+    EXPECT_EQ(pooled.kernel.dispatched, oracle.kernel.dispatched);
+    EXPECT_EQ(pooled.kernel.cancelled, oracle.kernel.cancelled);
+    EXPECT_EQ(pooled.kernel.compactions, oracle.kernel.compactions);
+    EXPECT_EQ(pooled.kernel.peakHeap, oracle.kernel.peakHeap);
+}
+
+TEST(ClosedLoopOracle, BitIdenticalAcrossWorkloadsClassic)
+{
+    PerfEvaluator ev;
+    auto sys = platform::makeSystem(platform::SystemClass::Srvr2);
+    ClosedLoopParams p;
+    p.epochs = 8;
+    p.epochSeconds = 10.0;
+    for (auto b : {workloads::Benchmark::Websearch,
+                   workloads::Benchmark::Webmail,
+                   workloads::Benchmark::Ytube}) {
+        SCOPED_TRACE(workloads::to_string(b));
+        auto wl = workloads::makeBenchmark(b);
+        auto *iw =
+            dynamic_cast<workloads::InteractiveWorkload *>(wl.get());
+        ASSERT_NE(iw, nullptr);
+        auto st = ev.stationsFor(sys, iw->traits(), {});
+        Rng a(71), o(71);
+        auto pooled = runClosedLoop(*iw, st, p, a);
+        auto oracle = runClosedLoopOracle(*iw, st, p, o);
+        expectBitIdentical(pooled, oracle);
+    }
+}
+
+TEST(ClosedLoopOracle, BitIdenticalAcrossWorkloadsTimeout)
+{
+    // The timeout must actually bite: 50ms against these service
+    // times produces timeouts, retries, exhausted retry ladders, and
+    // attempts that complete after abandonment.
+    PerfEvaluator ev;
+    auto sys = platform::makeSystem(platform::SystemClass::Srvr2);
+    ClosedLoopParams p;
+    p.epochs = 8;
+    p.epochSeconds = 10.0;
+    p.requestTimeoutSeconds = 0.05;
+    p.maxRetries = 2;
+    p.retryBackoffSeconds = 0.01;
+    std::uint64_t timeouts = 0, giveups = 0, late = 0;
+    for (auto b : {workloads::Benchmark::Websearch,
+                   workloads::Benchmark::Webmail,
+                   workloads::Benchmark::Ytube}) {
+        SCOPED_TRACE(workloads::to_string(b));
+        auto wl = workloads::makeBenchmark(b);
+        auto *iw =
+            dynamic_cast<workloads::InteractiveWorkload *>(wl.get());
+        ASSERT_NE(iw, nullptr);
+        auto st = ev.stationsFor(sys, iw->traits(), {});
+        Rng a(72), o(72);
+        auto pooled = runClosedLoop(*iw, st, p, a);
+        auto oracle = runClosedLoopOracle(*iw, st, p, o);
+        expectBitIdentical(pooled, oracle);
+        timeouts += pooled.timeouts;
+        giveups += pooled.giveups;
+        late += pooled.lateCompletions;
+    }
+    EXPECT_GT(timeouts, 0u);
+    EXPECT_GT(giveups, 0u); // retry ladders exhausted somewhere
+    EXPECT_GT(late, 0u);    // abandoned attempts finished server-side
+}
+
+TEST(ClosedLoopOracle, BitIdenticalUnderShrinkMidFlight)
+{
+    // Start far above capacity so the first epochs fail QoS and the
+    // population shrinks while requests are mid-pipeline; lazy
+    // retirement and re-spawn must track the oracle exactly.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+    ClosedLoopParams p;
+    p.initialClients = 512;
+    p.epochs = 10;
+    p.epochSeconds = 8.0;
+    Rng a(73), o(73);
+    auto pooled = runClosedLoop(yt, st, p, a);
+    auto oracle = runClosedLoopOracle(yt, st, p, o);
+    expectBitIdentical(pooled, oracle);
+    bool shrank = false; // at least one failed epoch: shrink exercised
+    for (bool passed : pooled.epochPassed)
+        shrank = shrank || !passed;
+    EXPECT_TRUE(shrank);
+}
+
+TEST(ClosedLoop, PopulationConvergesToTarget)
+{
+    // With a fixed population the live count can never drift from the
+    // target; with adaptation it may only exceed it transiently (excess
+    // clients retire lazily), never undershoot.
+    workloads::Ytube yt;
+    auto st = ytubeOnSrvr2();
+
+    ClosedLoopParams fixed;
+    fixed.initialClients = 8;
+    fixed.maxClients = 8;
+    fixed.epochs = 6;
+    fixed.epochSeconds = 8.0;
+    Rng a(74);
+    auto r = runClosedLoop(yt, st, fixed, a);
+    EXPECT_EQ(r.finalClients, 8u);
+    EXPECT_EQ(r.finalLiveClients, 8u);
+
+    ClosedLoopParams adaptive;
+    adaptive.initialClients = 64; // over capacity: shrinks repeatedly
+    adaptive.epochs = 10;
+    adaptive.epochSeconds = 8.0;
+    Rng b(75);
+    auto s = runClosedLoop(yt, st, adaptive, b);
+    EXPECT_GE(s.finalLiveClients, s.finalClients);
 }
 
 TEST(ClosedLoop, InvalidParamsPanic)

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for InlineAction, the inline-storage callable the DES kernel
+ * and the resources use in place of std::function<void()>: inline
+ * storage up to the SBO boundary, the heap escape hatch past it,
+ * move-only semantics, and the EventQueue slot-recycling behaviour
+ * the request drivers rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+
+#include "sim/event_queue.hh"
+#include "sim/inline_action.hh"
+
+// Counting allocator: every global allocation in this binary bumps the
+// counter, so tests can assert "this construction did not allocate".
+namespace {
+std::uint64_t g_allocations = 0;
+
+void *
+countedAlloc(std::size_t n)
+{
+    ++g_allocations;
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using wsc::sim::EventQueue;
+using wsc::sim::InlineAction;
+
+TEST(InlineAction, InvokesHeldCallable)
+{
+    int hits = 0;
+    InlineAction a([&hits] { ++hits; });
+    ASSERT_TRUE(bool(a));
+    a();
+    a();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, DefaultConstructedIsEmpty)
+{
+    InlineAction a;
+    EXPECT_FALSE(bool(a));
+}
+
+TEST(InlineAction, MoveTransfersOwnership)
+{
+    int hits = 0;
+    InlineAction a([&hits] { ++hits; });
+    InlineAction b(std::move(a));
+    EXPECT_FALSE(bool(a)); // NOLINT: moved-from state is specified
+    ASSERT_TRUE(bool(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineAction c;
+    c = std::move(b);
+    EXPECT_FALSE(bool(b)); // NOLINT
+    ASSERT_TRUE(bool(c));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, MoveAssignDestroysPreviousPayload)
+{
+    auto tracked = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = tracked;
+    InlineAction a([held = std::move(tracked)] { (void)held; });
+    EXPECT_FALSE(watch.expired());
+    a = InlineAction([] {});
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineAction, ResetDestroysCapturesAndEmpties)
+{
+    auto tracked = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = tracked;
+    InlineAction a([held = std::move(tracked)] { (void)held; });
+    a.reset();
+    EXPECT_FALSE(bool(a));
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineAction, HoldsMoveOnlyCallable)
+{
+    auto owned = std::make_unique<int>(11);
+    int seen = 0;
+    InlineAction a(
+        [p = std::move(owned), &seen] { seen = *p; });
+    a();
+    EXPECT_EQ(seen, 11);
+}
+
+TEST(InlineAction, CaptureAtSboBoundaryStaysInline)
+{
+    // A capture of exactly kInlineBytes must not allocate — on
+    // construction, on move, or on invocation.
+    std::array<char, InlineAction::kInlineBytes> blob{};
+    blob[0] = 42;
+    static char sink = 0;
+    auto fits = [blob] { sink = blob[0]; };
+    static_assert(sizeof(fits) == InlineAction::kInlineBytes,
+                  "capture should exactly fill the inline storage");
+    static_assert(InlineAction::fitsInline<decltype(fits)>,
+                  "boundary capture must qualify for inline storage");
+
+    std::uint64_t before = g_allocations;
+    InlineAction a(fits);
+    InlineAction b(std::move(a));
+    b();
+    EXPECT_EQ(g_allocations, before);
+    EXPECT_EQ(sink, 42);
+}
+
+TEST(InlineAction, OversizedCaptureTakesSingleAllocationEscapeHatch)
+{
+    std::array<char, InlineAction::kInlineBytes + 8> blob{};
+    blob[0] = 9;
+    static char sink = 0;
+    auto big = [blob] { sink = blob[0]; };
+    static_assert(!InlineAction::fitsInline<decltype(big)>,
+                  "oversized capture must take the escape hatch");
+
+    std::uint64_t before = g_allocations;
+    InlineAction a(big);
+    EXPECT_EQ(g_allocations, before + 1); // one heap move, thunk inline
+    InlineAction b(std::move(a));
+    b();
+    EXPECT_EQ(g_allocations, before + 1); // moves stay allocation-free
+    EXPECT_EQ(sink, 9);
+}
+
+TEST(InlineAction, EmptyStdFunctionYieldsEmptyAction)
+{
+    std::function<void()> none;
+    InlineAction a(std::move(none));
+    EXPECT_FALSE(bool(a));
+
+    std::function<void()> some = [] {};
+    InlineAction b(std::move(some));
+    EXPECT_TRUE(bool(b));
+}
+
+TEST(InlineAction, EngagedStdFunctionRoundTrips)
+{
+    int hits = 0;
+    std::function<void()> f = [&hits] { ++hits; };
+    InlineAction a(std::move(f));
+    a();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineActionQueue, CancelDestroysClosureImmediately)
+{
+    // The kernel parks actions in its slot pool; cancel() must destroy
+    // the closure right away rather than holding captures hostage
+    // until the stale heap entry is skipped or compacted.
+    EventQueue eq;
+    auto tracked = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = tracked;
+    auto id = eq.scheduleAfter(
+        1.0, [held = std::move(tracked)] { (void)held; });
+    EXPECT_FALSE(watch.expired());
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(eq.cancel(id)); // stale handle: generation mismatch
+}
+
+TEST(InlineActionQueue, RecycledSlotInvalidatesOldHandle)
+{
+    // Cancelling and rescheduling recycles the slot; the old handle's
+    // generation stamp must not cancel the new tenant.
+    EventQueue eq;
+    auto first = eq.scheduleAfter(1.0, [] {});
+    EXPECT_TRUE(eq.cancel(first));
+    int hits = 0;
+    auto second = eq.scheduleAfter(2.0, [&hits] { ++hits; });
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(eq.cancel(first)); // must not hit the new tenant
+    eq.runAll();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineActionQueue, SteadySchedulingDoesNotAllocate)
+{
+    // Schedule/dispatch churn with inline-sized captures must be
+    // allocation-free once the kernel's pools are warm.
+    EventQueue eq;
+    std::uint64_t dispatched = 0;
+    for (int i = 0; i < 64; ++i)
+        eq.scheduleAfter(double(i), [&dispatched] { ++dispatched; });
+    eq.runAll();
+
+    std::uint64_t before = g_allocations;
+    for (int i = 0; i < 1024; ++i)
+        eq.scheduleAfter(double(i), [&dispatched] { ++dispatched; });
+    eq.runAll();
+    EXPECT_EQ(g_allocations, before);
+    EXPECT_EQ(dispatched, 64u + 1024u);
+}
+
+} // namespace
