@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "perfsim/calibration.hh"
+#include "perfsim/fast_demand.hh"
 #include "perfsim/request_arena.hh"
 #include "stats/percentile.hh"
 #include "util/logging.hh"
@@ -80,6 +81,12 @@ struct DriverState {
     std::uint64_t retries = 0;
     std::uint64_t giveups = 0;
     std::uint64_t lateCompletions = 0;
+    /** Fast mode: batched demands off a dedicated stream (inert when
+     * disabled, leaving the exact path's draw sequence untouched). */
+    FastDemandSource fastDemands;
+    // Latency retention for the statistical-equivalence gate.
+    bool collectSamples = false;
+    std::vector<double> latencySamples;
 };
 
 void clientLoop(DriverState &s);
@@ -120,10 +127,14 @@ clientLoop(DriverState &s)
 void
 beginRequest(DriverState &s)
 {
-    // RNG draw order matches the oracle exactly: nextRequest, then the
-    // conditional cache-hit bernoulli.
+    // Exact mode: RNG draw order matches the oracle exactly —
+    // nextRequest, then the conditional cache-hit bernoulli. Fast
+    // mode swaps only the demand source; think times and the
+    // bernoulli still come from the main engine in the same order.
     double issued = s.eq.now();
-    auto demand = s.workload->nextRequest(*s.rng);
+    auto demand = s.fastDemands.enabled()
+                      ? s.fastDemands.draw(*s.workload)
+                      : s.workload->nextRequest(*s.rng);
     double cpu_work = demand.cpuWork * s.st->serviceSlowdown;
     double disk_service = 0.0;
     if (demand.diskReadBytes > 0.0 &&
@@ -188,6 +199,8 @@ advance(DriverState &s, RequestHandle h, Stage done)
         double latency = s.eq.now() - r.issued;
         ++s.epochCompleted;
         s.epochLatencies.add(latency);
+        if (s.collectSamples)
+            s.latencySamples.push_back(latency);
         // Strict QoS boundary: latency == limit violates.
         if (latency >= s.qosLimit)
             ++s.epochViolations;
@@ -269,6 +282,8 @@ timedAdvance(DriverState &s, RequestHandle h, unsigned attempt,
         double latency = s.eq.now() - issued;
         ++s.epochCompleted;
         s.epochLatencies.add(latency);
+        if (s.collectSamples)
+            s.latencySamples.push_back(latency);
         if (latency >= s.qosLimit)
             ++s.epochViolations;
         s.arena.release(h);
@@ -336,6 +351,8 @@ runClosedLoop(workloads::InteractiveWorkload &workload,
     s.requestTimeout = params.requestTimeoutSeconds;
     s.maxRetries = params.maxRetries;
     s.retryBackoff = params.retryBackoffSeconds;
+    s.fastDemands.configure(params.fastMode, rng);
+    s.collectSamples = params.collectLatencySamples;
     s.arena.reserve(std::min<std::size_t>(params.initialClients, 4096));
     s.eq.reserve(std::min<std::size_t>(2 * params.initialClients, 8192));
 
@@ -409,6 +426,7 @@ runClosedLoop(workloads::InteractiveWorkload &workload,
     result.giveups = s.giveups;
     result.lateCompletions = s.lateCompletions;
     result.kernel = s.eq.counters();
+    result.latencySamples = std::move(s.latencySamples);
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "perfsim/calibration.hh"
+#include "perfsim/fast_demand.hh"
 #include "perfsim/request_arena.hh"
 #include "perfsim/throughput.hh"
 #include "stats/percentile.hh"
@@ -81,6 +82,7 @@ struct ClusterSim {
     std::size_t totalInFlight = 0;
     bool aborted = false;
     unsigned rrNext = 0;
+    FastDemandSource fastDemands;
 
     ClusterSim(workloads::InteractiveWorkload &workload,
                const StationConfig &st, unsigned servers,
@@ -100,6 +102,7 @@ struct ClusterSim {
             nodes[i].nic = std::make_unique<sim::PsResource>(
                 eq, "nic" + tag, st.nicMBs, 1);
         }
+        fastDemands.configure(window.fastMode, rng);
     }
 
     std::uint32_t
@@ -134,7 +137,9 @@ clusterLaunch(ClusterSim &s, double arrival, bool measured)
     ServerNode &node = s.nodes[nodeIdx];
     ++node.inFlight;
     ++s.totalInFlight;
-    auto demand = s.workload.nextRequest(s.rng);
+    auto demand = s.fastDemands.enabled()
+                      ? s.fastDemands.draw(s.workload)
+                      : s.workload.nextRequest(s.rng);
     double cpu_work = demand.cpuWork * s.st.serviceSlowdown;
     double disk_service = 0.0;
     if (demand.diskReadBytes > 0.0 &&

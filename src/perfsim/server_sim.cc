@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "perfsim/calibration.hh"
+#include "perfsim/fast_demand.hh"
 #include "perfsim/request_arena.hh"
 #include "util/logging.hh"
 
@@ -92,6 +93,7 @@ struct OpenLoopSim {
     std::size_t inFlight = 0;
     bool aborted = false;
     std::uint64_t qosViolations = 0;
+    FastDemandSource fastDemands;
 
     OpenLoopSim(workloads::InteractiveWorkload &workload,
                 const StationConfig &st, const SimWindow &window,
@@ -103,6 +105,7 @@ struct OpenLoopSim {
           disk(eq, "disk", 1), nic(eq, "nic", st.nicMBs, 1),
           qos(workload.qos())
     {
+        fastDemands.configure(window.fastMode, rng);
     }
 };
 
@@ -115,7 +118,9 @@ openLaunch(OpenLoopSim &s, double arrival, bool measured)
     ++s.inFlight;
     if (s.inFlight > s.result.peakInFlight)
         s.result.peakInFlight = s.inFlight;
-    auto demand = s.workload.nextRequest(s.rng);
+    auto demand = s.fastDemands.enabled()
+                      ? s.fastDemands.draw(s.workload)
+                      : s.workload.nextRequest(s.rng);
     double cpu_work = demand.cpuWork * s.st.serviceSlowdown;
 
     // Disk stage work, resolved now so the continuations stay simple.

@@ -8,17 +8,20 @@
 namespace wsc {
 namespace sim {
 
-UniformDist::UniformDist(double lo, double hi) : lo(lo), hi(hi)
+UniformDist::UniformDist(double lo, double hi)
+    : Distribution(DistKind::Uniform), lo(lo), hi(hi)
 {
     WSC_ASSERT(hi > lo, "uniform range empty");
 }
 
-ExponentialDist::ExponentialDist(double mean) : mean_(mean)
+ExponentialDist::ExponentialDist(double mean)
+    : Distribution(DistKind::Exponential), mean_(mean)
 {
     WSC_ASSERT(mean > 0.0, "exponential mean must be positive");
 }
 
-LognormalDist::LognormalDist(double mean, double cov) : mean_(mean)
+LognormalDist::LognormalDist(double mean, double cov)
+    : Distribution(DistKind::Lognormal), mean_(mean)
 {
     WSC_ASSERT(mean > 0.0, "lognormal mean must be positive");
     WSC_ASSERT(cov > 0.0, "lognormal cov must be positive");
@@ -29,7 +32,8 @@ LognormalDist::LognormalDist(double mean, double cov) : mean_(mean)
 }
 
 BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
-    : lo(lo), hi(hi), alpha(alpha), loAlpha(std::pow(lo, alpha)),
+    : Distribution(DistKind::BoundedPareto), lo(lo), hi(hi),
+      alpha(alpha), loAlpha(std::pow(lo, alpha)),
       hiAlpha(std::pow(hi, alpha)), negInvAlpha(-1.0 / alpha)
 {
     WSC_ASSERT(lo > 0.0 && hi > lo, "bounded pareto needs 0 < lo < hi");
@@ -37,7 +41,7 @@ BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
 }
 
 double
-BoundedParetoDist::sample(Rng &rng)
+BoundedParetoDist::sampleImpl(Rng &rng)
 {
     // Inverse CDF of the bounded Pareto; the pow(lo, alpha) /
     // pow(hi, alpha) constants are hoisted into the constructor.
@@ -79,7 +83,8 @@ GuideTable::GuideTable(const std::vector<double> &cdf)
     }
 }
 
-ZipfDist::ZipfDist(std::uint64_t n, double s) : n(n), s(s)
+ZipfDist::ZipfDist(std::uint64_t n, double s)
+    : Distribution(DistKind::Zipf), n(n), s(s)
 {
     WSC_ASSERT(n >= 1, "zipf needs at least one rank");
     WSC_ASSERT(s > 0.0, "zipf exponent must be positive");
@@ -101,22 +106,6 @@ ZipfDist::ZipfDist(std::uint64_t n, double s) : n(n), s(s)
 }
 
 double
-ZipfDist::sample(Rng &rng)
-{
-    return double(sampleRank(rng));
-}
-
-std::uint64_t
-ZipfDist::sampleRank(Rng &rng)
-{
-    // Same single uniform draw as the seed's lower_bound search, and
-    // GuideTable::indexFor returns the lower_bound index exactly, so
-    // every rank ever drawn is unchanged.
-    double u = rng.uniform();
-    return std::uint64_t(guide.indexFor(cdf, u)) + 1;
-}
-
-double
 ZipfDist::pmf(std::uint64_t k) const
 {
     WSC_ASSERT(k >= 1 && k <= n, "zipf pmf rank out of range: " << k);
@@ -126,7 +115,7 @@ ZipfDist::pmf(std::uint64_t k) const
 
 EmpiricalDist::EmpiricalDist(std::vector<double> values_in,
                              std::vector<double> weights)
-    : values(std::move(values_in))
+    : Distribution(DistKind::Empirical), values(std::move(values_in))
 {
     WSC_ASSERT(!values.empty(), "empirical distribution needs outcomes");
     WSC_ASSERT(values.size() == weights.size(),
@@ -147,20 +136,6 @@ EmpiricalDist::EmpiricalDist(std::vector<double> values_in,
     }
     cdf.back() = 1.0;
     guide = GuideTable(cdf);
-}
-
-double
-EmpiricalDist::sample(Rng &rng)
-{
-    return values[sampleIndex(rng)];
-}
-
-std::size_t
-EmpiricalDist::sampleIndex(Rng &rng)
-{
-    // Single uniform draw; indexFor matches lower_bound bit-exactly.
-    double u = rng.uniform();
-    return guide.indexFor(cdf, u);
 }
 
 } // namespace sim

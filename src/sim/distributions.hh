@@ -6,6 +6,16 @@
  * keywords and video popularity (paper Section 2.1), lognormal for mail
  * and attachment sizes, exponential think times, and empirical tables
  * for measured mixes.
+ *
+ * Two dispatch paths exist side by side:
+ *  - the virtual Distribution::sample interface, kept for generic
+ *    consumers and tests, and
+ *  - non-virtual sampleImpl methods on the (final) concrete classes,
+ *    reachable either directly at concrete call sites or through
+ *    sampleByKind(), a DistKind-tag switch that lets pooled hot paths
+ *    draw without an indirect call per sample. Both paths share one
+ *    implementation per class, so they cannot drift and are
+ *    bit-identical.
  */
 
 #ifndef WSC_SIM_DISTRIBUTIONS_HH
@@ -20,6 +30,22 @@
 namespace wsc {
 namespace sim {
 
+/**
+ * Concrete-type tag carried by every Distribution. Hot paths that hold
+ * a Distribution& switch on it (sampleByKind) instead of paying a
+ * virtual call per draw; the switch dispatches to the same final
+ * sampleImpl the virtual path lands in.
+ */
+enum class DistKind : unsigned char {
+    Constant,
+    Uniform,
+    Exponential,
+    Lognormal,
+    BoundedPareto,
+    Zipf,
+    Empirical,
+};
+
 /** Polymorphic scalar distribution. */
 class Distribution
 {
@@ -31,14 +57,27 @@ class Distribution
 
     /** Expected value (exact where closed-form, else documented approx). */
     virtual double mean() const = 0;
+
+    /** Concrete-type tag for switch dispatch (see sampleByKind). */
+    DistKind kind() const { return kind_; }
+
+  protected:
+    explicit Distribution(DistKind kind) : kind_(kind) {}
+
+  private:
+    DistKind kind_;
 };
 
 /** Degenerate point mass: always returns the same value. */
-class ConstantDist : public Distribution
+class ConstantDist final : public Distribution
 {
   public:
-    explicit ConstantDist(double value) : value(value) {}
-    double sample(Rng &) override { return value; }
+    explicit ConstantDist(double value)
+        : Distribution(DistKind::Constant), value(value)
+    {
+    }
+    double sampleImpl(Rng &) { return value; }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
     double mean() const override { return value; }
 
   private:
@@ -46,11 +85,12 @@ class ConstantDist : public Distribution
 };
 
 /** Uniform over [lo, hi). */
-class UniformDist : public Distribution
+class UniformDist final : public Distribution
 {
   public:
     UniformDist(double lo, double hi);
-    double sample(Rng &rng) override { return rng.uniform(lo, hi); }
+    double sampleImpl(Rng &rng) { return rng.uniform(lo, hi); }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
     double mean() const override { return 0.5 * (lo + hi); }
 
   private:
@@ -58,11 +98,12 @@ class UniformDist : public Distribution
 };
 
 /** Exponential with the given mean. */
-class ExponentialDist : public Distribution
+class ExponentialDist final : public Distribution
 {
   public:
     explicit ExponentialDist(double mean);
-    double sample(Rng &rng) override { return rng.exponential(mean_); }
+    double sampleImpl(Rng &rng) { return rng.exponential(mean_); }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
     double mean() const override { return mean_; }
 
   private:
@@ -73,7 +114,7 @@ class ExponentialDist : public Distribution
  * Lognormal parameterized by its own mean and coefficient of variation
  * (more natural for size distributions than mu/sigma).
  */
-class LognormalDist : public Distribution
+class LognormalDist final : public Distribution
 {
   public:
     /**
@@ -81,19 +122,25 @@ class LognormalDist : public Distribution
      * @param cov Coefficient of variation (stddev/mean, > 0).
      */
     LognormalDist(double mean, double cov);
-    double sample(Rng &rng) override { return rng.lognormal(mu, sigma); }
+    double sampleImpl(Rng &rng) { return rng.lognormal(mu, sigma); }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
     double mean() const override { return mean_; }
+
+    /** Underlying normal's parameters (for same-law batch draws). */
+    double muParam() const { return mu; }
+    double sigmaParam() const { return sigma; }
 
   private:
     double mean_, mu, sigma;
 };
 
 /** Bounded Pareto over [lo, hi] with shape alpha. */
-class BoundedParetoDist : public Distribution
+class BoundedParetoDist final : public Distribution
 {
   public:
     BoundedParetoDist(double lo, double hi, double alpha);
-    double sample(Rng &rng) override;
+    double sampleImpl(Rng &rng);
+    double sample(Rng &rng) override { return sampleImpl(rng); }
     double mean() const override;
 
   private:
@@ -116,6 +163,13 @@ class BoundedParetoDist : public Distribution
  * reproduces std::lower_bound exactly (first index with cdf[i] >= u)
  * for every u, so samplers built on it are bit-identical to the seed's
  * O(log n) search while dropping its cache-missing probes.
+ *
+ * The lookup is exposed in pieces — bucketOf / startOf / resolveFrom —
+ * so the batched sampler (sim/batch_sampler.hh) can interleave the two
+ * dependent memory accesses across a block of draws with software
+ * prefetch. indexFor() composes exactly those pieces; scalar and
+ * batched paths therefore share one resolution routine and cannot
+ * drift.
  */
 class GuideTable
 {
@@ -125,23 +179,48 @@ class GuideTable
     /** Build over @p cdf (nondecreasing, back() == 1.0). */
     explicit GuideTable(const std::vector<double> &cdf);
 
-    /** First index with cdf[i] >= u, for u in [0, 1). */
+    /** Number of guide buckets (== CDF entries it was built over). */
+    std::size_t size() const { return guide.size(); }
+
+    /** Bucket index for @p u in [0, 1). */
     std::size_t
-    indexFor(const std::vector<double> &cdf, double u) const
+    bucketOf(double u) const
     {
         std::size_t b = std::size_t(u * double(guide.size()));
         if (b >= guide.size()) // FP guard: u*n can round up to n
             b = guide.size() - 1;
-        std::size_t k = guide[b];
-        // The bucket start is a lower bound for the bucket's real
-        // edge, but FP rounding of u * n can land u one bucket high;
-        // the backward walk restores exactness (it is almost never
-        // taken). The forward walk covers the bucket's entries.
+        return b;
+    }
+
+    /** First CDF index the bucket can resolve to (its scan start). */
+    std::uint32_t startOf(std::size_t b) const { return guide[b]; }
+
+    /** Address of a guide cell, for software prefetch. */
+    const std::uint32_t *cellPtr(std::size_t b) const { return &guide[b]; }
+
+    /**
+     * Finish the lookup from scan start @p k: first index with
+     * cdf[i] >= u. The bucket start is a lower bound for the bucket's
+     * real edge, but FP rounding of u * n can land u one bucket high;
+     * the backward walk restores exactness (it is almost never taken).
+     * The forward walk covers the bucket's entries.
+     */
+    std::size_t
+    resolveFrom(const std::vector<double> &cdf, double u,
+                std::size_t k) const
+    {
         while (k > 0 && cdf[k - 1] >= u)
             --k;
         while (cdf[k] < u)
             ++k;
         return k;
+    }
+
+    /** First index with cdf[i] >= u, for u in [0, 1). */
+    std::size_t
+    indexFor(const std::vector<double> &cdf, double u) const
+    {
+        return resolveFrom(cdf, u, startOf(bucketOf(u)));
     }
 
   private:
@@ -158,7 +237,7 @@ class GuideTable
  * built once at construction. Suitable for the catalog sizes the
  * workloads use (up to a few million items).
  */
-class ZipfDist : public Distribution
+class ZipfDist final : public Distribution
 {
   public:
     /**
@@ -168,10 +247,25 @@ class ZipfDist : public Distribution
     ZipfDist(std::uint64_t n, double s);
 
     /** Draw a rank in [1, n]; lower ranks are more popular. */
-    double sample(Rng &rng) override;
+    double sampleImpl(Rng &rng) { return double(sampleRank(rng)); }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
 
     /** Draw as an integer rank. */
-    std::uint64_t sampleRank(Rng &rng);
+    std::uint64_t
+    sampleRank(Rng &rng)
+    {
+        // Same single uniform draw as the seed's lower_bound search;
+        // rankForUniform is the shared resolution used by the batched
+        // path too, so every rank ever drawn is unchanged.
+        return rankForUniform(rng.uniform());
+    }
+
+    /** Rank the uniform @p u inverts to (shared scalar/batched). */
+    std::uint64_t
+    rankForUniform(double u) const
+    {
+        return std::uint64_t(guide.indexFor(cdf, u)) + 1;
+    }
 
     double mean() const override { return mean_; }
 
@@ -179,6 +273,10 @@ class ZipfDist : public Distribution
     double pmf(std::uint64_t k) const;
 
     std::uint64_t size() const { return n; }
+
+    /** Inversion tables, exposed for the batched sampler. */
+    const GuideTable &guideTable() const { return guide; }
+    const std::vector<double> &cdfTable() const { return cdf; }
 
   private:
     std::uint64_t n;
@@ -194,7 +292,7 @@ class ZipfDist : public Distribution
  * Empirical discrete distribution over (value, weight) pairs.
  * Used for measured mixes, e.g. the webmail action mix.
  */
-class EmpiricalDist : public Distribution
+class EmpiricalDist final : public Distribution
 {
   public:
     /**
@@ -203,12 +301,35 @@ class EmpiricalDist : public Distribution
      */
     EmpiricalDist(std::vector<double> values, std::vector<double> weights);
 
-    double sample(Rng &rng) override;
+    double sampleImpl(Rng &rng) { return values[sampleIndex(rng)]; }
+    double sample(Rng &rng) override { return sampleImpl(rng); }
 
     /** Draw the index of the chosen outcome. */
-    std::size_t sampleIndex(Rng &rng);
+    std::size_t
+    sampleIndex(Rng &rng)
+    {
+        // Single uniform draw; indexForUniform matches lower_bound
+        // bit-exactly and is shared with the batched path.
+        return indexForUniform(rng.uniform());
+    }
+
+    /** Index the uniform @p u inverts to (shared scalar/batched). */
+    std::size_t
+    indexForUniform(double u) const
+    {
+        return guide.indexFor(cdf, u);
+    }
 
     double mean() const override { return mean_; }
+
+    /** Outcome value at @p i (for batched index draws). */
+    double valueAt(std::size_t i) const { return values[i]; }
+
+    std::size_t size() const { return values.size(); }
+
+    /** Inversion tables, exposed for the batched sampler. */
+    const GuideTable &guideTable() const { return guide; }
+    const std::vector<double> &cdfTable() const { return cdf; }
 
   private:
     std::vector<double> values;
@@ -217,6 +338,34 @@ class EmpiricalDist : public Distribution
     GuideTable guide;
     double mean_;
 };
+
+/**
+ * Draw through the DistKind tag instead of the vtable: one predictable
+ * switch, then a direct (inlineable) call into the final class's
+ * sampleImpl. Bit-identical to d.sample(rng) for every kind — both
+ * paths are the same function.
+ */
+inline double
+sampleByKind(Distribution &d, Rng &rng)
+{
+    switch (d.kind()) {
+      case DistKind::Constant:
+        return static_cast<ConstantDist &>(d).sampleImpl(rng);
+      case DistKind::Uniform:
+        return static_cast<UniformDist &>(d).sampleImpl(rng);
+      case DistKind::Exponential:
+        return static_cast<ExponentialDist &>(d).sampleImpl(rng);
+      case DistKind::Lognormal:
+        return static_cast<LognormalDist &>(d).sampleImpl(rng);
+      case DistKind::BoundedPareto:
+        return static_cast<BoundedParetoDist &>(d).sampleImpl(rng);
+      case DistKind::Zipf:
+        return static_cast<ZipfDist &>(d).sampleImpl(rng);
+      case DistKind::Empirical:
+        return static_cast<EmpiricalDist &>(d).sampleImpl(rng);
+    }
+    return d.sample(rng); // unreachable; keeps -Wreturn-type quiet
+}
 
 } // namespace sim
 } // namespace wsc

@@ -1,0 +1,176 @@
+#include "stats/equivalence.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace stats {
+
+namespace {
+
+/**
+ * Asymptotic Kolmogorov survival function
+ * Q(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+ * The series alternates and collapses in a handful of terms for any
+ * lambda of interest; 100 is a safe hard cap.
+ */
+double
+kolmogorovQ(double lambda)
+{
+    if (lambda < 1e-9)
+        return 1.0;
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int j = 1; j <= 100; ++j) {
+        double term = std::exp(-2.0 * double(j) * double(j) *
+                               lambda * lambda);
+        sum += sign * term;
+        sign = -sign;
+        if (term < 1e-12)
+            break;
+    }
+    double q = 2.0 * sum;
+    return std::clamp(q, 0.0, 1.0);
+}
+
+/**
+ * Two-sided Student-t critical values at 95% / 99% confidence for
+ * df = 1..30; beyond 30 the normal limit (last entry) is close enough
+ * for gate purposes. Indexed by df - 1.
+ */
+constexpr double kT95[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042};
+constexpr double kT99[] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+    3.169,  3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+    2.861,  2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+    2.763,  2.756, 2.750};
+constexpr double kZ95 = 1.960;
+constexpr double kZ99 = 2.576;
+
+double
+tCritical(std::size_t df, double confidence)
+{
+    bool is95 = std::abs(confidence - 0.95) < 1e-9;
+    bool is99 = std::abs(confidence - 0.99) < 1e-9;
+    WSC_ASSERT(is95 || is99,
+               "confidence must be 0.95 or 0.99 (tabulated)");
+    WSC_ASSERT(df >= 1, "need at least 2 samples for a CI");
+    if (df > 30)
+        return is95 ? kZ95 : kZ99;
+    return is95 ? kT95[df - 1] : kT99[df - 1];
+}
+
+} // namespace
+
+KsResult
+ksTwoSample(std::vector<double> a, std::vector<double> b)
+{
+    WSC_ASSERT(a.size() >= 2 && b.size() >= 2,
+               "KS needs at least 2 samples per side");
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+
+    KsResult r;
+    r.n1 = a.size();
+    r.n2 = b.size();
+
+    // Merge walk over both sorted samples tracking |F1 - F2|. Ties are
+    // drained on both sides before the gap is examined, so the
+    // statistic is the sup over x of the right-continuous EDFs.
+    std::size_t i = 0, j = 0;
+    double d = 0.0;
+    const double inv1 = 1.0 / double(r.n1);
+    const double inv2 = 1.0 / double(r.n2);
+    while (i < r.n1 && j < r.n2) {
+        double x = std::min(a[i], b[j]);
+        while (i < r.n1 && a[i] == x)
+            ++i;
+        while (j < r.n2 && b[j] == x)
+            ++j;
+        double gap = std::abs(double(i) * inv1 - double(j) * inv2);
+        if (gap > d)
+            d = gap;
+    }
+    r.statistic = d;
+
+    double ne = double(r.n1) * double(r.n2) / double(r.n1 + r.n2);
+    double sq = std::sqrt(ne);
+    double lambda = (sq + 0.12 + 0.11 / sq) * d;
+    r.pValue = kolmogorovQ(lambda);
+    return r;
+}
+
+MeanCi
+meanCi(const std::vector<double> &xs, double confidence)
+{
+    WSC_ASSERT(xs.size() >= 2, "CI needs at least 2 samples");
+    MeanCi ci;
+    ci.n = xs.size();
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    ci.mean = sum / double(ci.n);
+    double ss = 0.0;
+    for (double x : xs) {
+        double d = x - ci.mean;
+        ss += d * d;
+    }
+    double var = ss / double(ci.n - 1);
+    double se = std::sqrt(var / double(ci.n));
+    ci.halfWidth = tCritical(ci.n - 1, confidence) * se;
+    return ci;
+}
+
+OverlapResult
+ciOverlap(const std::vector<double> &a, const std::vector<double> &b,
+          double confidence)
+{
+    OverlapResult r;
+    r.a = meanCi(a, confidence);
+    r.b = meanCi(b, confidence);
+    r.overlap = r.a.lo() <= r.b.hi() && r.b.lo() <= r.a.hi();
+    double pooled = 0.5 * (std::abs(r.a.mean) + std::abs(r.b.mean));
+    r.relGap =
+        pooled > 0.0 ? std::abs(r.a.mean - r.b.mean) / pooled : 0.0;
+    return r;
+}
+
+GateVerdict
+equivalenceGate(const std::vector<NamedSamples> &distributions,
+                const std::vector<NamedSamples> &metrics,
+                const EquivalenceSpec &spec)
+{
+    GateVerdict v;
+    for (const auto &d : distributions) {
+        auto ks = ksTwoSample(d.exact, d.fast);
+        GateCheck c;
+        c.name = d.name;
+        c.kind = "ks";
+        c.statistic = ks.statistic;
+        c.pValue = ks.pValue;
+        c.passed = ks.passes(spec.ksAlpha);
+        v.passed = v.passed && c.passed;
+        v.checks.push_back(std::move(c));
+    }
+    for (const auto &m : metrics) {
+        auto ov = ciOverlap(m.exact, m.fast, spec.ciConfidence);
+        GateCheck c;
+        c.name = m.name;
+        c.kind = "ci-overlap";
+        c.statistic = ov.relGap;
+        c.pValue = 1.0;
+        c.passed = ov.overlap;
+        v.passed = v.passed && c.passed;
+        v.checks.push_back(std::move(c));
+    }
+    return v;
+}
+
+} // namespace stats
+} // namespace wsc

@@ -123,6 +123,46 @@ class Rng
     std::uint64_t seed_;
 };
 
+/**
+ * Counter-based splitmix64 generator for bulk uniform draws on
+ * fast-mode paths (sim/fast_mode.hh): one add plus three shift-xor-
+ * multiply rounds per draw, several times cheaper than the
+ * mt19937_64-backed Rng, and statistically solid (it is the standard
+ * mixer used to seed xoshiro-family generators). State is a single
+ * 64-bit counter, so a stream derived from a seed is trivially
+ * reproducible and never aliases a differently-seeded stream.
+ *
+ * Not a drop-in for Rng: uniforms land on the 53-bit grid via
+ * multiplication, so draws are same-law but not bit-identical to
+ * Rng::uniform. That is exactly the relaxation fast mode's
+ * statistical-equivalence gate (stats/equivalence.hh) covers; exact
+ * paths must keep using Rng.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : x(seed) {}
+
+    std::uint64_t
+    nextU64()
+    {
+        std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1) on the 53-bit grid. */
+    double
+    uniform()
+    {
+        return double(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t x;
+};
+
 } // namespace wsc
 
 #endif // WSC_UTIL_RANDOM_HH

@@ -31,7 +31,8 @@ Webmail::Webmail(WebmailParams params)
                  std::vector<double>(std::begin(actionWeights),
                                      std::end(actionWeights))),
       messageSize(p.meanMessageKB, p.covMessage),
-      attachmentSize(p.attachmentMeanKB, p.covAttachment)
+      attachmentSize(p.attachmentMeanKB, p.covAttachment),
+      cpuShape(1.0, p.covCpu)
 {
 }
 
@@ -45,7 +46,6 @@ ServiceDemand
 Webmail::demandFor(MailAction a, Rng &rng)
 {
     ServiceDemand d;
-    sim::LognormalDist shape(1.0, p.covCpu);
     double body_kb = 0.0;
     double disk_read = 0.0, disk_write = 0.0;
     switch (a) {
@@ -58,19 +58,19 @@ Webmail::demandFor(MailAction a, Rng &rng)
         disk_read = p.mailboxReadBytes;
         break;
       case MailAction::ReadMessage:
-        body_kb = messageSize.sample(rng);
+        body_kb = messageSize.sampleImpl(rng);
         disk_read = body_kb * 1024.0;
         break;
       case MailAction::ReadAttachment:
-        body_kb = attachmentSize.sample(rng);
+        body_kb = attachmentSize.sampleImpl(rng);
         disk_read = body_kb * 1024.0;
         break;
       case MailAction::Reply:
-        body_kb = messageSize.sample(rng);
+        body_kb = messageSize.sampleImpl(rng);
         disk_write = body_kb * 1024.0;
         break;
       case MailAction::Compose:
-        body_kb = messageSize.sample(rng);
+        body_kb = messageSize.sampleImpl(rng);
         disk_write = body_kb * 1024.0;
         break;
       case MailAction::Delete:
@@ -83,7 +83,7 @@ Webmail::demandFor(MailAction a, Rng &rng)
         break;
     }
     d.cpuWork =
-        (p.cpuWorkBase + p.cpuWorkPerKB * body_kb) * shape.sample(rng);
+        (p.cpuWorkBase + p.cpuWorkPerKB * body_kb) * cpuShape.sampleImpl(rng);
     d.diskReadBytes = disk_read;
     d.diskWriteBytes = disk_write;
     // Frontend response plus IMAP/SMTP backend chatter.

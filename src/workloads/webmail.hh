@@ -91,6 +91,8 @@ class Webmail : public InteractiveWorkload
     sim::EmpiricalDist actionDist;
     sim::LognormalDist messageSize;
     sim::LognormalDist attachmentSize;
+    /** Per-action lognormal work multiplier around 1 (mean 1, covCpu). */
+    sim::LognormalDist cpuShape;
 
     /** Demand construction for one concrete action. */
     ServiceDemand demandFor(MailAction a, Rng &rng);

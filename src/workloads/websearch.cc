@@ -12,7 +12,8 @@ Websearch::Websearch(WebsearchParams params)
       // Keyword-count mix after Xie & O'Hallaron: short queries
       // dominate web search traffic.
       keywordCountDist({1.0, 2.0, 3.0, 4.0, 5.0},
-                       {0.28, 0.36, 0.22, 0.10, 0.04})
+                       {0.28, 0.36, 0.22, 0.10, 0.04}),
+      cpuShape(1.0, p.covCpu)
 {
     WSC_ASSERT(p.cachedTermFraction >= 0.0 && p.cachedTermFraction <= 1.0,
                "cached fraction out of range");
@@ -29,7 +30,7 @@ Websearch::Websearch(WebsearchParams params)
 unsigned
 Websearch::sampleKeywordCount(Rng &rng)
 {
-    return unsigned(keywordCountDist.sample(rng));
+    return unsigned(keywordCountDist.sampleImpl(rng));
 }
 
 bool
@@ -45,8 +46,7 @@ Websearch::nextRequest(Rng &rng)
     ServiceDemand d;
     double work = p.cpuWorkBase + p.cpuWorkPerTerm * double(keywords);
     // Shape per-query variability with a lognormal multiplier around 1.
-    sim::LognormalDist shape(1.0, p.covCpu);
-    d.cpuWork = work * shape.sample(rng);
+    d.cpuWork = work * cpuShape.sampleImpl(rng);
     for (unsigned i = 0; i < keywords; ++i) {
         std::uint64_t rank = termDist.sampleRank(rng);
         if (!termIsCached(rank))
@@ -54,6 +54,48 @@ Websearch::nextRequest(Rng &rng)
     }
     d.netBytes = p.responseBytes;
     return d;
+}
+
+void
+Websearch::nextRequestBatch(BatchStream &s, ServiceDemand *out,
+                            std::size_t n)
+{
+    // Pass 1: every query's keyword count (batched empirical draw from
+    // the fast engine — the table is tiny but the draw law matches).
+    countIdx.resize(n);
+    batcher.drawEmpiricalIndices(keywordCountDist, s.fast,
+                                 countIdx.data(), n);
+    std::size_t totalTerms = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned kw = unsigned(keywordCountDist.valueAt(countIdx[i]));
+        countIdx[i] = kw;
+        totalTerms += kw;
+    }
+
+    // Pass 2: every term rank of every query in one batched sweep —
+    // this is the draw whose guide-table misses and uniform cost
+    // dominate the scalar path; the batch overlaps the misses and the
+    // fast engine removes most of the per-uniform cost.
+    rankBuf.resize(totalTerms);
+    batcher.drawZipfRanks(termDist, s.fast, rankBuf.data(), totalTerms);
+
+    // Pass 3: CPU shaping multipliers (batched Box-Muller over the
+    // fast engine — exact lognormal law) and demand assembly.
+    shapeBuf.resize(n);
+    batcher.drawLognormal(cpuShape, s.fast, shapeBuf.data(), n);
+    std::size_t term = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned keywords = countIdx[i];
+        ServiceDemand d;
+        double work =
+            p.cpuWorkBase + p.cpuWorkPerTerm * double(keywords);
+        d.cpuWork = work * shapeBuf[i];
+        for (unsigned k = 0; k < keywords; ++k)
+            if (!termIsCached(rankBuf[term++]))
+                d.diskReadBytes += p.postingListBytes;
+        d.netBytes = p.responseBytes;
+        out[i] = d;
+    }
 }
 
 ServiceDemand

@@ -15,6 +15,7 @@
 #ifndef WSC_WORKLOADS_WEBSEARCH_HH
 #define WSC_WORKLOADS_WEBSEARCH_HH
 
+#include "sim/batch_sampler.hh"
 #include "sim/distributions.hh"
 #include "workloads/workload.hh"
 
@@ -64,6 +65,18 @@ class Websearch : public InteractiveWorkload
     }
 
     ServiceDemand nextRequest(Rng &rng) override;
+
+    /**
+     * Structure-of-arrays batch generation: all keyword counts, then
+     * all term ranks (batched through sim::SampleBatcher over the
+     * stream's fast engine so the Zipf guide-table misses overlap and
+     * the uniforms are cheap), then all CPU shaping multipliers. Same
+     * joint demand distribution as the scalar path; different draws,
+     * so only fast-mode demand streams may use it.
+     */
+    void nextRequestBatch(BatchStream &s, ServiceDemand *out,
+                          std::size_t n) override;
+
     ServiceDemand meanDemand() const override;
 
     /** Number of keywords in the next query (1..4 observed mix). */
@@ -78,10 +91,17 @@ class Websearch : public InteractiveWorkload
     WebsearchParams p;
     sim::ZipfDist termDist;
     sim::EmpiricalDist keywordCountDist;
+    /** Per-query lognormal work multiplier around 1 (mean 1, covCpu). */
+    sim::LognormalDist cpuShape;
     /** Ranks at or below this are cached (popular terms are cached). */
     std::uint64_t cachedRankLimit;
     double meanKeywords;
     double coldTermProb; //!< probability one sampled term is uncached
+    // Batch-path scratch (sized on demand; reused across calls).
+    sim::SampleBatcher batcher;
+    std::vector<std::uint32_t> countIdx;
+    std::vector<std::uint64_t> rankBuf;
+    std::vector<double> shapeBuf;
 };
 
 } // namespace workloads

@@ -20,12 +20,34 @@ Ytube::nextRequest(Rng &rng)
 {
     (void)sampleVideoRank(rng); // popularity drives cache behavior via
                                 // the trait-level hit rate
-    double mb = transferSize.sample(rng);
+    double mb = transferSize.sampleImpl(rng);
     ServiceDemand d;
     d.cpuWork = p.cpuWorkBase + p.cpuWorkPerMB * mb;
     d.diskReadBytes = mb * 1.0e6;
     d.netBytes = mb * 1.0e6;
     return d;
+}
+
+void
+Ytube::nextRequestBatch(BatchStream &s, ServiceDemand *out,
+                        std::size_t n)
+{
+    // The popularity draw is the expensive one (catalog-sized Zipf
+    // guide table); batch it over the fast engine so its misses
+    // overlap and the uniforms are cheap, then assemble demands from
+    // batched Box-Muller transfer-size draws (exact lognormal law).
+    rankBuf.resize(n);
+    batcher.drawZipfRanks(popularity, s.fast, rankBuf.data(), n);
+    sizeBuf.resize(n);
+    batcher.drawLognormal(transferSize, s.fast, sizeBuf.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double mb = sizeBuf[i];
+        ServiceDemand d;
+        d.cpuWork = p.cpuWorkBase + p.cpuWorkPerMB * mb;
+        d.diskReadBytes = mb * 1.0e6;
+        d.netBytes = mb * 1.0e6;
+        out[i] = d;
+    }
 }
 
 ServiceDemand

@@ -17,6 +17,7 @@
 #ifndef WSC_WORKLOADS_YTUBE_HH
 #define WSC_WORKLOADS_YTUBE_HH
 
+#include "sim/batch_sampler.hh"
 #include "sim/distributions.hh"
 #include "workloads/workload.hh"
 
@@ -66,6 +67,16 @@ class Ytube : public InteractiveWorkload
     }
 
     ServiceDemand nextRequest(Rng &rng) override;
+
+    /**
+     * Structure-of-arrays batch generation: all popularity ranks in
+     * one batched guide-table sweep over the stream's fast engine,
+     * then all transfer sizes. Same joint distribution as the scalar
+     * path, different draws — fast-mode demand streams only.
+     */
+    void nextRequestBatch(BatchStream &s, ServiceDemand *out,
+                          std::size_t n) override;
+
     ServiceDemand meanDemand() const override;
 
     /** Popularity rank of the next requested video. */
@@ -77,6 +88,10 @@ class Ytube : public InteractiveWorkload
     YtubeParams p;
     sim::ZipfDist popularity;
     sim::LognormalDist transferSize;
+    // Batch-path scratch (sized on demand; reused across calls).
+    sim::SampleBatcher batcher;
+    std::vector<std::uint64_t> rankBuf;
+    std::vector<double> sizeBuf;
 };
 
 } // namespace workloads

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the statistical-equivalence gate (stats/equivalence.hh):
+ * the KS and CI-overlap checks must accept same-law sample sets and —
+ * the part that makes the gate trustworthy — reject deliberately
+ * skewed ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/equivalence.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::stats;
+
+std::vector<double>
+lognormalSamples(std::uint64_t seed, std::size_t n, double mu,
+                 double sigma)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(rng.lognormal(mu, sigma));
+    return xs;
+}
+
+TEST(KsTwoSample, SameLawPasses)
+{
+    auto a = lognormalSamples(1, 4000, 0.0, 0.6);
+    auto b = lognormalSamples(2, 4000, 0.0, 0.6);
+    auto ks = ksTwoSample(a, b);
+    EXPECT_EQ(ks.n1, 4000u);
+    EXPECT_EQ(ks.n2, 4000u);
+    EXPECT_TRUE(ks.passes(1e-3));
+    EXPECT_LT(ks.statistic, 0.05);
+}
+
+TEST(KsTwoSample, ShiftedLawFails)
+{
+    auto a = lognormalSamples(3, 4000, 0.0, 0.6);
+    auto b = lognormalSamples(4, 4000, 0.15, 0.6);
+    auto ks = ksTwoSample(a, b);
+    EXPECT_FALSE(ks.passes(1e-3));
+    EXPECT_LT(ks.pValue, 1e-6);
+}
+
+TEST(KsTwoSample, DiscreteTiesHandled)
+{
+    // Heavily tied integer samples from one law must still pass: the
+    // merge walk has to drain equal values on both sides before
+    // comparing ECDFs, or ties manufacture spurious D.
+    Rng ra(5), rb(6);
+    std::vector<double> a, b;
+    for (int i = 0; i < 3000; ++i) {
+        a.push_back(double(ra.uniformInt(1, 6)));
+        b.push_back(double(rb.uniformInt(1, 6)));
+    }
+    auto ks = ksTwoSample(a, b);
+    EXPECT_TRUE(ks.passes(1e-3));
+}
+
+TEST(KsTwoSample, UnequalSizesSupported)
+{
+    auto a = lognormalSamples(7, 500, 0.0, 0.5);
+    auto b = lognormalSamples(8, 5000, 0.0, 0.5);
+    EXPECT_TRUE(ksTwoSample(a, b).passes(1e-3));
+}
+
+TEST(MeanCiTest, CoversKnownMean)
+{
+    // 30 normal(10, 1) samples: the 95% t interval should cover 10
+    // and have half-width near t * s/sqrt(n) ~ 0.37.
+    Rng rng(9);
+    std::vector<double> xs;
+    for (int i = 0; i < 30; ++i)
+        xs.push_back(rng.normal(10.0, 1.0));
+    auto ci = meanCi(xs, 0.95);
+    EXPECT_EQ(ci.n, 30u);
+    EXPECT_LT(ci.lo(), 10.0);
+    EXPECT_GT(ci.hi(), 10.0);
+    EXPECT_GT(ci.halfWidth, 0.0);
+    EXPECT_LT(ci.halfWidth, 1.0);
+}
+
+TEST(CiOverlapTest, SameMeanOverlaps)
+{
+    Rng ra(10), rb(11);
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.push_back(ra.normal(100.0, 5.0));
+        b.push_back(rb.normal(100.0, 5.0));
+    }
+    auto ov = ciOverlap(a, b, 0.95);
+    EXPECT_TRUE(ov.overlap);
+    EXPECT_LT(ov.relGap, 0.1);
+}
+
+TEST(CiOverlapTest, DistantMeansDisjoint)
+{
+    Rng ra(12), rb(13);
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.push_back(ra.normal(100.0, 2.0));
+        b.push_back(rb.normal(150.0, 2.0));
+    }
+    auto ov = ciOverlap(a, b, 0.95);
+    EXPECT_FALSE(ov.overlap);
+    EXPECT_GT(ov.relGap, 0.2);
+}
+
+TEST(EquivalenceGateTest, SameLawVerdictPasses)
+{
+    NamedSamples dist{"latency", lognormalSamples(14, 2000, -2.0, 0.8),
+                      lognormalSamples(15, 2000, -2.0, 0.8)};
+    Rng ra(16), rb(17);
+    NamedSamples metric{"rps", {}, {}};
+    for (int i = 0; i < 8; ++i) {
+        metric.exact.push_back(ra.normal(1000.0, 20.0));
+        metric.fast.push_back(rb.normal(1000.0, 20.0));
+    }
+    auto v = equivalenceGate({dist}, {metric});
+    EXPECT_TRUE(v.passed);
+    ASSERT_EQ(v.checks.size(), 2u);
+    EXPECT_EQ(v.checks[0].name, "latency");
+    EXPECT_EQ(v.checks[0].kind, "ks");
+    EXPECT_EQ(v.checks[1].name, "rps");
+    EXPECT_EQ(v.checks[1].kind, "ci-overlap");
+    for (const auto &c : v.checks)
+        EXPECT_TRUE(c.passed);
+}
+
+TEST(EquivalenceGateTest, SkewedNegativeControlFails)
+{
+    // The guard-rail test: feed the gate a "fast" set whose tail is
+    // deliberately inflated 25% — a realistic bug for a sampler
+    // rewrite (wrong tail resolution) — and a throughput metric
+    // biased 15% high. Every check must reject; if this test ever
+    // passes the gate, the gate is broken, not the sampler.
+    auto exactLat = lognormalSamples(18, 8000, -2.0, 0.8);
+    auto fastLat = lognormalSamples(19, 8000, -2.0, 0.8);
+    for (auto &x : fastLat)
+        if (x > 0.25)
+            x *= 1.25;
+
+    Rng ra(20), rb(21);
+    NamedSamples metric{"rps", {}, {}};
+    for (int i = 0; i < 8; ++i) {
+        metric.exact.push_back(ra.normal(1000.0, 10.0));
+        metric.fast.push_back(rb.normal(1150.0, 10.0));
+    }
+
+    auto v = equivalenceGate({{"latency", exactLat, fastLat}}, {metric});
+    EXPECT_FALSE(v.passed);
+    for (const auto &c : v.checks)
+        EXPECT_FALSE(c.passed) << c.name;
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 #include "obs/run_report.hh"
 #include "perfsim/cluster_sim.hh"
 #include "platform/catalog.hh"
+#include "sim/fast_mode.hh"
 
 namespace {
 
@@ -142,6 +143,28 @@ TEST(ParallelDeterminism, ReportJsonIdenticalAtEveryWidth)
     EXPECT_NE(reports[0].find("\"kernel\""), std::string::npos);
     EXPECT_NE(reports[0].find("\"p95\""), std::string::npos);
     EXPECT_NE(reports[0].find("\"bottleneck\""), std::string::npos);
+    // Exact-mode reports must not mention fast mode at all — the
+    // field's absence is what keeps them byte-identical to
+    // pre-fast-mode output.
+    EXPECT_EQ(reports[0].find("\"fast_mode\""), std::string::npos);
+}
+
+TEST(ParallelDeterminism, FastModeStampOnlyWhenEnabled)
+{
+    auto cells = sweepCells();
+    obs::ReportOptions noTimings;
+    noTimings.includeTimings = false;
+
+    DesignEvaluator ev(fastParams());
+    ev.evaluateBatch(cells, nullptr);
+    auto report = buildSweepReport(ev, cells, "test");
+    auto plain = obs::toJson(report, noTimings);
+    EXPECT_EQ(plain.find("\"fast_mode\""), std::string::npos);
+
+    report.fastMode = sim::FastModeConfig::contractVersion();
+    auto stamped = obs::toJson(report, noTimings);
+    EXPECT_NE(stamped.find("\"fast_mode\": \"fast-mode/1\""),
+              std::string::npos);
 }
 
 TEST(ParallelDeterminism, ClusterSweepMatchesAtEveryWidth)

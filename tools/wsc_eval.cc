@@ -22,6 +22,7 @@
 #include "core/report.hh"
 #include "core/sweep_report.hh"
 #include "obs/run_report.hh"
+#include "sim/fast_mode.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 
@@ -160,6 +161,10 @@ main(int argc, char **argv)
                    "websearch")
         .addFlag("trace",
                  "count kernel trace records and summarize on stderr")
+        .addFlag("fast-mode",
+                 "batched sampling fast path (statistically equivalent, "
+                 "not bit-identical; contract " +
+                     sim::FastModeConfig::contractVersion() + ")")
         .addFlag("csv", "emit CSV instead of an aligned table");
 
     try {
@@ -180,6 +185,7 @@ main(int argc, char **argv)
         if (iters < 1 || iters > 64)
             fatal("--search-iters must be in [1, 64]");
         params.search.iterations = unsigned(iters);
+        params.search.window.fastMode.enabled = args.flag("fast-mode");
 
         // --trace installs a shared (thread-safe) counting sink on
         // every simulation's event queue.
@@ -313,6 +319,8 @@ main(int argc, char **argv)
             auto report = buildSweepReport(evaluator, cells, "wsc_eval",
                                            std::uint64_t(threads));
             report.avail = availEntries;
+            if (args.flag("fast-mode"))
+                report.fastMode = sim::FastModeConfig::contractVersion();
             std::ofstream out(report_path);
             if (!out)
                 fatal("cannot open report path '" + report_path + "'");
