@@ -68,8 +68,11 @@ dailyEnergy(const DiurnalProfile &profile, PowerPolicy policy,
     double wh = 0.0;
     double active_sum = 0.0;
     for (double load : profile.hourly) {
-        WSC_ASSERT(load > 0.0 && load <= 1.0,
-                   "hourly load out of (0, 1]");
+        // Zero is a legitimate dead-of-night trough: nothing is busy,
+        // and the policies below must degrade to their idle floor
+        // rather than abort.
+        WSC_ASSERT(load >= 0.0 && load <= 1.0,
+                   "hourly load out of [0, 1]");
         double busy = std::ceil(load * double(params.servers));
         busy = std::min(busy, double(params.servers));
         double n = double(params.servers);
@@ -91,8 +94,16 @@ dailyEnergy(const DiurnalProfile &profile, PowerPolicy policy,
             watts = busy * busy_watts + (n - busy) * idle_watts;
             break;
           case PowerPolicy::PowerOff: {
-            double on = std::min(
-                n, std::ceil(busy * (1.0 + params.reserveMargin)));
+            // At zero load nothing is busy, but the reserve margin
+            // stays on (idling) so a load spike has headroom; the
+            // busy-hours formula would shut the whole fleet off.
+            double on;
+            if (busy > 0.0)
+                on = std::min(
+                    n, std::ceil(busy * (1.0 + params.reserveMargin)));
+            else
+                on = std::min(n,
+                              std::ceil(params.reserveMargin * n));
             watts = busy * busy_watts + (on - busy) * idle_watts;
             busy = on;
             break;

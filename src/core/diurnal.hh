@@ -27,7 +27,8 @@
 namespace wsc {
 namespace core {
 
-/** Hourly load profile, each entry in (0, 1] relative to peak. */
+/** Hourly load profile, each entry in [0, 1] relative to peak (0 is
+ * a legitimate dead-of-night trough with nothing busy). */
 struct DiurnalProfile {
     std::array<double, 24> hourly;
 

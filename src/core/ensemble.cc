@@ -1,0 +1,134 @@
+#include "core/ensemble.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace core {
+
+perfsim::EnsemblePolicy
+ensemblePolicy(PowerPolicy p)
+{
+    switch (p) {
+    case PowerPolicy::AlwaysOn:
+        return perfsim::EnsemblePolicy::AlwaysOn;
+    case PowerPolicy::ConsolidateIdle:
+        return perfsim::EnsemblePolicy::ConsolidateIdle;
+    case PowerPolicy::PowerOff:
+        return perfsim::EnsemblePolicy::PowerOff;
+    }
+    panic("unreachable power policy");
+}
+
+perfsim::EnsembleConfig
+ensembleConfig(const DiurnalProfile &profile, PowerPolicy policy,
+               const EnsembleEvalParams &params)
+{
+    perfsim::EnsembleConfig cfg;
+    cfg.servers = params.energy.servers;
+    cfg.cells = params.cells;
+    cfg.shards = params.shards;
+    cfg.workers = params.workers;
+    cfg.hours = params.hours;
+    cfg.secondsPerHour = params.secondsPerHour;
+    cfg.profile = profile.hourly;
+    cfg.peakUtilization = params.peakUtilization;
+
+    // Same power envelope the closed-form model prices: busy power is
+    // the activity-factor de-rated max, idle its configured fraction.
+    // forServerWatts scales the sleep/off floors; busy and idle are
+    // overridden so a non-default activity factor carries through.
+    cfg.power = power::SleepStateCatalog::forServerWatts(
+        params.energy.wattsPerServer);
+    cfg.power.busyWatts =
+        params.energy.wattsPerServer * params.energy.activityFactor;
+    cfg.power.transitionWatts = cfg.power.busyWatts;
+    cfg.power.idleWatts =
+        cfg.power.busyWatts * params.energy.idlePowerFraction;
+    cfg.power.sleepWakeSeconds = params.sleepWakeSeconds;
+    cfg.power.bootSeconds = params.bootSeconds;
+    cfg.power.idleToSleepSeconds = params.idleToSleepSeconds;
+
+    cfg.policy = ensemblePolicy(policy);
+    cfg.reserveMargin = params.energy.reserveMargin;
+    cfg.powerCapWatts = params.powerCapWatts;
+    cfg.mmpp = params.mmpp;
+    cfg.seed = params.seed;
+    return cfg;
+}
+
+std::vector<EnsemblePolicyOutcome>
+rankEnsemblePolicies(const DiurnalProfile &profile,
+                     const EnsembleEvalParams &params)
+{
+    std::vector<EnsemblePolicyOutcome> out;
+    for (auto policy : {PowerPolicy::AlwaysOn,
+                        PowerPolicy::ConsolidateIdle,
+                        PowerPolicy::PowerOff}) {
+        EnsemblePolicyOutcome o;
+        o.policy = policy;
+        o.measured =
+            perfsim::runEnsemble(ensembleConfig(profile, policy, params));
+        o.analytical = dailyEnergy(profile, policy, params.energy);
+        out.push_back(std::move(o));
+    }
+    // Rank by the measured energy x QoS score; the policy enum breaks
+    // ties deterministically.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const EnsemblePolicyOutcome &a,
+                        const EnsemblePolicyOutcome &b) {
+                         return a.measured.score < b.measured.score;
+                     });
+    return out;
+}
+
+obs::EnsembleReport
+ensembleReport(const EnsemblePolicyOutcome &outcome)
+{
+    const auto &m = outcome.measured;
+    obs::EnsembleReport r;
+    r.policy = to_string(outcome.policy);
+    r.servers = m.servers;
+    r.cells = m.cells;
+    r.hours = m.hours;
+    r.secondsPerHour = m.secondsPerHour;
+    r.offered = m.offered;
+    r.completed = m.completed;
+    r.violations = m.violations;
+    r.spilled = m.spilled;
+    r.wakes = m.wakes;
+    r.boots = m.boots;
+    r.sleeps = m.sleeps;
+    r.offs = m.offs;
+    r.capClamps = m.capClamps;
+    r.kWhPerDay = m.kWhPerDay;
+    r.analyticalKWhPerDay = outcome.analytical.kWhPerDay;
+    r.meanActiveServers = m.meanActiveServers;
+    r.meanAwakeServers = m.meanAwakeServers;
+    using S = perfsim::ServerState;
+    r.activeFraction = m.stateFractions[std::size_t(S::Active)];
+    r.idleFraction = m.stateFractions[std::size_t(S::Idle)];
+    r.sleepFraction = m.stateFractions[std::size_t(S::Sleep)];
+    r.wakingFraction = m.stateFractions[std::size_t(S::Waking)];
+    r.offFraction = m.stateFractions[std::size_t(S::Off)];
+    r.bootingFraction = m.stateFractions[std::size_t(S::Booting)];
+    r.latency.mean = m.meanLatency;
+    r.latency.p50 = m.p50;
+    r.latency.p95 = m.p95;
+    r.latency.p99 = m.p99;
+    r.qosViolationFraction = m.qosViolationFraction;
+    r.qosAttainment = m.qosAttainment;
+    r.score = m.score;
+    r.hourKWh = m.hourKWh;
+    r.hourViolationFraction = m.hourViolationFraction;
+    r.eventsScheduled = m.eventsScheduled;
+    r.eventsDispatched = m.eventsDispatched;
+    r.crossCellMessages = m.crossCellMessages;
+    r.windows = m.windows;
+    r.wallSeconds = m.wallSeconds;
+    return r;
+}
+
+} // namespace core
+} // namespace wsc

@@ -123,6 +123,70 @@ writeAvail(JsonWriter &w, const AvailReport &a)
     w.endObject();
 }
 
+void
+writeEnsemble(JsonWriter &w, const EnsembleReport &e,
+              const ReportOptions &opts)
+{
+    w.beginObject();
+    w.key("policy").value(e.policy);
+    w.key("servers").value(e.servers);
+    w.key("cells").value(e.cells);
+    w.key("hours").value(e.hours);
+    w.key("seconds_per_hour").value(e.secondsPerHour);
+    w.key("offered").value(e.offered);
+    w.key("completed").value(e.completed);
+    w.key("violations").value(e.violations);
+    w.key("spilled").value(e.spilled);
+    w.key("wakes").value(e.wakes);
+    w.key("boots").value(e.boots);
+    w.key("sleeps").value(e.sleeps);
+    w.key("offs").value(e.offs);
+    w.key("cap_clamps").value(e.capClamps);
+    w.key("kwh_per_day").value(e.kWhPerDay);
+    w.key("analytical_kwh_per_day").value(e.analyticalKWhPerDay);
+    w.key("mean_active_servers").value(e.meanActiveServers);
+    w.key("mean_awake_servers").value(e.meanAwakeServers);
+    w.key("state_fractions");
+    w.beginObject();
+    w.key("active").value(e.activeFraction);
+    w.key("idle").value(e.idleFraction);
+    w.key("sleep").value(e.sleepFraction);
+    w.key("waking").value(e.wakingFraction);
+    w.key("off").value(e.offFraction);
+    w.key("booting").value(e.bootingFraction);
+    w.endObject();
+    w.key("latency");
+    w.beginObject();
+    w.key("mean").value(e.latency.mean);
+    w.key("p50").value(e.latency.p50);
+    w.key("p95").value(e.latency.p95);
+    w.key("p99").value(e.latency.p99);
+    w.endObject();
+    w.key("qos_violation_fraction").value(e.qosViolationFraction);
+    w.key("qos_attainment").value(e.qosAttainment);
+    w.key("score").value(e.score);
+    w.key("hour_kwh");
+    w.beginArray();
+    for (double v : e.hourKWh)
+        w.value(v);
+    w.endArray();
+    w.key("hour_violation_fraction");
+    w.beginArray();
+    for (double v : e.hourViolationFraction)
+        w.value(v);
+    w.endArray();
+    w.key("kernel");
+    w.beginObject();
+    w.key("scheduled").value(e.eventsScheduled);
+    w.key("dispatched").value(e.eventsDispatched);
+    w.key("cross_cell_messages").value(e.crossCellMessages);
+    w.key("windows").value(e.windows);
+    w.endObject();
+    if (opts.includeTimings)
+        w.key("wall_seconds").value(e.wallSeconds);
+    w.endObject();
+}
+
 } // namespace
 
 SweepRollup
@@ -167,6 +231,14 @@ toJson(const AvailReport &avail, const ReportOptions &)
 }
 
 std::string
+toJson(const EnsembleReport &ensemble, const ReportOptions &opts)
+{
+    JsonWriter w;
+    writeEnsemble(w, ensemble, opts);
+    return w.str();
+}
+
+std::string
 toJson(const SweepReport &report, const ReportOptions &opts)
 {
     JsonWriter w;
@@ -192,6 +264,15 @@ toJson(const SweepReport &report, const ReportOptions &opts)
         w.beginArray();
         for (const auto &a : report.avail)
             writeAvail(w, a);
+        w.endArray();
+    }
+
+    // Omitted when empty: non-ensemble reports keep their byte layout.
+    if (!report.ensemble.empty()) {
+        w.key("ensemble");
+        w.beginArray();
+        for (const auto &e : report.ensemble)
+            writeEnsemble(w, e, opts);
         w.endArray();
     }
 

@@ -132,6 +132,60 @@ struct AvailReport {
     KernelReport kernel;
 };
 
+/**
+ * One ensemble-policy run of the warehouse-scale DES: fleet/QoS/energy
+ * observables plus the kernel's activity counters. Every field except
+ * wallSeconds is shard-count-invariant, so serializing with
+ * includeTimings=false yields byte-identical JSON at any shard count —
+ * the ensemble determinism test compares exactly that. Execution knobs
+ * (shards, workers) are deliberately absent from the schema.
+ */
+struct EnsembleReport {
+    std::string policy;
+    std::uint64_t servers = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t hours = 0;
+    double secondsPerHour = 0.0;
+
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t boots = 0;
+    std::uint64_t sleeps = 0;
+    std::uint64_t offs = 0;
+    std::uint64_t capClamps = 0;
+
+    double kWhPerDay = 0.0;
+    /** Analytical prediction from the closed-form diurnal model, for
+     * the measured-vs-analytical comparison; 0 when not computed. */
+    double analyticalKWhPerDay = 0.0;
+    double meanActiveServers = 0.0;
+    double meanAwakeServers = 0.0;
+    double activeFraction = 0.0;
+    double idleFraction = 0.0;
+    double sleepFraction = 0.0;
+    double wakingFraction = 0.0;
+    double offFraction = 0.0;
+    double bootingFraction = 0.0;
+
+    LatencyReport latency;
+    double qosViolationFraction = 0.0;
+    double qosAttainment = 0.0;
+    double score = 0.0; //!< kWh / attainment, lower is better
+
+    std::vector<double> hourKWh;
+    std::vector<double> hourViolationFraction;
+
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsDispatched = 0;
+    std::uint64_t crossCellMessages = 0;
+    std::uint64_t windows = 0;
+
+    double wallSeconds = 0.0; //!< timing; excludable
+};
+
 /** Sweep-level aggregate, derived from the cells. */
 struct SweepRollup {
     std::uint64_t cells = 0;
@@ -162,6 +216,10 @@ struct SweepReport {
      * JSON section is omitted when empty so zero-fault reports are
      * byte-identical to pre-fault-subsystem output). */
     std::vector<AvailReport> avail;
+    /** Ensemble-policy runs (empty without --ensemble; the "ensemble"
+     * JSON section is omitted when empty so non-ensemble reports are
+     * byte-identical to pre-ensemble output). */
+    std::vector<EnsembleReport> ensemble;
 
     /** Registry snapshots (e.g. cache hit counts, eval totals). */
     std::vector<MetricRegistry::CounterSnap> counters;
@@ -195,6 +253,10 @@ std::string toJson(const CellReport &cell,
 
 /** Serialize one availability entry (embedded by the sweep writer). */
 std::string toJson(const AvailReport &avail,
+                   const ReportOptions &opts = {});
+
+/** Serialize one ensemble entry (embedded by the sweep writer). */
+std::string toJson(const EnsembleReport &ensemble,
                    const ReportOptions &opts = {});
 
 } // namespace obs

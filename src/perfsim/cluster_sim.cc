@@ -23,6 +23,8 @@ to_string(DispatchPolicy p)
         return "random";
       case DispatchPolicy::LeastOutstanding:
         return "least-outstanding";
+      case DispatchPolicy::TwoChoices:
+        return "two-choices";
     }
     panic("unknown dispatch policy");
 }
@@ -122,6 +124,14 @@ struct ClusterSim {
                 if (nodes[i].inFlight < nodes[best].inFlight)
                     best = i;
             return std::uint32_t(best);
+          }
+          case DispatchPolicy::TwoChoices: {
+            auto a = std::uint32_t(rng.uniformInt(0, servers - 1));
+            auto b = std::uint32_t(rng.uniformInt(0, servers - 1));
+            if (nodes[b].inFlight < nodes[a].inFlight)
+                return b;
+            // Ties (including a == b) keep the first draw.
+            return a;
           }
         }
         panic("unknown dispatch policy");
@@ -276,6 +286,12 @@ measureClusterScaling(workloads::InteractiveWorkload &workload,
                       DispatchPolicy policy, const SearchParams &params,
                       Rng &rng)
 {
+    // Guard before the (expensive) single-server search: with the
+    // config default of servers = 0 the first probe would otherwise
+    // divide by zero (RoundRobin) or underflow uniformInt's bounds
+    // (Random) deep inside the run.
+    WSC_ASSERT(servers >= 1, "empty cluster");
+
     ClusterScalingResult out;
     {
         Rng sub = rng.split();

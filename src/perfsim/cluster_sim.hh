@@ -13,7 +13,10 @@
  * Dispatch policies:
  *  - RoundRobin: perfect rotation (what DNS RR approximates),
  *  - Random: uniform random pick (what stateless hashing gives),
- *  - LeastOutstanding: fewest in-flight requests (an L7 balancer).
+ *  - LeastOutstanding: fewest in-flight requests (an L7 balancer),
+ *  - TwoChoices: least-loaded of two uniform draws (power of two
+ *    choices) — O(1) per arrival, within a whisker of the full scan's
+ *    balance, and the only affordable variant at ensemble scale.
  */
 
 #ifndef WSC_PERFSIM_CLUSTER_SIM_HH
@@ -36,7 +39,13 @@ namespace perfsim {
 enum class DispatchPolicy {
     RoundRobin,
     Random,
-    LeastOutstanding
+    /** Exact full scan for the fewest in-flight requests: O(N) per
+     * arrival. Kept as the exact-mode reference the bit-identity
+     * tests pin; use TwoChoices when N is large. */
+    LeastOutstanding,
+    /** Least-loaded of two independent uniform draws: O(1) per
+     * arrival with near-optimal imbalance (power of two choices). */
+    TwoChoices
 };
 
 std::string to_string(DispatchPolicy p);

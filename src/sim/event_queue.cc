@@ -69,7 +69,7 @@ EventQueue::releaseSlot(std::uint32_t slot)
 }
 
 EventId
-EventQueue::schedule(Time when, InlineAction action,
+EventQueue::schedule(Time when, InlineAction &&action,
                      std::uint64_t owner)
 {
     WSC_ASSERT(when >= now_, "event scheduled in the past: " << when
@@ -212,10 +212,20 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run(Time until)
 {
+    // Hand-fused skipStale + horizon check: one load of the heap top
+    // decides stale-pop, past-horizon, or dispatch. This loop is the
+    // hottest few instructions in the simulator, and the fused form
+    // avoids re-deriving heap.front() once per helper call.
     std::uint64_t n = 0;
-    while (true) {
-        skipStale();
-        if (heap.empty() || heap.front().when > until)
+    while (!heap.empty()) {
+        const Entry &top = heap.front();
+        if (!liveEntry(top)) {
+            std::pop_heap(heap.begin(), heap.end(), Later{});
+            heap.pop_back();
+            --stale_;
+            continue;
+        }
+        if (top.when > until)
             break;
         dispatchTop();
         ++n;

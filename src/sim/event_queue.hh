@@ -99,13 +99,18 @@ class EventQueue
      *     that server's id so a crash retires them in one pass.
      * @return id usable with cancel().
      * Scheduling in the past is a caller bug and panics.
+     *
+     * Takes the action by rvalue reference: callables still convert
+     * implicitly (the conversion materializes a temporary that binds
+     * here), but the 80-byte InlineAction is moved exactly once, into
+     * the slot pool, instead of through a by-value parameter first.
      */
-    EventId schedule(Time when, InlineAction action,
+    EventId schedule(Time when, InlineAction &&action,
                      std::uint64_t owner = 0);
 
     /** Schedule @p action @p delay seconds from now. */
     EventId
-    scheduleAfter(Time delay, InlineAction action,
+    scheduleAfter(Time delay, InlineAction &&action,
                   std::uint64_t owner = 0)
     {
         return schedule(now_ + delay, std::move(action), owner);

@@ -32,6 +32,7 @@
 #define WSC_SIM_INLINE_ACTION_HH
 
 #include <cstddef>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <new>
@@ -88,11 +89,12 @@ class InlineAction
     void
     reset()
     {
-        if (manage_) {
+        // manage_ == nullptr while engaged marks a trivially
+        // relocatable payload: nothing to destroy.
+        if (manage_)
             manage_(&storage_, nullptr);
-            manage_ = nullptr;
-            invoke_ = nullptr;
-        }
+        manage_ = nullptr;
+        invoke_ = nullptr;
     }
 
     /** True when a callable is held. */
@@ -124,12 +126,22 @@ class InlineAction
             ::new (static_cast<void *>(&storage_))
                 D(std::forward<F>(f));
             invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
-            manage_ = [](void *src, void *dst) {
-                D *s = static_cast<D *>(src);
-                if (dst)
-                    ::new (dst) D(std::move(*s));
-                s->~D();
-            };
+            // The DES hot-path closures (a context pointer, a handle,
+            // a few scalars) are trivially copyable and destructible;
+            // for those, moves are a plain storage copy and reset() a
+            // pointer clear, with no indirect manage_ call. Encoded as
+            // manage_ == nullptr while invoke_ is set.
+            if constexpr (std::is_trivially_copyable_v<D> &&
+                          std::is_trivially_destructible_v<D>) {
+                manage_ = nullptr;
+            } else {
+                manage_ = [](void *src, void *dst) {
+                    D *s = static_cast<D *>(src);
+                    if (dst)
+                        ::new (dst) D(std::move(*s));
+                    s->~D();
+                };
+            }
         } else {
             // Escape hatch: one heap allocation, thunk stored inline.
             construct([owned = std::make_unique<D>(
@@ -140,13 +152,18 @@ class InlineAction
     void
     moveFrom(InlineAction &other) noexcept
     {
-        if (other.manage_) {
+        if (!other.invoke_)
+            return;
+        if (other.manage_)
             other.manage_(&other.storage_, &storage_);
-            invoke_ = other.invoke_;
-            manage_ = other.manage_;
-            other.invoke_ = nullptr;
-            other.manage_ = nullptr;
-        }
+        else
+            // Trivially relocatable payload: size is unknown here, so
+            // copy the whole (aligned, fixed-size) storage block.
+            std::memcpy(&storage_, &other.storage_, kInlineBytes);
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
     }
 
     alignas(std::max_align_t) unsigned char storage_[kInlineBytes];

@@ -1,0 +1,120 @@
+#include "sim/sharded_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace sim {
+
+ShardedEventQueue::ShardedEventQueue(unsigned lanes, unsigned shards)
+{
+    WSC_ASSERT(lanes >= 1, "need at least one lane");
+    shards = std::max(1u, std::min(shards, lanes));
+    queues_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        queues_.push_back(std::make_unique<EventQueue>());
+    laneShard_.resize(lanes);
+    for (unsigned l = 0; l < lanes; ++l)
+        laneShard_[l] =
+            unsigned(std::uint64_t(l) * shards / lanes);
+    outbox_.resize(std::size_t(lanes) * lanes);
+}
+
+void
+ShardedEventQueue::post(unsigned srcLane, unsigned dstLane, Time when,
+                        InlineAction &&action)
+{
+    WSC_ASSERT(srcLane < lanes() && dstLane < lanes(),
+               "lane out of range");
+    // A message landing inside the current window would arrive at a
+    // shard that may already have advanced past it: the send delay
+    // must cover the lookahead.
+    WSC_ASSERT(when >= windowEnd_,
+               "cross-lane post inside the lookahead window");
+    outbox_[std::size_t(srcLane) * lanes() + dstLane].push_back(
+        {when, std::move(action)});
+}
+
+ShardedEventQueue::RunStats
+ShardedEventQueue::run(Time until, Time lookahead, ThreadPool *pool,
+                       const BarrierFn &onBarrier)
+{
+    WSC_ASSERT(lookahead > 0.0, "lookahead must be positive");
+    RunStats stats;
+    const unsigned nShards = shards();
+    const unsigned nLanes = lanes();
+    std::uint64_t dispatchedBefore = 0;
+    for (auto &q : queues_)
+        dispatchedBefore += q->dispatched();
+    Time t = windowStart_;
+    while (t < until) {
+        Time end = std::min(t + lookahead, until);
+        windowEnd_ = end;
+
+        // Advance every shard to the common horizon. Even one shard
+        // runs through this same windowed loop so message-delivery
+        // seq numbers interleave identically at every shard count.
+        if (nShards == 1 || pool == nullptr) {
+            for (unsigned s = 0; s < nShards; ++s)
+                queues_[s]->run(end);
+        } else {
+            // Shards write only their own queue and their own lanes'
+            // outbox rows, so the window needs no locking.
+            parallelFor(
+                nShards,
+                [&](std::size_t s) { queues_[s]->run(end); }, pool);
+        }
+
+        // Barrier: deliver cross-lane messages in (dst, src, send)
+        // order — a function of the lane grid only, so the dst
+        // queue's FIFO tie-breaks cannot depend on the shard count.
+        for (unsigned dst = 0; dst < nLanes; ++dst) {
+            for (unsigned src = 0; src < nLanes; ++src) {
+                auto &box =
+                    outbox_[std::size_t(src) * nLanes + dst];
+                for (Msg &m : box) {
+                    laneQueue(dst).schedule(m.when,
+                                            std::move(m.action));
+                    ++stats.messages;
+                }
+                box.clear();
+            }
+        }
+
+        windowStart_ = t = end;
+        ++stats.windows;
+        if (onBarrier)
+            onBarrier(end);
+    }
+    std::uint64_t dispatchedAfter = 0;
+    for (auto &q : queues_)
+        dispatchedAfter += q->dispatched();
+    stats.dispatched = dispatchedAfter - dispatchedBefore;
+    return stats;
+}
+
+void
+ShardedEventQueue::reserve(std::size_t eventsPerShard)
+{
+    for (auto &q : queues_)
+        q->reserve(eventsPerShard);
+}
+
+EventQueue::Counters
+ShardedEventQueue::counters() const
+{
+    EventQueue::Counters sum;
+    for (auto &q : queues_) {
+        const auto &c = q->counters();
+        sum.scheduled += c.scheduled;
+        sum.dispatched += c.dispatched;
+        sum.cancelled += c.cancelled;
+        sum.compactions += c.compactions;
+        sum.peakHeap = std::max(sum.peakHeap, c.peakHeap);
+    }
+    return sum;
+}
+
+} // namespace sim
+} // namespace wsc

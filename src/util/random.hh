@@ -9,6 +9,7 @@
 #ifndef WSC_UTIL_RANDOM_HH
 #define WSC_UTIL_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -157,6 +158,30 @@ class SplitMix64
     uniform()
     {
         return double(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Uniform integer in [0, n), n >= 1, via Lemire's multiply-shift
+     * reduction: one 64x64->128 multiply instead of the division (or
+     * rejection loop) std::uniform_int_distribution performs. The
+     * modulo bias is bounded by n / 2^64 -- immaterial against the
+     * list sizes simulations index with -- which is the same
+     * same-law-not-bit-identical trade the class contract states.
+     */
+    std::uint64_t
+    pick(std::uint64_t n)
+    {
+        using u128 = unsigned __int128;
+        return std::uint64_t((u128(nextU64()) * u128(n)) >> 64);
+    }
+
+    /** Exponentially distributed double with the given mean, by
+     * inversion. log1p(-u) keeps precision for small draws and never
+     * sees log(0) since uniform() < 1. */
+    double
+    exponential(double mean)
+    {
+        return -std::log1p(-uniform()) * mean;
     }
 
   private:

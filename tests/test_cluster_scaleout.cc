@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/cluster.hh"
 #include "core/diurnal.hh"
 #include "core/scaleout.hh"
@@ -170,6 +172,43 @@ TEST(Diurnal, SavingsGrowWithEnergyProportionality)
         dailyEnergy(profile, PowerPolicy::PowerOff, proportional);
     EXPECT_GT(off_leaky.savingsVsAlwaysOn,
               off_prop.savingsVsAlwaysOn);
+}
+
+TEST(Diurnal, ZeroLoadHoursKeepOnlyReserveOn)
+{
+    // Regression: a dead-of-night trough of exactly 0 used to trip
+    // the load > 0 assert. With nothing busy, PowerOff must keep just
+    // the reserve margin idling while the other policies degrade to
+    // their whole-fleet idle floor.
+    EnsembleEnergyParams params;
+    DiurnalProfile dark;
+    dark.hourly.fill(0.0);
+
+    auto on = dailyEnergy(dark, PowerPolicy::AlwaysOn, params);
+    auto cons = dailyEnergy(dark, PowerPolicy::ConsolidateIdle, params);
+    auto off = dailyEnergy(dark, PowerPolicy::PowerOff, params);
+
+    // AlwaysOn and ConsolidateIdle both leave the whole fleet idling.
+    EXPECT_DOUBLE_EQ(on.kWhPerDay, cons.kWhPerDay);
+    // PowerOff keeps ceil(reserveMargin * servers) of them.
+    EXPECT_NEAR(off.kWhPerDay,
+                params.reserveMargin * cons.kWhPerDay, 1e-9);
+    EXPECT_DOUBLE_EQ(off.meanActiveServers,
+                     std::ceil(params.reserveMargin *
+                               double(params.servers)));
+    EXPECT_GT(off.kWhPerDay, 0.0);
+}
+
+TEST(Diurnal, SingleZeroHourAccepted)
+{
+    // A profile that dips to zero for one hour runs end to end and
+    // costs strictly less than the same profile with that hour busy.
+    EnsembleEnergyParams params;
+    auto profile = DiurnalProfile::internetService();
+    auto busy = dailyEnergy(profile, PowerPolicy::PowerOff, params);
+    profile.hourly[4] = 0.0;
+    auto dipped = dailyEnergy(profile, PowerPolicy::PowerOff, params);
+    EXPECT_LT(dipped.kWhPerDay, busy.kWhPerDay);
 }
 
 TEST(Diurnal, PolicyNames)

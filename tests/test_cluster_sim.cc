@@ -42,7 +42,8 @@ TEST(ClusterSim, LowLoadPassesOnAllPolicies)
     auto st = stations();
     for (auto policy :
          {DispatchPolicy::RoundRobin, DispatchPolicy::Random,
-          DispatchPolicy::LeastOutstanding}) {
+          DispatchPolicy::LeastOutstanding,
+          DispatchPolicy::TwoChoices}) {
         Rng rng(41);
         auto r = simulateCluster(yt, st, 4, policy, 40.0, fastWindow(),
                                  rng);
@@ -131,6 +132,63 @@ TEST(ClusterSim, InvalidArgsPanic)
     EXPECT_THROW(simulateCluster(yt, st, 2, DispatchPolicy::RoundRobin,
                                  0.0, fastWindow(), rng),
                  PanicError);
+}
+
+TEST(ClusterSim, ScalingSearchRejectsEmptyClusterEarly)
+{
+    // Regression: the servers == 0 config default used to survive all
+    // the way into pick(), dividing by zero (RoundRobin) or
+    // underflowing uniformInt's bounds (Random), and only after the
+    // expensive single-server search had already run. The entry
+    // assert must fire immediately.
+    workloads::Ytube yt;
+    auto st = stations();
+    SearchParams sp;
+    sp.iterations = 2;
+    sp.window = fastWindow();
+    Rng rng(48);
+    EXPECT_THROW(measureClusterScaling(
+                     yt, st, 0, DispatchPolicy::RoundRobin, sp, rng),
+                 PanicError);
+}
+
+TEST(ClusterSim, TwoChoicesTracksLeastOutstanding)
+{
+    // Power of two choices should land within a whisker of the exact
+    // full scan at this scale while doing O(1) work per arrival.
+    workloads::Ytube yt;
+    auto st = stations();
+    SearchParams sp;
+    sp.iterations = 5;
+    sp.window = fastWindow();
+    Rng r1(49), r2(49);
+    auto lo = measureClusterScaling(
+        yt, st, 4, DispatchPolicy::LeastOutstanding, sp, r1);
+    auto p2c = measureClusterScaling(
+        yt, st, 4, DispatchPolicy::TwoChoices, sp, r2);
+    EXPECT_GT(p2c.scalingEfficiency, 0.8);
+    EXPECT_LE(p2c.scalingEfficiency, lo.scalingEfficiency + 0.08);
+}
+
+TEST(ClusterSim, TwoChoicesDeterministic)
+{
+    workloads::Ytube yt;
+    auto st = stations();
+    Rng r1(50), r2(50);
+    auto a = simulateCluster(yt, st, 6, DispatchPolicy::TwoChoices,
+                             120.0, fastWindow(), r1);
+    auto b = simulateCluster(yt, st, 6, DispatchPolicy::TwoChoices,
+                             120.0, fastWindow(), r2);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_DOUBLE_EQ(a.qosViolationFraction, b.qosViolationFraction);
+}
+
+TEST(ClusterSim, DispatchPolicyNames)
+{
+    EXPECT_EQ(to_string(DispatchPolicy::LeastOutstanding),
+              "least-outstanding");
+    EXPECT_EQ(to_string(DispatchPolicy::TwoChoices), "two-choices");
 }
 
 } // namespace

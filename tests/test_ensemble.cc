@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Ensemble-DES tests: the sharded-queue determinism contract
+ * (byte-identical reports at 1/2/8 shards and across worker counts),
+ * sleep-state wake-latency accounting, MMPP burst rates, power-cap
+ * clamping, zero-load hours, the policy energy ordering, and config
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.hh"
+#include "obs/run_report.hh"
+#include "perfsim/ensemble_sim.hh"
+#include "util/logging.hh"
+
+using namespace wsc;
+using namespace wsc::perfsim;
+
+namespace {
+
+std::array<double, 24>
+internetProfile()
+{
+    return core::DiurnalProfile::internetService().hourly;
+}
+
+/** Shared base config: small enough to run in seconds, busy enough to
+ * exercise spills, wakes, and the hour-boundary control plane. */
+EnsembleConfig
+baseConfig()
+{
+    EnsembleConfig cfg;
+    cfg.servers = 2000;
+    cfg.cells = 8;
+    cfg.hours = 24;
+    cfg.secondsPerHour = 2.0;
+    cfg.profile = internetProfile();
+    cfg.policy = EnsemblePolicy::PowerOff;
+    cfg.mmpp.enabled = true;
+    // Compressed-timescale transition latencies (a real 30 s boot
+    // would span 15 compressed hours).
+    cfg.power.bootSeconds = 1.0;
+    cfg.power.sleepWakeSeconds = 0.25;
+    cfg.power.idleToSleepSeconds = 0.5;
+    return cfg;
+}
+
+/** The identity serialization the determinism contract is stated
+ * over: the ensemble.* report section without wall-clock fields. */
+std::string
+identityJson(const EnsembleResult &r)
+{
+    core::EnsemblePolicyOutcome o;
+    o.measured = r;
+    obs::ReportOptions opts;
+    opts.includeTimings = false;
+    return obs::toJson(core::ensembleReport(o), opts);
+}
+
+} // namespace
+
+// The ISSUE acceptance bar: >= 10,000 servers over 24 simulated hours,
+// byte-identical ensemble.* JSON at 1, 2, and 8 shards.
+TEST(Ensemble, BitIdenticalAcrossShardCounts)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 10000;
+    cfg.cells = 16;
+
+    std::string ref;
+    for (unsigned shards : {1u, 2u, 8u}) {
+        cfg.shards = shards;
+        auto r = runEnsemble(cfg);
+        EXPECT_EQ(r.servers, 10000u);
+        EXPECT_EQ(r.hours, 24u);
+        EXPECT_GT(r.offered, 0u);
+        std::string json = identityJson(r);
+        if (ref.empty())
+            ref = json;
+        else
+            EXPECT_EQ(json, ref) << "shards=" << shards;
+    }
+}
+
+// Worker threads are an execution knob like shards: a multi-threaded
+// run must reproduce the serial bytes. (This test is the TSan probe
+// for the sharded queue's barrier protocol.)
+TEST(Ensemble, BitIdenticalAcrossWorkerCounts)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.shards = 4;
+
+    cfg.workers = 1;
+    std::string serial = identityJson(runEnsemble(cfg));
+    cfg.workers = 2;
+    EXPECT_EQ(identityJson(runEnsemble(cfg)), serial);
+    cfg.workers = 0; // min(shards, hardware)
+    EXPECT_EQ(identityJson(runEnsemble(cfg)), serial);
+}
+
+// Wake-up latency is the cost consolidation pays: the same fleet with
+// a slow suspend->serving transition must complete jobs slower than
+// one with a near-free transition, and the governor must actually be
+// putting servers to sleep for that to show.
+TEST(Ensemble, WakeLatencyShowsUpInRequestLatency)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.policy = EnsemblePolicy::ConsolidateIdle;
+    cfg.mmpp.enabled = false;
+    cfg.peakUtilization = 0.3; // plenty of idle time to sleep through
+
+    cfg.power.sleepWakeSeconds = 1.0;
+    auto slow = runEnsemble(cfg);
+    cfg.power.sleepWakeSeconds = 1e-3;
+    auto fast = runEnsemble(cfg);
+
+    EXPECT_GT(slow.wakes, 100u);
+    EXPECT_GT(fast.wakes, 100u);
+    EXPECT_GT(slow.meanLatency, fast.meanLatency + 0.01);
+    EXPECT_GT(slow.p99, fast.p99);
+    // Waking time is accounted as its own state, not hidden.
+    EXPECT_GT(slow.stateFractions[std::size_t(ServerState::Waking)],
+              fast.stateFractions[std::size_t(ServerState::Waking)]);
+}
+
+// With equal calm/burst dwells and multiplier m, the MMPP's long-run
+// arrival rate is (1 + m) / 2 times the base rate.
+TEST(Ensemble, MmppBurstsRaiseOfferedLoad)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.policy = EnsemblePolicy::AlwaysOn;
+    cfg.secondsPerHour = 4.0;
+    cfg.profile = flatHourlyProfile();
+    cfg.peakUtilization = 0.3; // headroom so bursts aren't clipped
+
+    cfg.mmpp.enabled = false;
+    auto calm = runEnsemble(cfg);
+
+    cfg.mmpp.enabled = true;
+    cfg.mmpp.burstMultiplier = 3.0;
+    cfg.mmpp.calmMeanSeconds = 2.0;
+    cfg.mmpp.burstMeanSeconds = 2.0;
+    auto bursty = runEnsemble(cfg);
+
+    double ratio = double(bursty.offered) / double(calm.offered);
+    EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+// Dead-of-night troughs are legitimate input (the satellite-2 class of
+// bug): zero-load hours must neither crash nor poison the accounting.
+TEST(Ensemble, ZeroLoadHoursRunClean)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 400;
+    cfg.cells = 4;
+    cfg.profile.fill(0.0);
+    cfg.profile[12] = 0.8; // single busy hour mid-day
+
+    auto r = runEnsemble(cfg);
+    EXPECT_GT(r.offered, 0u);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_GT(r.kWhPerDay, 0.0);
+    ASSERT_EQ(r.hourKWh.size(), 24u);
+    EXPECT_GT(r.hourKWh[12], r.hourKWh[3]);
+
+    // The degenerate all-zero day: nothing offered, attainment is
+    // vacuously perfect, the fleet still burns floor power.
+    cfg.profile.fill(0.0);
+    auto dark = runEnsemble(cfg);
+    EXPECT_EQ(dark.offered, 0u);
+    EXPECT_DOUBLE_EQ(dark.qosAttainment, 1.0);
+    EXPECT_GT(dark.kWhPerDay, 0.0);
+}
+
+// The ensemble power cap clamps the autoscaler's awake target and
+// records every hour it bound.
+TEST(Ensemble, PowerCapClampsAutoscaler)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 1000;
+    cfg.mmpp.enabled = false;
+
+    auto uncapped = runEnsemble(cfg);
+    EXPECT_EQ(uncapped.capClamps, 0u);
+
+    // Cap at roughly half the fleet's busy draw.
+    cfg.powerCapWatts = 0.5 * cfg.servers * cfg.power.busyWatts;
+    auto capped = runEnsemble(cfg);
+    EXPECT_GT(capped.capClamps, 0u);
+    EXPECT_LT(capped.meanAwakeServers, uncapped.meanAwakeServers);
+    EXPECT_LT(capped.kWhPerDay, uncapped.kWhPerDay);
+    EXPECT_LT(capped.qosAttainment, uncapped.qosAttainment);
+}
+
+// The core coupling: all three policies ride the bit-identical arrival
+// process, energy orders PowerOff < ConsolidateIdle < AlwaysOn on a
+// diurnal profile, and the ranking is sorted by score.
+TEST(Ensemble, PolicyRankingOrdersEnergy)
+{
+    core::EnsembleEvalParams ep;
+    ep.energy.servers = 1000;
+    ep.cells = 8;
+    ep.secondsPerHour = 2.0;
+    ep.sleepWakeSeconds = 0.25;
+    ep.bootSeconds = 1.0;
+    ep.idleToSleepSeconds = 0.5;
+
+    auto ranked = core::rankEnsemblePolicies(
+        core::DiurnalProfile::internetService(), ep);
+    ASSERT_EQ(ranked.size(), 3u);
+
+    double kwh[3] = {};
+    std::uint64_t offered[3] = {};
+    for (const auto &o : ranked) {
+        auto i = std::size_t(ensemblePolicy(o.policy));
+        kwh[i] = o.measured.kWhPerDay;
+        offered[i] = o.measured.offered;
+        EXPECT_GT(o.analytical.kWhPerDay, 0.0);
+        EXPECT_GT(o.measured.qosAttainment, 0.9);
+    }
+    EXPECT_EQ(offered[0], offered[1]);
+    EXPECT_EQ(offered[1], offered[2]);
+    using P = EnsemblePolicy;
+    EXPECT_LT(kwh[std::size_t(P::PowerOff)],
+              kwh[std::size_t(P::ConsolidateIdle)]);
+    EXPECT_LT(kwh[std::size_t(P::ConsolidateIdle)],
+              kwh[std::size_t(P::AlwaysOn)]);
+    EXPECT_LE(ranked[0].measured.score, ranked[1].measured.score);
+    EXPECT_LE(ranked[1].measured.score, ranked[2].measured.score);
+}
+
+// Report shape: state fractions partition server-time, hour arrays
+// span the day, and the JSON section carries the policy name.
+TEST(Ensemble, ReportAccountingCloses)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 500;
+    auto r = runEnsemble(cfg);
+
+    double sum = 0.0;
+    for (double f : r.stateFractions)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    double hourSum = 0.0;
+    for (double h : r.hourKWh)
+        hourSum += h;
+    EXPECT_NEAR(hourSum, r.kWhPerDay, 1e-6 * r.kWhPerDay);
+
+    core::EnsemblePolicyOutcome o;
+    o.policy = core::PowerPolicy::PowerOff;
+    o.measured = r;
+    std::string json = obs::toJson(core::ensembleReport(o));
+    EXPECT_NE(json.find("\"policy\": \"power-off\""), std::string::npos);
+    EXPECT_NE(json.find("\"state_fractions\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+    obs::ReportOptions noTimings;
+    noTimings.includeTimings = false;
+    std::string id = obs::toJson(core::ensembleReport(o), noTimings);
+    EXPECT_EQ(id.find("\"wall_seconds\""), std::string::npos);
+}
+
+TEST(Ensemble, RejectsDegenerateConfigs)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 0;
+    EXPECT_THROW(runEnsemble(cfg), PanicError);
+
+    cfg = baseConfig();
+    cfg.profile[7] = 1.5;
+    EXPECT_THROW(runEnsemble(cfg), PanicError);
+
+    cfg = baseConfig();
+    cfg.secondsPerHour = 0.0;
+    EXPECT_THROW(runEnsemble(cfg), PanicError);
+
+    cfg = baseConfig();
+    cfg.cells = 0;
+    EXPECT_THROW(runEnsemble(cfg), PanicError);
+}

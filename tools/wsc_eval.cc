@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/design.hh"
+#include "core/ensemble.hh"
 #include "core/evaluator.hh"
 #include "core/report.hh"
 #include "core/sweep_report.hh"
@@ -159,6 +160,34 @@ main(int argc, char **argv)
         .addOption("avail-benchmark",
                    "interactive benchmark driving the availability runs",
                    "websearch")
+        .addFlag("ensemble",
+                 "run the warehouse-scale ensemble DES: rank the "
+                 "diurnal power policies by measured energy x QoS")
+        .addOption("ensemble-servers",
+                   "fleet size for the ensemble runs", "10000")
+        .addOption("ensemble-cells",
+                   "dispatch cells (model topology)", "16")
+        .addOption("ensemble-shards",
+                   "event-queue shards (execution knob; results are "
+                   "bit-identical across shard counts)",
+                   "1")
+        .addOption("ensemble-workers",
+                   "threads executing the shards (0 = min(shards, "
+                   "hardware))",
+                   "1")
+        .addOption("ensemble-hours", "simulated hours", "24")
+        .addOption("ensemble-seconds-per-hour",
+                   "duty-cycle compression: simulated seconds per "
+                   "modeled hour",
+                   "5")
+        .addOption("ensemble-profile",
+                   "hourly load shape: internet-service|flat",
+                   "internet-service")
+        .addOption("ensemble-power-cap",
+                   "ensemble power cap, watts (0 = uncapped)", "0")
+        .addOption("ensemble-seed", "ensemble RNG seed", "1")
+        .addFlag("ensemble-mmpp",
+                 "enable MMPP flash-crowd bursts in the ensemble runs")
         .addFlag("trace",
                  "count kernel trace records and summarize on stderr")
         .addFlag("fast-mode",
@@ -303,6 +332,83 @@ main(int argc, char **argv)
                 at.print(std::cout);
         }
 
+        std::vector<obs::EnsembleReport> ensembleEntries;
+        if (args.flag("ensemble")) {
+            EnsembleEvalParams ep;
+            double eServers = args.getDouble("ensemble-servers");
+            if (eServers < 1 || eServers > 1e6)
+                fatal("--ensemble-servers must be in [1, 1e6]");
+            ep.energy.servers = unsigned(eServers);
+            // Price both models off the evaluated design's server.
+            ep.energy.wattsPerServer = design.server.totalWatts();
+            ep.energy.activityFactor = params.burden.activityFactor;
+            double eCells = args.getDouble("ensemble-cells");
+            if (eCells < 1 || eCells > 4096)
+                fatal("--ensemble-cells must be in [1, 4096]");
+            ep.cells = unsigned(eCells);
+            double eShards = args.getDouble("ensemble-shards");
+            if (eShards < 1 || eShards > 4096)
+                fatal("--ensemble-shards must be in [1, 4096]");
+            ep.shards = unsigned(eShards);
+            double eWorkers = args.getDouble("ensemble-workers");
+            if (eWorkers < 0 || eWorkers > 4096)
+                fatal("--ensemble-workers must be in [0, 4096]");
+            ep.workers = unsigned(eWorkers);
+            double eHours = args.getDouble("ensemble-hours");
+            if (eHours < 1 || eHours > 24)
+                fatal("--ensemble-hours must be in [1, 24]");
+            ep.hours = unsigned(eHours);
+            ep.secondsPerHour =
+                args.getDouble("ensemble-seconds-per-hour");
+            if (ep.secondsPerHour <= 0.0)
+                fatal("--ensemble-seconds-per-hour must be positive");
+            ep.powerCapWatts = args.getDouble("ensemble-power-cap");
+            if (ep.powerCapWatts < 0.0)
+                fatal("--ensemble-power-cap must be >= 0");
+            double eSeed = args.getDouble("ensemble-seed");
+            if (eSeed < 0)
+                fatal("--ensemble-seed must be >= 0");
+            ep.seed = std::uint64_t(eSeed);
+            ep.mmpp.enabled = args.flag("ensemble-mmpp");
+
+            std::string shape = args.get("ensemble-profile");
+            DiurnalProfile profile;
+            if (shape == "internet-service")
+                profile = DiurnalProfile::internetService();
+            else if (shape == "flat")
+                profile = DiurnalProfile::flat();
+            else
+                fatal("unknown ensemble profile '" + shape +
+                      "' (internet-service|flat)");
+
+            auto ranked = rankEnsemblePolicies(profile, ep);
+
+            Table et({"Policy", "kWh/day", "Analytic kWh", "Mean awake",
+                      "QoS attain %", "p95 s", "Wakes", "Boots",
+                      "Score"});
+            for (const auto &o : ranked) {
+                const auto &m = o.measured;
+                et.addRow({to_string(o.policy), fmtF(m.kWhPerDay, 1),
+                           fmtF(o.analytical.kWhPerDay, 1),
+                           fmtF(m.meanAwakeServers, 1),
+                           fmtF(100.0 * m.qosAttainment, 2),
+                           fmtF(m.p95, 3), fmtF(double(m.wakes), 0),
+                           fmtF(double(m.boots), 0),
+                           fmtF(m.score, 1)});
+                ensembleEntries.push_back(ensembleReport(o));
+            }
+            std::cout << "\nEnsemble policy ranking ("
+                      << ep.energy.servers << " servers, " << ep.cells
+                      << " cells, " << ep.hours << " h x "
+                      << ep.secondsPerHour << " s, profile=" << shape
+                      << (ep.mmpp.enabled ? ", mmpp" : "")
+                      << "; score = kWh / attainment, lower wins):\n\n";
+            if (args.flag("csv"))
+                et.printCsv(std::cout);
+            else
+                et.print(std::cout);
+        }
+
         if (args.flag("trace")) {
             using Kind = sim::EventQueue::TraceRecord::Kind;
             std::cerr << "trace: scheduled="
@@ -319,6 +425,7 @@ main(int argc, char **argv)
             auto report = buildSweepReport(evaluator, cells, "wsc_eval",
                                            std::uint64_t(threads));
             report.avail = availEntries;
+            report.ensemble = ensembleEntries;
             if (args.flag("fast-mode"))
                 report.fastMode = sim::FastModeConfig::contractVersion();
             std::ofstream out(report_path);
