@@ -116,17 +116,28 @@ evaluateFlashCache(workloads::Benchmark b, const FlashSpec &spec,
                    std::uint64_t accesses,
                    double diskReadBytesPerSecond, std::uint64_t seed)
 {
+    return evaluateFlashCachePolicy(b, spec, accesses,
+                                    diskReadBytesPerSecond,
+                                    memblade::PolicyKind::Lru, seed);
+}
+
+FlashCacheOutcome
+evaluateFlashCachePolicy(workloads::Benchmark b, const FlashSpec &spec,
+                         std::uint64_t accesses,
+                         double diskReadBytesPerSecond,
+                         memblade::PolicyKind kind, std::uint64_t seed)
+{
     WSC_ASSERT(accesses >= 2, "need at least two accesses");
     auto profile = ioProfileFor(b);
     memblade::TraceGenerator gen(profile, Rng(seed));
 
-    // Warm up on the first half; measure the second half. FlashCache
-    // is LRU with read-allocate, so the batched LRU kernel replays it
-    // exactly; the old per-iteration lookup counter is gone (it was
-    // always accesses - warm).
-    auto w = memblade::replayWindowed(
-        gen, memblade::PolicyKind::Lru, flashFrames(spec),
-        profile.footprintPages, accesses, accesses / 2, Rng(seed));
+    // Warm up on the first half; measure the second half. FlashCache's
+    // native policy is LRU with read-allocate, which the batched LRU
+    // kernel replays exactly; the zoo policies model replacing the
+    // device's front-end policy wholesale.
+    auto w = memblade::replayWindowed(gen, kind, flashFrames(spec),
+                                      profile.footprintPages, accesses,
+                                      accesses / 2, Rng(seed));
     return outcomeFrom(spec, w.total.misses, w.measured.hits,
                        w.measured.accesses, diskReadBytesPerSecond);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "flashcache/flash_cache.hh"
+#include "memblade/replacement.hh"
 #include "memblade/trace.hh"
 #include "workloads/suite.hh"
 
@@ -50,6 +51,16 @@ FlashCacheOutcome evaluateFlashCache(workloads::Benchmark b,
                                      std::uint64_t accesses,
                                      double diskReadBytesPerSecond,
                                      std::uint64_t seed);
+
+/**
+ * evaluateFlashCache generalized over the replacement-policy zoo: the
+ * flash front runs @p kind instead of the device's native LRU.
+ * PolicyKind::Lru reproduces evaluateFlashCache bit for bit.
+ */
+FlashCacheOutcome evaluateFlashCachePolicy(
+    workloads::Benchmark b, const FlashSpec &spec,
+    std::uint64_t accesses, double diskReadBytesPerSecond,
+    memblade::PolicyKind kind, std::uint64_t seed);
 
 /**
  * Evaluate one benchmark at every flash capacity in @p specs from a

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "memblade/policy_zoo.hh"
 #include "memblade/replay.hh"
 #include "util/logging.hh"
 
@@ -12,10 +13,11 @@ namespace {
 
 constexpr std::size_t kChunk = 4096;
 
-template <typename Kernel>
+template <typename LocalKernel, typename DramKernel>
 HybridStats
-hybridLoop(Kernel &local, Kernel &dram_tier, TraceGenerator &gen,
-           std::uint64_t accesses, std::uint64_t pageBound)
+hybridLoop(LocalKernel &local, DramKernel &dram_tier,
+           TraceGenerator &gen, std::uint64_t accesses,
+           std::uint64_t pageBound)
 {
     HybridStats out;
     ColdTracker seen(pageBound);
@@ -81,24 +83,18 @@ replayHybrid(const TraceProfile &profile, double localFraction,
     TraceGenerator gen(profile, rng.split());
 
     std::uint64_t bound = profile.footprintPages;
-    switch (kind) {
-      case PolicyKind::Lru: {
-        LruKernel local(local_frames, bound);
-        LruKernel dram_tier(dram_frames, bound);
-        return hybridLoop(local, dram_tier, gen, accesses, bound);
-      }
-      case PolicyKind::Random: {
-        RandomKernel local(local_frames, local_rng, bound);
-        RandomKernel dram_tier(dram_frames, dram_rng, bound);
-        return hybridLoop(local, dram_tier, gen, accesses, bound);
-      }
-      case PolicyKind::Clock: {
-        ClockKernel local(local_frames, bound);
-        ClockKernel dram_tier(dram_frames, bound);
-        return hybridLoop(local, dram_tier, gen, accesses, bound);
-      }
-    }
-    panic("unknown policy kind");
+    // Both tiers run the same policy kind; the nested dispatch keeps
+    // the kernel construction order (local, then DRAM tier) identical
+    // to the original switch so Random stays bit-identical.
+    return withPolicyKernel(
+        kind, local_frames, bound, local_rng, [&](auto &local) {
+            return withPolicyKernel(
+                kind, dram_frames, bound, dram_rng,
+                [&](auto &dram_tier) {
+                    return hybridLoop(local, dram_tier, gen, accesses,
+                                      bound);
+                });
+        });
 }
 
 double

@@ -1,0 +1,643 @@
+#include "memblade/policy_zoo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wsc {
+namespace memblade {
+
+// --------------------------------------------------------------------
+// ARC reference
+// --------------------------------------------------------------------
+
+ArcPolicy::ArcPolicy(std::size_t frames) : c(frames)
+{
+    WSC_ASSERT(frames > 0, "ARC needs at least one frame");
+}
+
+std::list<PageId> &
+ArcPolicy::listOf(List l)
+{
+    switch (l) {
+      case T1:
+        return t1;
+      case T2:
+        return t2;
+      case B1:
+        return b1;
+      case B2:
+        return b2;
+    }
+    panic("unknown ARC list");
+}
+
+void
+ArcPolicy::replace(bool inB2)
+{
+    // Demote the T1 LRU when T1 exceeds its target (or sits exactly on
+    // it after a B2 ghost hit), else the T2 LRU. The empty-side guard
+    // is mirrored verbatim in ArcKernel::replace.
+    bool fromT1 = !t1.empty() && (t1.size() > target ||
+                                  (inB2 && t1.size() == target));
+    if (!fromT1 && t2.empty())
+        fromT1 = !t1.empty();
+    if (fromT1) {
+        PageId victim = t1.back();
+        t1.pop_back();
+        b1.push_front(victim);
+        map[victim] = Where{B1, b1.begin()};
+    } else if (!t2.empty()) {
+        PageId victim = t2.back();
+        t2.pop_back();
+        b2.push_front(victim);
+        map[victim] = Where{B2, b2.begin()};
+    }
+}
+
+bool
+ArcPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        Where &w = it->second;
+        if (w.list == T1 || w.list == T2) {
+            listOf(w.list).erase(w.it);
+            t2.push_front(page);
+            w = Where{T2, t2.begin()};
+            return true;
+        }
+        if (w.list == B1) {
+            auto d = std::max<std::size_t>(1, b2.size() / b1.size());
+            target = std::min(c, target + d);
+            replace(false);
+            b1.erase(it->second.it);
+            t2.push_front(page);
+            map[page] = Where{T2, t2.begin()};
+            return false;
+        }
+        // B2 ghost hit.
+        auto d = std::max<std::size_t>(1, b1.size() / b2.size());
+        target -= std::min(target, d);
+        replace(true);
+        b2.erase(it->second.it);
+        t2.push_front(page);
+        map[page] = Where{T2, t2.begin()};
+        return false;
+    }
+
+    // Brand-new page (case IV of the ARC pseudocode).
+    std::size_t l1 = t1.size() + b1.size();
+    std::size_t total = l1 + t2.size() + b2.size();
+    if (l1 == c) {
+        if (t1.size() < c) {
+            PageId lru = b1.back();
+            b1.pop_back();
+            map.erase(lru);
+            replace(false);
+        } else {
+            PageId lru = t1.back();
+            t1.pop_back();
+            map.erase(lru);
+        }
+    } else if (total >= c) {
+        if (total == 2 * c && !b2.empty()) {
+            PageId lru = b2.back();
+            b2.pop_back();
+            map.erase(lru);
+        }
+        replace(false);
+    }
+    t1.push_front(page);
+    map[page] = Where{T1, t1.begin()};
+    return false;
+}
+
+// --------------------------------------------------------------------
+// SLRU reference
+// --------------------------------------------------------------------
+
+SlruPolicy::SlruPolicy(std::size_t frames)
+{
+    WSC_ASSERT(frames > 0, "SLRU needs at least one frame");
+    protCap = frames >= 2 ? frames / 2 : 0;
+    probCap = frames - protCap;
+}
+
+bool
+SlruPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        Where &w = it->second;
+        if (w.isProtected) {
+            prot.splice(prot.begin(), prot, w.it);
+            return true;
+        }
+        // Probationary hit: promote, demoting the protected LRU back
+        // when the segment overflows.
+        prob.erase(w.it);
+        prot.push_front(page);
+        map[page] = Where{true, prot.begin()};
+        if (prot.size() > protCap) {
+            PageId demoted = prot.back();
+            prot.pop_back();
+            prob.push_front(demoted);
+            map[demoted] = Where{false, prob.begin()};
+        }
+        return true;
+    }
+    // Miss: evict the probationary LRU first so the segment never
+    // overflows (mirrored in SlruKernel).
+    if (prob.size() == probCap) {
+        PageId victim = prob.back();
+        prob.pop_back();
+        map.erase(victim);
+    }
+    prob.push_front(page);
+    map[page] = Where{false, prob.begin()};
+    return false;
+}
+
+// --------------------------------------------------------------------
+// 2Q reference
+// --------------------------------------------------------------------
+
+TwoQPolicy::TwoQPolicy(std::size_t frames) : frames(frames)
+{
+    WSC_ASSERT(frames > 0, "2Q needs at least one frame");
+    kin = std::max<std::size_t>(1, frames / 4);
+    kout = std::max<std::size_t>(1, frames / 2);
+}
+
+void
+TwoQPolicy::reclaimFor()
+{
+    if (a1in.size() + am.size() < frames)
+        return;
+    if (a1in.size() >= kin || am.empty()) {
+        // Page out the A1in tail into the A1out ghost FIFO.
+        PageId victim = a1in.back();
+        a1in.pop_back();
+        a1out.push_front(victim);
+        map[victim] = Where{A1out, a1out.begin()};
+        if (a1out.size() > kout) {
+            PageId dropped = a1out.back();
+            a1out.pop_back();
+            map.erase(dropped);
+        }
+    } else {
+        PageId victim = am.back();
+        am.pop_back();
+        map.erase(victim);
+    }
+}
+
+bool
+TwoQPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        Where &w = it->second;
+        if (w.list == Am) {
+            am.splice(am.begin(), am, w.it);
+            return true;
+        }
+        if (w.list == A1in)
+            return true; // FIFO: hits do not reorder
+        // A1out ghost hit: remove the ghost before reclaiming so the
+        // reclaim can never drop the very entry being admitted.
+        a1out.erase(w.it);
+        map.erase(it);
+        reclaimFor();
+        am.push_front(page);
+        map[page] = Where{Am, am.begin()};
+        return false;
+    }
+    reclaimFor();
+    a1in.push_front(page);
+    map[page] = Where{A1in, a1in.begin()};
+    return false;
+}
+
+// --------------------------------------------------------------------
+// LFUDA reference
+// --------------------------------------------------------------------
+
+LfudaPolicy::LfudaPolicy(std::size_t frames) : frames(frames)
+{
+    WSC_ASSERT(frames > 0, "LFUDA needs at least one frame");
+}
+
+bool
+LfudaPolicy::access(PageId page)
+{
+    auto it = map.find(page);
+    if (it != map.end()) {
+        Entry &e = it->second;
+        order.erase(std::make_pair(e.key, e.seq));
+        e.count += 1;
+        e.key = e.count + age;
+        order.emplace(std::make_pair(e.key, e.seq), page);
+        return true;
+    }
+    if (map.size() == frames) {
+        auto victim = order.begin();
+        age = victim->first.first;
+        map.erase(victim->second);
+        order.erase(victim);
+    }
+    Entry e{1, 1 + age, nextSeq++};
+    map.emplace(page, e);
+    order.emplace(std::make_pair(e.key, e.seq), page);
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Intrusive-list plumbing shared by the kernels
+// --------------------------------------------------------------------
+
+namespace zoo_detail {
+
+void
+pushFront(std::vector<Node> &nodes, NodeList &list, std::uint32_t i)
+{
+    nodes[i].prev = kNull;
+    nodes[i].next = list.head;
+    if (list.head != kNull)
+        nodes[list.head].prev = i;
+    else
+        list.tail = i;
+    list.head = i;
+    ++list.size;
+}
+
+void
+unlink(std::vector<Node> &nodes, NodeList &list, std::uint32_t i)
+{
+    std::uint32_t p = nodes[i].prev, n = nodes[i].next;
+    if (p != kNull)
+        nodes[p].next = n;
+    else
+        list.head = n;
+    if (n != kNull)
+        nodes[n].prev = p;
+    else
+        list.tail = p;
+    --list.size;
+}
+
+} // namespace zoo_detail
+
+using zoo_detail::kNull;
+using zoo_detail::pushFront;
+using zoo_detail::unlink;
+
+// --------------------------------------------------------------------
+// ARC kernel
+// --------------------------------------------------------------------
+
+ArcKernel::ArcKernel(std::size_t frames, std::uint64_t pageBound)
+    : c(frames), nodes(2 * frames), map(2 * frames, pageBound)
+{
+    WSC_ASSERT(frames > 0, "ARC needs at least one frame");
+    freeNodes.reserve(nodes.size());
+    for (std::size_t i = nodes.size(); i > 0; --i)
+        freeNodes.push_back(std::uint32_t(i - 1));
+}
+
+zoo_detail::NodeList &
+ArcKernel::listOf(std::uint8_t tag)
+{
+    switch (tag) {
+      case T1:
+        return t1;
+      case T2:
+        return t2;
+      case B1:
+        return b1;
+      case B2:
+        return b2;
+    }
+    panic("unknown ARC list");
+}
+
+void
+ArcKernel::moveTo(std::uint32_t i, Tag to)
+{
+    unlink(nodes, listOf(nodes[i].tag), i);
+    nodes[i].tag = to;
+    pushFront(nodes, listOf(to), i);
+}
+
+void
+ArcKernel::dropLru(Tag tag)
+{
+    zoo_detail::NodeList &list = listOf(tag);
+    std::uint32_t i = list.tail;
+    WSC_ASSERT(i != kNull, "drop from an empty ARC list");
+    unlink(nodes, list, i);
+    map.erase(nodes[i].page);
+    freeNodes.push_back(i);
+}
+
+std::uint32_t
+ArcKernel::allocNode(PageId page, Tag tag)
+{
+    std::uint32_t i = freeNodes.back();
+    freeNodes.pop_back();
+    nodes[i].page = page;
+    nodes[i].tag = tag;
+    pushFront(nodes, listOf(tag), i);
+    map.insert(page, i);
+    return i;
+}
+
+void
+ArcKernel::replace(bool inB2)
+{
+    // Verbatim mirror of ArcPolicy::replace.
+    bool fromT1 = t1.size > 0 && (t1.size > target ||
+                                  (inB2 && t1.size == target));
+    if (!fromT1 && t2.size == 0)
+        fromT1 = t1.size > 0;
+    if (fromT1) {
+        std::uint32_t i = t1.tail;
+        moveTo(i, B1);
+    } else if (t2.size > 0) {
+        std::uint32_t i = t2.tail;
+        moveTo(i, B2);
+    }
+}
+
+bool
+ArcKernel::access(PageId page)
+{
+    std::uint32_t i = map.find(page);
+    if (i != PageSlotMap::kNoSlot) {
+        std::uint8_t tag = nodes[i].tag;
+        if (tag == T1 || tag == T2) {
+            moveTo(i, T2);
+            return true;
+        }
+        if (tag == B1) {
+            auto d = std::max<std::size_t>(1, b2.size / b1.size);
+            target = std::min(c, target + d);
+            replace(false);
+            moveTo(i, T2);
+            return false;
+        }
+        // B2 ghost hit.
+        auto d = std::max<std::size_t>(1, b1.size / b2.size);
+        target -= std::min(target, d);
+        replace(true);
+        moveTo(i, T2);
+        return false;
+    }
+
+    std::size_t l1 = t1.size + b1.size;
+    std::size_t total = l1 + t2.size + b2.size;
+    if (l1 == c) {
+        if (t1.size < c) {
+            dropLru(B1);
+            replace(false);
+        } else {
+            dropLru(T1);
+        }
+    } else if (total >= c) {
+        if (total == 2 * c && b2.size > 0)
+            dropLru(B2);
+        replace(false);
+    }
+    allocNode(page, T1);
+    return false;
+}
+
+// --------------------------------------------------------------------
+// SLRU kernel
+// --------------------------------------------------------------------
+
+SlruKernel::SlruKernel(std::size_t frames, std::uint64_t pageBound)
+    : nodes(frames), map(frames, pageBound)
+{
+    WSC_ASSERT(frames > 0, "SLRU needs at least one frame");
+    protCap = frames >= 2 ? frames / 2 : 0;
+    probCap = frames - protCap;
+}
+
+bool
+SlruKernel::access(PageId page)
+{
+    std::uint32_t i = map.find(page);
+    if (i != PageSlotMap::kNoSlot) {
+        if (nodes[i].tag == Prot) {
+            if (prot.head != i) {
+                unlink(nodes, prot, i);
+                pushFront(nodes, prot, i);
+            }
+            return true;
+        }
+        unlink(nodes, prob, i);
+        nodes[i].tag = Prot;
+        pushFront(nodes, prot, i);
+        if (prot.size > protCap) {
+            std::uint32_t d = prot.tail;
+            unlink(nodes, prot, d);
+            nodes[d].tag = Prob;
+            pushFront(nodes, prob, d);
+        }
+        return true;
+    }
+    std::uint32_t slot;
+    if (prob.size == probCap) {
+        slot = prob.tail;
+        unlink(nodes, prob, slot);
+        map.erase(nodes[slot].page);
+    } else {
+        slot = std::uint32_t(used++);
+    }
+    nodes[slot].page = page;
+    nodes[slot].tag = Prob;
+    pushFront(nodes, prob, slot);
+    map.insert(page, slot);
+    return false;
+}
+
+// --------------------------------------------------------------------
+// 2Q kernel
+// --------------------------------------------------------------------
+
+TwoQKernel::TwoQKernel(std::size_t frames, std::uint64_t pageBound)
+    : frames_(frames),
+      kin(std::max<std::size_t>(1, frames / 4)),
+      kout(std::max<std::size_t>(1, frames / 2)),
+      nodes(frames + std::max<std::size_t>(1, frames / 2)),
+      map(frames + kout, pageBound)
+{
+    WSC_ASSERT(frames > 0, "2Q needs at least one frame");
+    freeNodes.reserve(nodes.size());
+    for (std::size_t i = nodes.size(); i > 0; --i)
+        freeNodes.push_back(std::uint32_t(i - 1));
+}
+
+std::uint32_t
+TwoQKernel::allocNode(PageId page, Tag tag)
+{
+    std::uint32_t i = freeNodes.back();
+    freeNodes.pop_back();
+    nodes[i].page = page;
+    nodes[i].tag = tag;
+    map.insert(page, i);
+    return i;
+}
+
+void
+TwoQKernel::dropTail(zoo_detail::NodeList &list)
+{
+    std::uint32_t i = list.tail;
+    WSC_ASSERT(i != kNull, "drop from an empty 2Q list");
+    unlink(nodes, list, i);
+    map.erase(nodes[i].page);
+    freeNodes.push_back(i);
+}
+
+void
+TwoQKernel::reclaimFor()
+{
+    if (a1in.size + am.size < frames_)
+        return;
+    if (a1in.size >= kin || am.size == 0) {
+        std::uint32_t i = a1in.tail;
+        unlink(nodes, a1in, i);
+        nodes[i].tag = A1out;
+        pushFront(nodes, a1out, i);
+        if (a1out.size > kout)
+            dropTail(a1out);
+    } else {
+        dropTail(am);
+    }
+}
+
+bool
+TwoQKernel::access(PageId page)
+{
+    std::uint32_t i = map.find(page);
+    if (i != PageSlotMap::kNoSlot) {
+        std::uint8_t tag = nodes[i].tag;
+        if (tag == Am) {
+            if (am.head != i) {
+                unlink(nodes, am, i);
+                pushFront(nodes, am, i);
+            }
+            return true;
+        }
+        if (tag == A1in)
+            return true; // FIFO: hits do not reorder
+        // A1out ghost hit: drop the ghost before reclaiming, exactly
+        // as the reference does.
+        unlink(nodes, a1out, i);
+        map.erase(page);
+        freeNodes.push_back(i);
+        reclaimFor();
+        std::uint32_t n = allocNode(page, Am);
+        pushFront(nodes, am, n);
+        return false;
+    }
+    reclaimFor();
+    std::uint32_t n = allocNode(page, A1in);
+    pushFront(nodes, a1in, n);
+    return false;
+}
+
+// --------------------------------------------------------------------
+// LFUDA kernel
+// --------------------------------------------------------------------
+
+LfudaKernel::LfudaKernel(std::size_t frames, std::uint64_t pageBound)
+    : frames_(frames), pages(frames), counts(frames), keys(frames),
+      seqs(frames), pos(frames), map(frames, pageBound)
+{
+    WSC_ASSERT(frames > 0, "LFUDA needs at least one frame");
+    heap.reserve(frames);
+}
+
+bool
+LfudaKernel::less(std::uint32_t a, std::uint32_t b) const
+{
+    return keys[a] < keys[b] ||
+           (keys[a] == keys[b] && seqs[a] < seqs[b]);
+}
+
+void
+LfudaKernel::siftUp(std::size_t heapPos)
+{
+    std::uint32_t slot = heap[heapPos];
+    while (heapPos > 0) {
+        std::size_t parent = (heapPos - 1) / 2;
+        if (!less(slot, heap[parent]))
+            break;
+        heap[heapPos] = heap[parent];
+        pos[heap[heapPos]] = std::uint32_t(heapPos);
+        heapPos = parent;
+    }
+    heap[heapPos] = slot;
+    pos[slot] = std::uint32_t(heapPos);
+}
+
+void
+LfudaKernel::siftDown(std::size_t heapPos)
+{
+    std::uint32_t slot = heap[heapPos];
+    std::size_t n = heap.size();
+    for (;;) {
+        std::size_t kid = 2 * heapPos + 1;
+        if (kid >= n)
+            break;
+        if (kid + 1 < n && less(heap[kid + 1], heap[kid]))
+            ++kid;
+        if (!less(heap[kid], slot))
+            break;
+        heap[heapPos] = heap[kid];
+        pos[heap[heapPos]] = std::uint32_t(heapPos);
+        heapPos = kid;
+    }
+    heap[heapPos] = slot;
+    pos[slot] = std::uint32_t(heapPos);
+}
+
+bool
+LfudaKernel::access(PageId page)
+{
+    std::uint32_t slot = map.find(page);
+    if (slot != PageSlotMap::kNoSlot) {
+        counts[slot] += 1;
+        keys[slot] = counts[slot] + age;
+        siftDown(pos[slot]); // keys only grow on a hit
+        return true;
+    }
+    if (used == frames_) {
+        std::uint32_t victim = heap[0];
+        age = keys[victim];
+        map.erase(pages[victim]);
+        pages[victim] = page;
+        counts[victim] = 1;
+        keys[victim] = 1 + age;
+        seqs[victim] = nextSeq++;
+        map.insert(page, victim);
+        siftDown(0);
+        return false;
+    }
+    auto slotNew = std::uint32_t(used++);
+    pages[slotNew] = page;
+    counts[slotNew] = 1;
+    keys[slotNew] = 1 + age;
+    seqs[slotNew] = nextSeq++;
+    heap.push_back(slotNew);
+    pos[slotNew] = std::uint32_t(heap.size() - 1);
+    siftUp(heap.size() - 1);
+    map.insert(page, slotNew);
+    return false;
+}
+
+} // namespace memblade
+} // namespace wsc

@@ -1,5 +1,6 @@
 #include "memblade/replacement.hh"
 
+#include "memblade/policy_zoo.hh"
 #include "util/logging.hh"
 
 namespace wsc {
@@ -94,6 +95,14 @@ makePolicy(PolicyKind kind, std::size_t frames, Rng rng)
         return std::make_unique<RandomPolicy>(frames, rng);
       case PolicyKind::Clock:
         return std::make_unique<ClockPolicy>(frames);
+      case PolicyKind::Arc:
+        return std::make_unique<ArcPolicy>(frames);
+      case PolicyKind::Slru:
+        return std::make_unique<SlruPolicy>(frames);
+      case PolicyKind::TwoQ:
+        return std::make_unique<TwoQPolicy>(frames);
+      case PolicyKind::Lfuda:
+        return std::make_unique<LfudaPolicy>(frames);
     }
     panic("unknown policy kind");
 }
@@ -108,8 +117,27 @@ to_string(PolicyKind kind)
         return "random";
       case PolicyKind::Clock:
         return "clock";
+      case PolicyKind::Arc:
+        return "arc";
+      case PolicyKind::Slru:
+        return "slru";
+      case PolicyKind::TwoQ:
+        return "2q";
+      case PolicyKind::Lfuda:
+        return "lfuda";
     }
     panic("unknown policy kind");
+}
+
+PolicyKind
+policyFromString(const std::string &name)
+{
+    for (PolicyKind kind : allPolicyKinds) {
+        if (name == to_string(kind))
+            return kind;
+    }
+    fatal("unknown replacement policy '" + name +
+          "' (expected lru, random, clock, arc, slru, 2q, or lfuda)");
 }
 
 } // namespace memblade

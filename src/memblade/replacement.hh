@@ -98,8 +98,18 @@ class ClockPolicy : public ReplacementPolicy
     std::unordered_map<PageId, std::size_t> map;
 };
 
-/** Policy kinds for factory construction. */
-enum class PolicyKind { Lru, Random, Clock };
+/**
+ * Policy kinds for factory construction. The paper's trio plus the
+ * policy zoo (ARC/SLRU/2Q/LFUDA, see memblade/policy_zoo.hh).
+ */
+enum class PolicyKind { Lru, Random, Clock, Arc, Slru, TwoQ, Lfuda };
+
+/** Every PolicyKind, in declaration order (for sweeps and tables). */
+inline constexpr PolicyKind allPolicyKinds[] = {
+    PolicyKind::Lru,  PolicyKind::Random, PolicyKind::Clock,
+    PolicyKind::Arc,  PolicyKind::Slru,   PolicyKind::TwoQ,
+    PolicyKind::Lfuda,
+};
 
 /** Construct a policy with @p frames local frames. */
 std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
@@ -107,6 +117,12 @@ std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
                                               Rng rng);
 
 std::string to_string(PolicyKind kind);
+
+/**
+ * Parse a policy name ("lru", "random", "clock", "arc", "slru", "2q",
+ * "lfuda"); fatal() on anything else.
+ */
+PolicyKind policyFromString(const std::string &name);
 
 } // namespace memblade
 } // namespace wsc

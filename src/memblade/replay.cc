@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "memblade/policy_zoo.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -189,21 +190,11 @@ replayWindowed(TraceGenerator &gen, PolicyKind kind, std::size_t frames,
                std::uint64_t warmup, Rng kernelRng)
 {
     ColdTracker cold(pageBound);
-    switch (kind) {
-      case PolicyKind::Lru: {
-        LruKernel k(frames, pageBound);
-        return replayLoop(k, gen, accesses, warmup, cold);
-      }
-      case PolicyKind::Random: {
-        RandomKernel k(frames, kernelRng, pageBound);
-        return replayLoop(k, gen, accesses, warmup, cold);
-      }
-      case PolicyKind::Clock: {
-        ClockKernel k(frames, pageBound);
-        return replayLoop(k, gen, accesses, warmup, cold);
-      }
-    }
-    panic("unknown policy kind");
+    return withPolicyKernel(kind, frames, pageBound, kernelRng,
+                            [&](auto &k) {
+                                return replayLoop(k, gen, accesses,
+                                                  warmup, cold);
+                            });
 }
 
 ReplayStats
@@ -211,21 +202,11 @@ replayPages(const PageId *pages, std::size_t n, PolicyKind kind,
             std::size_t frames, std::uint64_t pageBound, Rng kernelRng)
 {
     ColdTracker cold(pageBound);
-    switch (kind) {
-      case PolicyKind::Lru: {
-        LruKernel k(frames, pageBound);
-        return replayPagesLoop(k, pages, n, cold);
-      }
-      case PolicyKind::Random: {
-        RandomKernel k(frames, kernelRng, pageBound);
-        return replayPagesLoop(k, pages, n, cold);
-      }
-      case PolicyKind::Clock: {
-        ClockKernel k(frames, pageBound);
-        return replayPagesLoop(k, pages, n, cold);
-      }
-    }
-    panic("unknown policy kind");
+    return withPolicyKernel(kind, frames, pageBound, kernelRng,
+                            [&](auto &k) {
+                                return replayPagesLoop(k, pages, n,
+                                                       cold);
+                            });
 }
 
 ReplayStats

@@ -34,17 +34,26 @@ void writeTraceText(std::ostream &os, const std::vector<PageId> &trace);
 std::vector<PageId> readTraceText(std::istream &is);
 
 /**
- * Write a trace in the binary format: magic "WSCT", a u64 count, then
- * count little-endian u64 page ids.
+ * Write a trace in the legacy binary format, version 2: magic "WSCT",
+ * a version byte (2), a little-endian u64 count, then count
+ * little-endian u64 page ids. (Version "1" was the pre-versioned
+ * host-endian layout; its files start the count where v2 puts the
+ * version byte, so v2 readers reject them explicitly.)
  */
 void writeTraceBinary(std::ostream &os,
                       const std::vector<PageId> &trace);
 
-/** Read a binary trace; validates magic and length. */
+/**
+ * Read a binary trace; validates magic, version, and length. The
+ * header count is checked against the bytes actually present before
+ * any allocation, so a corrupt count raises FatalError instead of
+ * requesting an exabyte vector.
+ */
 std::vector<PageId> readTraceBinary(std::istream &is);
 
 /** Convenience: file-path variants (format chosen by extension:
- * ".trace" text, ".btrace" binary). */
+ * ".trace" text, ".btrace" legacy binary, ".strace" streaming —
+ * see memblade/trace_stream.hh). */
 void saveTrace(const std::string &path,
                const std::vector<PageId> &trace);
 std::vector<PageId> loadTrace(const std::string &path);
@@ -52,10 +61,15 @@ std::vector<PageId> loadTrace(const std::string &path);
 /**
  * Replay an explicit trace through a two-level memory of
  * @p localFrames frames and return the statistics.
+ *
+ * @param pageBound Declared bound on page ids (0 = unknown, computed
+ *        with an extra O(n) pass; streaming callers pass the header
+ *        bound and skip the scan).
  */
 ReplayStats replayTrace(const std::vector<PageId> &trace,
                         std::size_t localFrames, PolicyKind kind,
-                        std::uint64_t seed);
+                        std::uint64_t seed,
+                        std::uint64_t pageBound = 0);
 
 } // namespace memblade
 } // namespace wsc

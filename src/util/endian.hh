@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Byte-order helpers for on-disk binary formats.
+ *
+ * Every binary trace format in the repo is declared little-endian so
+ * files written on one host replay on any other. On little-endian
+ * hosts (every machine we actually run on) the conversions compile to
+ * nothing; big-endian hosts byte-swap on the way in and out.
+ */
+
+#ifndef WSC_UTIL_ENDIAN_HH
+#define WSC_UTIL_ENDIAN_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace wsc {
+
+namespace detail {
+
+constexpr bool kHostIsLittleEndian =
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__;
+#else
+    true; // MSVC targets are all little-endian
+#endif
+
+inline std::uint64_t
+bswap64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_bswap64(v);
+#else
+    return ((v & 0x00000000000000FFULL) << 56) |
+           ((v & 0x000000000000FF00ULL) << 40) |
+           ((v & 0x0000000000FF0000ULL) << 24) |
+           ((v & 0x00000000FF000000ULL) << 8) |
+           ((v & 0x000000FF00000000ULL) >> 8) |
+           ((v & 0x0000FF0000000000ULL) >> 24) |
+           ((v & 0x00FF000000000000ULL) >> 40) |
+           ((v & 0xFF00000000000000ULL) >> 56);
+#endif
+}
+
+} // namespace detail
+
+/** Host u64 -> little-endian on-disk representation. */
+inline std::uint64_t
+toLittle64(std::uint64_t v)
+{
+    return detail::kHostIsLittleEndian ? v : detail::bswap64(v);
+}
+
+/** Little-endian on-disk u64 -> host representation. */
+inline std::uint64_t
+fromLittle64(std::uint64_t v)
+{
+    return detail::kHostIsLittleEndian ? v : detail::bswap64(v);
+}
+
+} // namespace wsc
+
+#endif // WSC_UTIL_ENDIAN_HH

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "memblade/trace_io.hh"
+#include "memblade/trace_stream.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -101,6 +102,93 @@ TEST(TraceIo, UnknownExtensionFatal)
 {
     EXPECT_THROW(saveTrace("/tmp/x.csv", sampleTrace()), FatalError);
     EXPECT_THROW(loadTrace("/tmp/x.csv"), FatalError);
+}
+
+TEST(TraceIo, BinaryRejectsTruncatedHeader)
+{
+    // Cut inside the magic, inside the version byte, and inside the
+    // count field: all must fatal, never allocate.
+    auto trace = sampleTrace();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeTraceBinary(ss, trace);
+    std::string data = ss.str();
+    for (std::size_t cut : {std::size_t(2), std::size_t(4),
+                            std::size_t(8)}) {
+        std::stringstream s(data.substr(0, cut),
+                            std::ios::in | std::ios::binary);
+        EXPECT_THROW(readTraceBinary(s), FatalError) << cut;
+    }
+}
+
+TEST(TraceIo, BinaryRejectsOversizedCount)
+{
+    // A corrupt header claiming ~2^61 ids must fatal on the length
+    // check instead of requesting a multi-exabyte allocation.
+    std::string data;
+    data += "WSCT";
+    data += char(2); // version
+    std::uint64_t huge = std::uint64_t(1) << 61;
+    data.append(reinterpret_cast<const char *>(&huge), sizeof(huge));
+    data += "only a few bytes of body";
+    std::stringstream ss(data, std::ios::in | std::ios::binary);
+    EXPECT_THROW(readTraceBinary(ss), FatalError);
+}
+
+TEST(TraceIo, BinaryRejectsWrongVersion)
+{
+    std::string data;
+    data += "WSCT";
+    data += char(1); // pre-v2 files land here too (count low byte)
+    std::uint64_t count = 0;
+    data.append(reinterpret_cast<const char *>(&count), sizeof(count));
+    std::stringstream ss(data, std::ios::in | std::ios::binary);
+    EXPECT_THROW(readTraceBinary(ss), FatalError);
+}
+
+TEST(TraceIo, RoundTripsEmptyAndSingleAcrossFormats)
+{
+    for (const auto &trace :
+         {std::vector<PageId>{}, std::vector<PageId>{123456789}}) {
+        for (const char *name :
+             {"/tmp/wsc_edge.trace", "/tmp/wsc_edge.btrace",
+              "/tmp/wsc_edge.strace"}) {
+            saveTrace(name, trace);
+            EXPECT_EQ(loadTrace(name), trace) << name;
+            std::remove(name);
+        }
+    }
+}
+
+TEST(TraceIo, CrossFormatRoundTripIsExact)
+{
+    // text -> binary -> streaming -> text must be the identity.
+    auto trace = sampleTrace();
+    saveTrace("/tmp/wsc_x.trace", trace);
+    saveTrace("/tmp/wsc_x.btrace", loadTrace("/tmp/wsc_x.trace"));
+    saveTrace("/tmp/wsc_x.strace", loadTrace("/tmp/wsc_x.btrace"));
+    auto back = loadTrace("/tmp/wsc_x.strace");
+    EXPECT_EQ(back, trace);
+    for (const char *name : {"/tmp/wsc_x.trace", "/tmp/wsc_x.btrace",
+                             "/tmp/wsc_x.strace"})
+        std::remove(name);
+}
+
+TEST(TraceIo, ReplayTraceHonorsDeclaredBound)
+{
+    // Passing the known page bound must not change the statistics
+    // (it only skips the O(n) bound scan).
+    auto profile = profileFor(workloads::Benchmark::Webmail);
+    auto trace = generateTrace(profile, 20000, Rng(13));
+    std::size_t frames =
+        std::size_t(double(profile.footprintPages) * 0.2);
+    auto scanned = replayTrace(trace, frames, PolicyKind::Lru, 5);
+    auto declared = replayTrace(trace, frames, PolicyKind::Lru, 5,
+                                profile.footprintPages);
+    EXPECT_EQ(scanned.accesses, declared.accesses);
+    EXPECT_EQ(scanned.hits, declared.hits);
+    EXPECT_EQ(scanned.misses, declared.misses);
+    EXPECT_EQ(scanned.coldMisses, declared.coldMisses);
 }
 
 TEST(TraceIo, ReplayMatchesGeneratorPath)

@@ -4,21 +4,31 @@
  *
  * Replays a page trace — either a synthetic trace for one of the
  * benchmark profiles or a user-supplied trace file (.trace text /
- * .btrace binary) — through the two-level memory simulator and
- * reports miss rates, slowdowns per link, and blade-sharing limits.
+ * .btrace binary / .strace streaming) — through the two-level memory
+ * simulator and reports miss rates, slowdowns per link, and
+ * blade-sharing limits. Streaming traces replay straight off an mmap
+ * without materializing the access sequence; the full policy zoo
+ * (lru|random|clock|arc|slru|2q|lfuda) is available everywhere, and
+ * --hierarchy models an inclusive/exclusive two-level setup with an
+ * optional sequential prefetch buffer.
  *
  * Examples:
- *   wsc_memblade --benchmark websearch --local 0.25
- *   wsc_memblade --trace /path/app.trace --frames 120000 --policy lru
- *   wsc_memblade --benchmark ytube --generate /tmp/ytube.btrace
+ *   wsc_memblade --benchmark websearch --local 0.25 --policy arc
+ *   wsc_memblade --trace /path/app.strace --frames 120000 --policy 2q
+ *   wsc_memblade --trace /path/app.strace --frames 100000 --curve 10
+ *   wsc_memblade --benchmark ytube --generate /tmp/ytube.strace
+ *   wsc_memblade --trace app.strace --frames 50000 --hierarchy \
+ *       exclusive --l2-frames 200000 --prefetch-depth 4
  */
 
 #include <cmath>
 #include <iostream>
 
 #include "memblade/contention.hh"
+#include "memblade/hierarchy.hh"
 #include "memblade/stack_distance.hh"
 #include "memblade/trace_io.hh"
+#include "memblade/trace_stream.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -38,16 +48,50 @@ parseBenchmark(const std::string &name)
           "' (websearch|webmail|ytube|mapred-wc|mapred-wr)");
 }
 
-PolicyKind
-parsePolicy(const std::string &name)
+bool
+endsWith(const std::string &s, const std::string &suffix)
 {
-    if (name == "lru")
-        return PolicyKind::Lru;
-    if (name == "random")
-        return PolicyKind::Random;
-    if (name == "clock")
-        return PolicyKind::Clock;
-    fatal("unknown policy '" + name + "' (lru|random|clock)");
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+void
+printHierarchy(const HierarchyStats &hs, const HierarchyParams &hp)
+{
+    Table t({"Statistic", "Value"});
+    t.addRow({"Mode", to_string(hp.mode)});
+    t.addRow({"L1 / L2 frames", std::to_string(hp.l1Frames) + " / " +
+                                    std::to_string(hp.l2Frames)});
+    t.addRow({"Accesses", std::to_string(hs.accesses)});
+    t.addRow({"L1 hits", std::to_string(hs.l1Hits)});
+    t.addRow({"L2 hits", std::to_string(hs.l2Hits)});
+    t.addRow({"Prefetch-buffer hits",
+              std::to_string(hs.prefetchHits)});
+    t.addRow({"Misses", std::to_string(hs.misses)});
+    t.addRow({"Miss rate", fmtPct(hs.missRate(), 2)});
+    t.print(std::cout);
+}
+
+/** Print an N-point LRU miss-rate curve over capacity fractions. */
+void
+printStreamCurve(TraceStream &ts, unsigned points)
+{
+    auto curve = lruCurveFromStream(ts);
+    std::uint64_t footprint = ts.pageBound();
+    std::cout << "LRU miss-rate curve (" << ts.count()
+              << " accesses, page bound " << footprint
+              << ", single pass):\n";
+    Table c({"Capacity fraction", "Frames", "Miss rate"});
+    for (unsigned i = 1; i <= points; ++i) {
+        double f = double(i) / double(points);
+        auto frames =
+            std::size_t(std::ceil(double(footprint) * f));
+        auto st = curve.statsAt(frames);
+        c.addRow({fmtPct(f, 2), std::to_string(frames),
+                  fmtPct(st.missRate(), 2)});
+    }
+    c.print(std::cout);
 }
 
 } // namespace
@@ -67,7 +111,8 @@ main(int argc, char **argv)
         .addOption("local",
                    "local fraction of the footprint (synthetic mode)",
                    "0.25")
-        .addOption("policy", "lru|random|clock", "random")
+        .addOption("policy", "lru|random|clock|arc|slru|2q|lfuda",
+                   "random")
         .addOption("accesses", "synthetic trace length", "2000000")
         .addOption("seed", "RNG seed", "42")
         .addOption("generate",
@@ -76,30 +121,99 @@ main(int argc, char **argv)
         .addOption("curve",
                    "print an N-point local-fraction LRU miss-rate "
                    "curve from one stack-distance pass and exit",
-                   "0");
+                   "0")
+        .addOption("hierarchy",
+                   "two-level mode: inclusive|exclusive (replaces the "
+                   "flat replay)",
+                   "")
+        .addOption("l2-frames",
+                   "L2 frames in --hierarchy mode", "400000")
+        .addOption("prefetch-depth",
+                   "sequential prefetch distance in --hierarchy mode "
+                   "(0 = off)",
+                   "0")
+        .addOption("prefetch-frames",
+                   "prefetch FIFO capacity (0 = 4x depth)", "0");
 
     try {
         if (!args.parse(argc, argv))
             return 0;
 
-        auto policy = parsePolicy(args.get("policy"));
+        auto policy = policyFromString(args.get("policy"));
         auto seed = std::uint64_t(args.getDouble("seed"));
+
+        // getDouble + unsigned cast wraps on negatives; range-check
+        // every count-like option before converting.
+        auto countOption = [&](const char *name, double lo, double hi) {
+            double v = args.getDouble(name);
+            if (v < lo || v > hi)
+                fatal(std::string("--") + name + " must be in [" +
+                      fmtF(lo, 0) + ", " + fmtF(hi, 0) + "]");
+            return std::size_t(v);
+        };
+
+        HierarchyParams hp;
+        bool hierarchical = !args.get("hierarchy").empty();
+        if (hierarchical) {
+            hp.mode = hierarchyModeFromString(args.get("hierarchy"));
+            hp.l2Frames = countOption("l2-frames", 1, 1e12);
+            hp.prefetchDepth = countOption("prefetch-depth", 0, 1e6);
+            hp.prefetchFrames = countOption("prefetch-frames", 0, 1e9);
+        }
+
+        double curve_pts = args.getDouble("curve");
+        if (curve_pts < 0.0 || curve_pts > 1e6)
+            fatal("--curve must be in [0, 1e6]");
+        auto points = unsigned(curve_pts);
 
         ReplayStats stats;
         double touch_rate = 0.0;
         std::string label;
 
         if (!args.get("trace").empty()) {
-            auto trace = loadTrace(args.get("trace"));
-            auto frames = std::size_t(args.getDouble("frames"));
-            stats = replayTrace(trace, frames, policy, seed);
-            label = args.get("trace");
-            std::cout << "Replayed " << trace.size()
-                      << " accesses from " << label << "\n";
+            const std::string path = args.get("trace");
+            auto frames = countOption("frames", 1, 1e12);
+            bool streaming = endsWith(path, ".strace");
+            if (hierarchical) {
+                hp.l1Frames = frames;
+                HierarchyStats hs;
+                if (streaming) {
+                    TraceStream ts(path);
+                    hs = replayHierarchyStream(ts, hp);
+                } else {
+                    auto trace = loadTrace(path);
+                    hs = replayHierarchyPages(trace.data(),
+                                              trace.size(), hp);
+                }
+                printHierarchy(hs, hp);
+                return 0;
+            }
+            if (streaming) {
+                TraceStream ts(path);
+                if (points > 0) {
+                    if (policy != PolicyKind::Lru)
+                        fatal("--curve needs --policy lru: only LRU "
+                              "has the Mattson inclusion property");
+                    printStreamCurve(ts, points);
+                    return 0;
+                }
+                stats = replayStream(ts, policy, frames, Rng(seed));
+                label = path;
+                std::cout << "Streamed " << stats.accesses
+                          << " accesses from " << label << " ("
+                          << (ts.mapped() ? "mmap" : "buffered")
+                          << ")\n";
+            } else {
+                auto trace = loadTrace(path);
+                stats = replayTrace(trace, frames, policy, seed);
+                label = path;
+                std::cout << "Replayed " << trace.size()
+                          << " accesses from " << label << "\n";
+            }
         } else {
             auto b = parseBenchmark(args.get("benchmark"));
             auto profile = profileFor(b);
-            auto n = std::uint64_t(args.getDouble("accesses"));
+            auto n = std::uint64_t(countOption("accesses", 0, 1e12));
             if (!args.get("generate").empty()) {
                 auto trace = generateTrace(profile, n, Rng(seed));
                 saveTrace(args.get("generate"), trace);
@@ -108,10 +222,15 @@ main(int argc, char **argv)
                           << "\n";
                 return 0;
             }
-            double curve_pts = args.getDouble("curve");
-            if (curve_pts < 0.0 || curve_pts > 1e6)
-                fatal("--curve must be in [0, 1e6]");
-            auto points = unsigned(curve_pts);
+            if (hierarchical) {
+                hp.l1Frames = std::size_t(std::ceil(
+                    double(profile.footprintPages) *
+                    args.getDouble("local")));
+                auto hs =
+                    replayHierarchyProfile(profile, hp, n, seed);
+                printHierarchy(hs, hp);
+                return 0;
+            }
             if (points > 0) {
                 // Exact LRU at every capacity from one replay pass.
                 auto curve = lruCurveForProfile(profile, n, seed);
