@@ -1,26 +1,39 @@
 /**
  * @file
- * Ensemble-DES shard scaling: events/sec vs shard count.
+ * Ensemble-DES hot-path scaling: events/sec by event-queue backend,
+ * shard count, and worker count.
  *
- * Runs the identical warehouse-scale ensemble simulation (nonstationary
- * diurnal arrivals + MMPP flash-crowd process, per-server sleep-state
- * machines, PowerOff autoscaling) at 1/2/4/8 shards, verifies every run
- * produces byte-identical ensemble report JSON (the sharded queue's
- * determinism contract), and reports kernel throughput per shard count.
+ * Runs the identical warehouse-scale ensemble simulation
+ * (nonstationary diurnal arrivals + MMPP flash-crowd process,
+ * per-server sleep-state machines, PowerOff autoscaling) across a
+ * grid of execution knobs — heap vs calendar event ordering, 1-8
+ * shards, 1-4 workers — verifies every run produces byte-identical
+ * ensemble report JSON (the kernel's determinism contract), and
+ * reports kernel throughput per arm.
  *
- * On a single hardware thread the speedup is pure cache locality: each
- * shard's heap and slot pool stay L2-resident where the monolithic
- * queue's sift paths miss to L3. With more cores, shards also run on
- * worker threads and the two effects compound; the recorded
- * `workers` field says which regime a result came from.
+ * What the arms mean:
+ *  - queue: the heap is the O(log n) oracle; the calendar queue
+ *    (sim/calendar_queue.hh) is the amortized-O(1) fast path. Their
+ *    serial ratio is the headline number the CI perf gate tracks.
+ *  - shards on a single hardware thread measure cache locality (each
+ *    shard's working set stays L2-resident); with real cores the
+ *    worker arms add parallel execution on top. The recorded
+ *    `hardware_threads` and `single_thread_host` fields say which
+ *    regime a result came from — on a 1-CPU host the worker arms
+ *    time-slice one core and their "speedup" is locality only.
+ *  - window_imbalance (busiest shard's share x shards, averaged over
+ *    windows; 1.0 = balanced) bounds what parallel workers could ever
+ *    deliver: speedup <= shards / imbalance regardless of core count.
  *
  * Methodology: wall times on shared hosts are noisy, so repetitions
- * are interleaved across shard counts (a slow host phase penalizes
- * every arm equally) and the best time per arm is kept — the
- * least-contended sample is the closest estimate of the true cost.
+ * are interleaved across arms (a slow host phase penalizes every arm
+ * equally) and the best time per arm is kept — the least-contended
+ * sample is the closest estimate of the true cost.
  *
- * Emits machine-readable BENCH_ensemble.json (schema documented in
- * README.md) so later PRs can track the scaling trajectory.
+ * Emits machine-readable BENCH_ensemble.json (schema v2, documented
+ * in README.md) so later PRs can track the trajectory; CI recomputes
+ * it fresh and gates on bit_identical plus the calendar/heap serial
+ * throughput ratio against the committed baseline.
  */
 
 #include <algorithm>
@@ -57,9 +70,15 @@ identityJson(const perfsim::EnsembleResult &r)
 }
 
 struct Arm {
+    sim::QueueKind queue = sim::QueueKind::Heap;
     unsigned shards = 1;
+    unsigned workers = 1;
     double bestWall = 0.0; //!< min over reps
     std::uint64_t events = 0;
+    double imbalance = 1.0;
+    std::vector<std::uint64_t> shardEvents;
+
+    bool serial() const { return shards == 1 && workers == 1; }
 };
 
 } // namespace
@@ -68,8 +87,9 @@ int
 run(int argc, char **argv)
 {
     ArgParser args("bench_ensemble",
-                   "ensemble DES throughput vs event-queue shard "
-                   "count, with the bit-identity gate");
+                   "ensemble DES throughput by event-queue backend, "
+                   "shard count, and worker count, with the "
+                   "bit-identity gate");
     args.addOption("servers", "fleet size", "100000")
         .addOption("cells", "dispatch cells (fixed logical lanes)",
                    "16")
@@ -77,12 +97,7 @@ run(int argc, char **argv)
         .addOption("seconds-per-hour",
                    "compressed seconds per simulated hour", "1.0")
         .addOption("reps",
-                   "timed repetitions per shard count (best kept)",
-                   "3")
-        .addOption("workers",
-                   "worker threads for multi-shard runs (0 = "
-                   "min(shards, hardware))",
-                   "1")
+                   "timed repetitions per arm (best kept)", "3")
         .addOption("out", "JSON output path", "BENCH_ensemble.json");
     if (!args.parse(argc, argv))
         return 0;
@@ -122,16 +137,10 @@ run(int argc, char **argv)
     cfg.power.sleepWakeSeconds = 0.25 * sph;
     cfg.power.idleToSleepSeconds = 0.5 * sph;
 
-    const std::vector<unsigned> shardCounts{1, 2, 4, 8};
-    double workersArg = args.getDouble("workers");
-    if (workersArg < 0 || workersArg > 4096)
-        fatal("--workers must be in [0, 4096]");
-    unsigned workers = unsigned(workersArg);
-
-    std::cout << "=== Ensemble shard scaling: " << cfg.servers
+    std::cout << "=== Ensemble hot-path scaling: " << cfg.servers
               << " servers x " << cfg.hours << "h, " << cfg.cells
               << " cells, policy " << to_string(cfg.policy)
-              << " ===\n\n";
+              << ", " << hw << " hardware thread(s) ===\n\n";
 
     // Untimed warmup at a reduced fleet: pays one-time lazy costs
     // (allocator growth, page faults on the binary) without charging
@@ -139,22 +148,36 @@ run(int argc, char **argv)
     {
         perfsim::EnsembleConfig w = cfg;
         w.servers = std::max<std::uint64_t>(cfg.servers / 10, 1000);
-        w.shards = shardCounts.back();
+        w.shards = 8;
         runEnsemble(w);
     }
 
+    // The knob grid: every (shards, workers) pair under each backend,
+    // workers <= shards (extra workers would idle). The serial pair
+    // (1, 1) per backend anchors the speedup and ratio numbers.
+    const std::vector<std::pair<unsigned, unsigned>> knobs{
+        {1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 1}, {8, 4}};
     std::vector<Arm> arms;
-    for (unsigned s : shardCounts)
-        arms.push_back({s, 0.0, 0});
+    for (auto kind : {sim::QueueKind::Heap, sim::QueueKind::Calendar})
+        for (auto [s, w] : knobs) {
+            Arm arm;
+            arm.queue = kind;
+            arm.shards = s;
+            arm.workers = w;
+            arms.push_back(std::move(arm));
+        }
+
     std::string ref;
     bool identical = true;
-
     for (unsigned rep = 0; rep < reps; ++rep) {
         for (auto &arm : arms) {
+            cfg.queue = arm.queue;
             cfg.shards = arm.shards;
-            cfg.workers = arm.shards == 1 ? 1 : workers;
+            cfg.workers = arm.workers;
             auto r = perfsim::runEnsemble(cfg);
             arm.events = r.eventsDispatched;
+            arm.imbalance = r.meanWindowImbalance;
+            arm.shardEvents = r.shardEvents;
             if (arm.bestWall == 0.0 || r.wallSeconds < arm.bestWall)
                 arm.bestWall = r.wallSeconds;
             std::string id = identityJson(r);
@@ -165,35 +188,48 @@ run(int argc, char **argv)
         }
     }
 
-    double serialEps =
-        double(arms[0].events) / arms[0].bestWall;
-    Table t({"Shards", "Best wall (s)", "Events/s", "Speedup"});
+    // Per-backend serial anchors.
+    auto serialEps = [&](sim::QueueKind kind) {
+        for (const auto &arm : arms)
+            if (arm.queue == kind && arm.serial())
+                return double(arm.events) / arm.bestWall;
+        fatal("missing serial arm");
+    };
+    double heapSerial = serialEps(sim::QueueKind::Heap);
+    double calSerial = serialEps(sim::QueueKind::Calendar);
+
+    Table t({"Queue", "Shards", "Workers", "Best wall (s)", "Events/s",
+             "vs serial", "Imbalance"});
     for (const auto &arm : arms) {
         double eps = double(arm.events) / arm.bestWall;
-        t.addRow({std::to_string(arm.shards),
-                  fmtF(arm.bestWall, 3),
-                  fmtF(eps / 1e6, 2) + "M",
-                  fmtF(eps / serialEps, 2) + "x"});
+        double anchor = arm.queue == sim::QueueKind::Heap ? heapSerial
+                                                          : calSerial;
+        t.addRow({sim::queueKindName(arm.queue),
+                  std::to_string(arm.shards),
+                  std::to_string(arm.workers),
+                  fmtF(arm.bestWall, 3), fmtF(eps / 1e6, 2) + "M",
+                  fmtF(eps / anchor, 2) + "x",
+                  fmtF(arm.imbalance, 2)});
     }
     t.print(std::cout);
 
-    double speedup8 =
-        (double(arms.back().events) / arms.back().bestWall) /
-        serialEps;
-    std::cout << "\nDeterminism gate: "
-              << (identical ? "bit-identical across all runs"
-                            : "MISMATCH")
-              << "\n";
+    std::cout << "\nCalendar vs heap, serial: "
+              << fmtF(calSerial / heapSerial, 2) << "x\n"
+              << "Determinism gate: "
+              << (identical ? "bit-identical across all "
+                            : "MISMATCH across ")
+              << arms.size() << " arms x " << reps << " reps\n";
     if (hw < 2)
-        std::cout << "Note: 1 hardware thread visible; multi-shard "
-                     "speedup is cache locality only.\n";
+        std::cout << "Note: 1 hardware thread visible; worker arms "
+                     "time-slice one core, so multi-shard/worker "
+                     "gains are cache locality only.\n";
 
     std::ostringstream json;
     json.setf(std::ios::fixed);
     json.precision(6);
     json << "{\n"
          << "  \"bench\": \"ensemble\",\n"
-         << "  \"schema_version\": 1,\n"
+         << "  \"schema_version\": 2,\n"
          << "  \"config\": {\n"
          << "    \"servers\": " << cfg.servers << ",\n"
          << "    \"cells\": " << cfg.cells << ",\n"
@@ -207,21 +243,34 @@ run(int argc, char **argv)
          << ",\n"
          << "    \"seed\": " << cfg.seed << ",\n"
          << "    \"reps\": " << reps << ",\n"
-         << "    \"workers\": " << workers << ",\n"
          << "    \"hardware_threads\": " << hw << "\n"
          << "  },\n"
          << "  \"events_dispatched\": " << arms[0].events << ",\n"
          << "  \"arms\": [\n";
     for (std::size_t i = 0; i < arms.size(); ++i) {
-        double eps = double(arms[i].events) / arms[i].bestWall;
-        json << "    {\"shards\": " << arms[i].shards
-             << ", \"best_wall_seconds\": " << arms[i].bestWall
+        const Arm &arm = arms[i];
+        double eps = double(arm.events) / arm.bestWall;
+        double anchor = arm.queue == sim::QueueKind::Heap ? heapSerial
+                                                          : calSerial;
+        json << "    {\"queue\": \"" << sim::queueKindName(arm.queue)
+             << "\", \"shards\": " << arm.shards
+             << ", \"workers\": " << arm.workers
+             << ", \"best_wall_seconds\": " << arm.bestWall
              << ", \"events_per_sec\": " << eps
-             << ", \"speedup_vs_serial\": " << eps / serialEps << "}"
-             << (i + 1 < arms.size() ? "," : "") << "\n";
+             << ", \"speedup_vs_serial\": " << eps / anchor
+             << ", \"window_imbalance\": " << arm.imbalance
+             << ", \"shard_events\": [";
+        for (std::size_t s = 0; s < arm.shardEvents.size(); ++s)
+            json << (s ? ", " : "") << arm.shardEvents[s];
+        json << "]}" << (i + 1 < arms.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
-         << "  \"speedup_8_shards\": " << speedup8 << ",\n"
+         << "  \"serial_events_per_sec\": {\"heap\": " << heapSerial
+         << ", \"calendar\": " << calSerial << "},\n"
+         << "  \"calendar_vs_heap_serial_ratio\": "
+         << calSerial / heapSerial << ",\n"
+         << "  \"single_thread_host\": "
+         << (hw < 2 ? "true" : "false") << ",\n"
          << "  \"bit_identical\": "
          << (identical ? "true" : "false") << "\n"
          << "}\n";

@@ -86,6 +86,84 @@ BM_EventQueueTraceEnabled(benchmark::State &state)
 BENCHMARK(BM_EventQueueTraceEnabled);
 
 void
+BM_QueueHold(benchmark::State &state)
+{
+    // Classic hold model (Vaucher & Duval): keep the queue at a fixed
+    // depth and alternate dispatch-one / schedule-one at an
+    // exponential gap ahead. Steady-state cost per event as a function
+    // of depth is exactly where the heap's O(log n) and the calendar's
+    // amortized O(1) diverge; sweep the depth axis on both backends to
+    // find the crossover.
+    const auto kind = sim::QueueKind(state.range(0));
+    const auto depth = std::size_t(state.range(1));
+    sim::EventQueue eq(kind);
+    eq.reserve(depth + 16);
+    SplitMix64 rng(42);
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < depth; ++i)
+        eq.schedule(rng.exponential(1.0), [&sink] { ++sink; });
+    for (auto _ : state) {
+        eq.step();
+        eq.schedule(eq.now() + rng.exponential(1.0),
+                    [&sink] { ++sink; });
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(sim::queueKindName(kind));
+}
+BENCHMARK(BM_QueueHold)
+    ->Args({0, 1 << 8})
+    ->Args({1, 1 << 8})
+    ->Args({0, 1 << 12})
+    ->Args({1, 1 << 12})
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16})
+    ->Args({0, 1 << 18})
+    ->Args({1, 1 << 18});
+
+void
+BM_QueueEnsembleMix(benchmark::State &state)
+{
+    // Ensemble-shaped churn at fixed depth: completions arrive at
+    // short exponential gaps while every server keeps one governor
+    // timer pending at a fixed horizon, rescheduled (cancel + insert)
+    // whenever its server sees traffic — the idle-to-sleep governor
+    // racing arrivals in perfsim/ensemble_sim. Cancels hit both
+    // backends' stale-slot machinery, so the crossover depth here is
+    // the one that matters for shard sizing.
+    const auto kind = sim::QueueKind(state.range(0));
+    const auto depth = std::size_t(state.range(1)); // power of two
+    sim::EventQueue eq(kind);
+    eq.reserve(2 * depth + 16);
+    SplitMix64 rng(7);
+    std::uint64_t sink = 0;
+    std::vector<sim::EventId> timers(depth, 0);
+    for (std::size_t i = 0; i < depth; ++i)
+        eq.schedule(rng.exponential(0.25), [&sink] { ++sink; });
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        eq.step();
+        eq.schedule(eq.now() + rng.exponential(0.25),
+                    [&sink] { ++sink; });
+        sim::EventId &slot = timers[cursor];
+        if (slot)
+            eq.cancel(slot);
+        slot = eq.schedule(eq.now() + 1.0, [&sink] { ++sink; });
+        cursor = (cursor + 1) & (depth - 1);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(sim::queueKindName(kind));
+}
+BENCHMARK(BM_QueueEnsembleMix)
+    ->Args({0, 1 << 8})
+    ->Args({1, 1 << 8})
+    ->Args({0, 1 << 12})
+    ->Args({1, 1 << 12})
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16});
+
+void
 BM_PsResourceChurn(benchmark::State &state)
 {
     const auto jobs = std::size_t(state.range(0));

@@ -30,10 +30,22 @@ ensembleConfig(const DiurnalProfile &profile, PowerPolicy policy,
     cfg.cells = params.cells;
     cfg.shards = params.shards;
     cfg.workers = params.workers;
+    cfg.queue = params.queue;
     cfg.hours = params.hours;
     cfg.secondsPerHour = params.secondsPerHour;
     cfg.profile = profile.hourly;
     cfg.peakUtilization = params.peakUtilization;
+
+    // Design coupling: a platform with relative performance p serves
+    // each request in 1/p of the reference service demand. Arrival
+    // rates are sized off peakUtilization x capacity, and capacity
+    // scales with 1/meanService, so a faster design also faces
+    // proportionally more offered load — utilization stays at the
+    // design point while latency slack against the fixed QoS deadline
+    // widens, which is exactly the effect worth ranking designs by.
+    WSC_ASSERT(params.serviceDemandScale > 0.0,
+               "service demand scale must be positive");
+    cfg.meanServiceSeconds /= params.serviceDemandScale;
 
     // Same power envelope the closed-form model prices: busy power is
     // the activity-factor de-rated max, idle its configured fraction.
@@ -68,6 +80,7 @@ rankEnsemblePolicies(const DiurnalProfile &profile,
                         PowerPolicy::PowerOff}) {
         EnsemblePolicyOutcome o;
         o.policy = policy;
+        o.design = params.designName;
         o.measured =
             perfsim::runEnsemble(ensembleConfig(profile, policy, params));
         o.analytical = dailyEnergy(profile, policy, params.energy);
@@ -89,6 +102,7 @@ ensembleReport(const EnsemblePolicyOutcome &outcome)
     const auto &m = outcome.measured;
     obs::EnsembleReport r;
     r.policy = to_string(outcome.policy);
+    r.design = outcome.design;
     r.servers = m.servers;
     r.cells = m.cells;
     r.hours = m.hours;

@@ -15,6 +15,7 @@
 #ifndef WSC_CORE_ENSEMBLE_HH
 #define WSC_CORE_ENSEMBLE_HH
 
+#include <string>
 #include <vector>
 
 #include "core/diurnal.hh"
@@ -34,6 +35,9 @@ struct EnsembleEvalParams {
     unsigned cells = 16;   //!< dispatch domains (model topology)
     unsigned shards = 1;   //!< physical event queues (execution knob)
     unsigned workers = 1;  //!< threads (0 = min(shards, hardware))
+    /** Event-ordering backend (execution knob; heap is the oracle,
+     * calendar the fast path — results are byte-identical). */
+    sim::QueueKind queue = sim::QueueKind::Heap;
     unsigned hours = 24;
     /** Duty-cycle compression: simulated seconds per modeled hour. */
     double secondsPerHour = 5.0;
@@ -48,11 +52,21 @@ struct EnsembleEvalParams {
     double powerCapWatts = 0.0; //!< 0 disables the ensemble cap
     perfsim::MmppConfig mmpp;   //!< flash-crowd bursts
     std::uint64_t seed = 1;
+
+    /** Platform-design coupling. A faster design serves each request
+     * in less time: the mean service demand is divided by this
+     * relative-performance factor (the design-space aggregate's perf
+     * score), so --ensemble ranks policies on the fleet actually
+     * being evaluated rather than a fixed reference server. 1.0 and
+     * an empty name reproduce the uncoupled runs byte for byte. */
+    double serviceDemandScale = 1.0;
+    std::string designName; //!< report key `ensemble.design`
 };
 
 /** Measured + analytical evaluation of one policy. */
 struct EnsemblePolicyOutcome {
     PowerPolicy policy = PowerPolicy::AlwaysOn;
+    std::string design; //!< design the run was coupled to; may be ""
     perfsim::EnsembleResult measured;
     DiurnalEnergy analytical;
 };

@@ -129,6 +129,10 @@ writeEnsemble(JsonWriter &w, const EnsembleReport &e,
 {
     w.beginObject();
     w.key("policy").value(e.policy);
+    // Omitted when empty: plain (design-free) ensemble runs keep
+    // their byte layout.
+    if (!e.design.empty())
+        w.key("design").value(e.design);
     w.key("servers").value(e.servers);
     w.key("cells").value(e.cells);
     w.key("hours").value(e.hours);

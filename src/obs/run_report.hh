@@ -142,6 +142,9 @@ struct AvailReport {
  */
 struct EnsembleReport {
     std::string policy;
+    /** Platform design the service demand was scaled by; empty (and
+     * the JSON field omitted) for plain ensemble runs. */
+    std::string design;
     std::uint64_t servers = 0;
     std::uint64_t cells = 0;
     std::uint64_t hours = 0;

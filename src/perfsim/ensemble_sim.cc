@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <memory>
 
 #include "perfsim/request_arena.hh"
 #include "sim/sharded_queue.hh"
@@ -52,6 +51,35 @@ namespace {
 
 constexpr unsigned kLatencyBins = 1024;
 
+/**
+ * Batched unit-exponential pregeneration. The hot path draws one
+ * inter-arrival gap and one service time per job, and every
+ * hour-barrier reprogram cancels and redraws each cell's pending
+ * arrival; refilling in blocks keeps the SplitMix64 mixing and the
+ * log1p calls in a tight loop the compiler can schedule instead of a
+ * call per event. Storing UNIT exponentials and scaling at use makes
+ * the buffer reprogram-safe — a rate change rescales future draws
+ * without discarding anything (exponentials are memoryless) — and
+ * exact: exponential(mean) computes -log1p(-u) * mean, and
+ * (-log1p(-u) * 1.0) * mean is the same double, so batched results
+ * are bit-identical to unbatched ones, draw for draw.
+ */
+struct ExpBatch {
+    std::array<double, 256> buf{};
+    std::uint32_t idx = std::uint32_t(buf.size());
+
+    double
+    next(SplitMix64 &g)
+    {
+        if (idx == buf.size()) {
+            for (double &v : buf)
+                v = g.exponential(1.0);
+            idx = 0;
+        }
+        return buf[idx++];
+    }
+};
+
 /** Pooled per-job state; queued jobs chain through `next`. */
 struct Job {
     double arrival = 0.0;
@@ -80,8 +108,10 @@ struct Cell {
      * while keeping the identity-seeded determinism contract. */
     SplitMix64 rng{0};
     /** Arrival-side draws: inter-arrival delays, service times, MMPP
-     * dwells. */
+     * dwells. All of them are exponential, so they share one batch of
+     * pregenerated unit draws scaled at use. */
     SplitMix64 arr{0};
+    ExpBatch unitExp;
 
     // Per-server state, SoA.
     std::vector<ServerState> state;
@@ -136,7 +166,7 @@ struct EnsembleSim {
     std::uint64_t capClamps = 0;
 
     explicit EnsembleSim(const EnsembleConfig &cfg)
-        : cfg(cfg), sq(cfg.cells, cfg.shards),
+        : cfg(cfg), sq(cfg.cells, cfg.shards, cfg.queue),
           hourSeconds(cfg.secondsPerHour),
           horizon(double(cfg.hours) * cfg.secondsPerHour),
           binWidth(4.0 * cfg.qosLatencySeconds / kLatencyBins),
@@ -494,7 +524,7 @@ struct EnsembleSim {
             c.arrivalEvent = 0;
         }
         if (c.rate > 0.0) {
-            double delay = c.arr.exponential(c.meanGap);
+            double delay = c.unitExp.next(c.arr) * c.meanGap;
             EnsembleSim *sim = this;
             std::uint32_t ci = c.idx;
             c.arrivalEvent = sq.laneQueue(ci).schedule(
@@ -509,7 +539,8 @@ struct EnsembleSim {
         double now = sq.laneQueue(ci).now();
         c.arrivalEvent = 0;
         ++c.offered;
-        double service = c.arr.exponential(cfg.meanServiceSeconds);
+        double service =
+            c.unitExp.next(c.arr) * cfg.meanServiceSeconds;
         dispatch(ci, now, service, false);
         rescheduleArrival(c, now);
     }
@@ -526,9 +557,9 @@ struct EnsembleSim {
         // the pending arrival and redrawing at the new rate is an
         // exact rate change, not an approximation.
         rescheduleArrival(c, now);
-        double dwell = c.arr.exponential(
-            c.inBurst ? cfg.mmpp.burstMeanSeconds
-                      : cfg.mmpp.calmMeanSeconds);
+        double dwell = c.unitExp.next(c.arr) *
+                       (c.inBurst ? cfg.mmpp.burstMeanSeconds
+                                  : cfg.mmpp.calmMeanSeconds);
         EnsembleSim *sim = this;
         sq.laneQueue(ci).schedule(
             now + dwell, [sim, ci] { sim->mmppFlip(ci); });
@@ -677,7 +708,9 @@ struct EnsembleSim {
             c.hourCompleted.assign(cfg.hours, 0);
             c.hourViolations.assign(cfg.hours, 0);
             c.latBins.assign(kLatencyBins, 0);
-            c.arena.reserve(1024);
+            // Expected arena occupancy: every slot of every server
+            // can hold an in-service job, plus queued headroom.
+            c.arena.reserve(std::size_t(c.n) * cfg.serverSlots + 256);
 
             // Initial condition: everyone awake and idle, except that
             // PowerOff starts with only its hour-0 target on (no boot
@@ -709,8 +742,8 @@ struct EnsembleSim {
             }
             rescheduleArrival(c, 0.0);
             if (cfg.mmpp.enabled) {
-                double dwell = c.arr.exponential(
-                    cfg.mmpp.calmMeanSeconds);
+                double dwell = c.unitExp.next(c.arr) *
+                               cfg.mmpp.calmMeanSeconds;
                 EnsembleSim *sim = this;
                 sq.laneQueue(ci).schedule(
                     dwell, [sim, ci] { sim->mmppFlip(ci); });
@@ -766,7 +799,10 @@ runEnsemble(const EnsembleConfig &cfg)
     validate(cfg);
 
     EnsembleSim sim(cfg);
-    sim.sq.reserve(std::size_t(cfg.servers) /
+    // Expected per-shard event occupancy: a completion per busy slot
+    // plus a governor timer per awake server, split across shards.
+    sim.sq.reserve(std::size_t(cfg.servers) *
+                       (std::size_t(cfg.serverSlots) + 1) /
                        std::max(1u, std::min(cfg.shards, cfg.cells)) +
                    1024);
     sim.setup();
@@ -775,16 +811,10 @@ runEnsemble(const EnsembleConfig &cfg)
     if (workers == 0)
         workers = std::min(cfg.shards,
                            std::max(1u, ThreadPool::defaultThreads()));
-    std::unique_ptr<ThreadPool> local;
-    ThreadPool *pool = nullptr;
-    if (workers > 1 && cfg.shards > 1) {
-        local = std::make_unique<ThreadPool>(workers);
-        pool = local.get();
-    }
 
     auto t0 = std::chrono::steady_clock::now();
     auto stats = sim.sq.run(
-        sim.horizon, cfg.networkLatencySeconds, pool,
+        sim.horizon, cfg.networkLatencySeconds, workers,
         [&](sim::Time now) { sim.onBarrier(now); });
     double wall =
         std::chrono::duration<double>(
@@ -884,6 +914,8 @@ runEnsemble(const EnsembleConfig &cfg)
     r.eventsDispatched = kernel.dispatched;
     r.crossCellMessages = stats.messages;
     r.windows = stats.windows;
+    r.shardEvents = std::move(stats.shardDispatched);
+    r.meanWindowImbalance = stats.meanWindowImbalance;
     r.wallSeconds = wall;
     return r;
 }

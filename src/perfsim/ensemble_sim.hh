@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "power/sleep_states.hh"
+#include "sim/event_queue.hh"
 
 namespace wsc {
 namespace perfsim {
@@ -100,6 +101,11 @@ struct EnsembleConfig {
     unsigned shards = 1;  //!< physical event queues (execution knob)
     /** Threads executing shards; 0 = min(shards, hardware). */
     unsigned workers = 1;
+    /** Event-ordering backend of every shard queue. An execution
+     * knob like shards/workers: both backends dispatch the identical
+     * (time, seq) order, so results are byte-identical either way.
+     * The heap is the oracle; the calendar is the fast path. */
+    sim::QueueKind queue = sim::QueueKind::Heap;
 
     unsigned hours = 24;  //!< simulated hours (indexes the profile)
     /** Duty-cycle compression: each simulated hour lasts this many
@@ -181,6 +187,14 @@ struct EnsembleResult {
     std::uint64_t eventsDispatched = 0;
     std::uint64_t crossCellMessages = 0;
     std::uint64_t windows = 0;
+
+    /** Per-shard dispatch totals and the mean per-window imbalance
+     * (busiest shard's share x shards; 1.0 = balanced). Execution
+     * observables — they depend on the shard count and lane packing,
+     * so they are excluded from identity comparisons, like
+     * wallSeconds. */
+    std::vector<std::uint64_t> shardEvents;
+    double meanWindowImbalance = 1.0;
 
     double wallSeconds = 0.0;  //!< not shard-invariant; not identity
 };

@@ -25,7 +25,27 @@ makeId(std::uint32_t slot, std::uint32_t gen)
 
 } // namespace
 
-EventQueue::EventQueue()
+bool
+parseQueueKind(const std::string &name, QueueKind &out)
+{
+    if (name == "heap") {
+        out = QueueKind::Heap;
+        return true;
+    }
+    if (name == "calendar") {
+        out = QueueKind::Calendar;
+        return true;
+    }
+    return false;
+}
+
+const char *
+queueKindName(QueueKind kind)
+{
+    return kind == QueueKind::Heap ? "heap" : "calendar";
+}
+
+EventQueue::EventQueue(QueueKind kind) : kind_(kind)
 {
     reserve(kDefaultReserve);
 }
@@ -33,7 +53,10 @@ EventQueue::EventQueue()
 void
 EventQueue::reserve(std::size_t events)
 {
-    heap.reserve(events);
+    if (kind_ == QueueKind::Heap)
+        heap.reserve(events);
+    else
+        cal_.reserve(events);
     slotGen.reserve(events);
     slotAction.reserve(events);
     slotOwner.reserve(events);
@@ -80,12 +103,17 @@ EventQueue::schedule(Time when, InlineAction &&action,
     std::uint32_t gen = slotGen[slot];
     slotAction[slot] = std::move(action);
     slotOwner[slot] = owner;
-    heap.push_back(Entry{when, nextSeq++, slot, gen});
-    std::push_heap(heap.begin(), heap.end(), Later{});
+    Entry e{when, nextSeq++, slot, gen};
+    if (kind_ == QueueKind::Heap) {
+        heap.push_back(e);
+        std::push_heap(heap.begin(), heap.end(), Later{});
+    } else {
+        cal_.push(e);
+    }
     ++live_;
     ++counters_.scheduled;
-    if (heap.size() > counters_.peakHeap)
-        counters_.peakHeap = heap.size();
+    if (entriesHeld() > counters_.peakHeap)
+        counters_.peakHeap = entriesHeld();
     EventId id = makeId(slot, gen);
     if (tracer_)
         tracer_({TraceRecord::Kind::Schedule, now_, when, id});
@@ -117,16 +145,17 @@ EventQueue::cancelIf(
     const std::function<bool(EventId, Time, std::uint64_t)> &pred)
 {
     WSC_ASSERT(pred, "null bulk-cancel predicate");
-    // One sweep over heap storage; heap order is irrelevant because
-    // cancellation only flips generation stamps. Entries already stale
-    // are skipped so the predicate sees each live event exactly once.
+    // One sweep over entry storage; ordering-structure invariants are
+    // unaffected because cancellation only flips generation stamps.
+    // Entries already stale are skipped so the predicate sees each
+    // live event exactly once.
     std::size_t n = 0;
-    for (const Entry &e : heap) {
+    auto visit = [&](const Entry &e) {
         if (!liveEntry(e))
-            continue;
+            return;
         EventId id = makeId(e.slot, e.gen);
         if (!pred(id, e.when, slotOwner[e.slot]))
-            continue;
+            return;
         releaseSlot(e.slot);
         slotAction[e.slot].reset();
         --live_;
@@ -135,6 +164,12 @@ EventQueue::cancelIf(
         ++n;
         if (tracer_)
             tracer_({TraceRecord::Kind::Cancel, now_, e.when, id});
+    };
+    if (kind_ == QueueKind::Heap) {
+        for (const Entry &e : heap)
+            visit(e);
+    } else {
+        cal_.forEach(visit);
     }
     if (n)
         maybeCompact();
@@ -155,16 +190,21 @@ EventQueue::maybeCompact()
 {
     // Rebuild once cancelled entries outnumber half the live pending
     // set (and are numerous enough for the O(n) rebuild to pay off);
-    // keeps heap storage proportional to live events under
+    // keeps entry storage proportional to live events under
     // schedule/cancel churn instead of growing with cancel volume.
     if (stale_ < kCompactMinStale || stale_ * 2 <= live_)
         return;
-    heap.erase(std::remove_if(heap.begin(), heap.end(),
-                              [this](const Entry &e) {
-                                  return !liveEntry(e);
-                              }),
-               heap.end());
-    std::make_heap(heap.begin(), heap.end(), Later{});
+    if (kind_ == QueueKind::Heap) {
+        heap.erase(std::remove_if(heap.begin(), heap.end(),
+                                  [this](const Entry &e) {
+                                      return !liveEntry(e);
+                                  }),
+                   heap.end());
+        std::make_heap(heap.begin(), heap.end(), Later{});
+    } else {
+        cal_.removeIf(
+            [this](const Entry &e) { return !liveEntry(e); });
+    }
     stale_ = 0;
     ++counters_.compactions;
 }
@@ -172,19 +212,23 @@ EventQueue::maybeCompact()
 void
 EventQueue::skipStale()
 {
-    while (!heap.empty() && !liveEntry(heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), Later{});
-        heap.pop_back();
-        --stale_;
+    if (kind_ == QueueKind::Heap) {
+        while (!heap.empty() && !liveEntry(heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), Later{});
+            heap.pop_back();
+            --stale_;
+        }
+    } else {
+        while (!cal_.empty() && !liveEntry(cal_.min())) {
+            cal_.popMin();
+            --stale_;
+        }
     }
 }
 
 void
-EventQueue::dispatchTop()
+EventQueue::dispatchEntry(const Entry &e)
 {
-    std::pop_heap(heap.begin(), heap.end(), Later{});
-    Entry e = heap.back();
-    heap.pop_back();
     // Move the action out of the slot pool before releasing the slot,
     // so it survives dispatch even if it schedules further events
     // that reuse the slot.
@@ -199,18 +243,33 @@ EventQueue::dispatchTop()
     action();
 }
 
+void
+EventQueue::dispatchTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry e = heap.back();
+    heap.pop_back();
+    dispatchEntry(e);
+}
+
 bool
 EventQueue::step()
 {
     skipStale();
-    if (heap.empty())
-        return false;
-    dispatchTop();
+    if (kind_ == QueueKind::Heap) {
+        if (heap.empty())
+            return false;
+        dispatchTop();
+    } else {
+        if (cal_.empty())
+            return false;
+        dispatchEntry(cal_.popMin());
+    }
     return true;
 }
 
 std::uint64_t
-EventQueue::run(Time until)
+EventQueue::runHeap(Time until)
 {
     // Hand-fused skipStale + horizon check: one load of the heap top
     // decides stale-pop, past-horizon, or dispatch. This loop is the
@@ -230,6 +289,35 @@ EventQueue::run(Time until)
         dispatchTop();
         ++n;
     }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runCalendar(Time until)
+{
+    // Same fused shape as runHeap; min() settles the calendar cursor
+    // once and repeated calls between pushes are O(1).
+    std::uint64_t n = 0;
+    while (!cal_.empty()) {
+        const Entry &top = cal_.min();
+        if (!liveEntry(top)) {
+            cal_.popMin();
+            --stale_;
+            continue;
+        }
+        if (top.when > until)
+            break;
+        dispatchEntry(cal_.popMin());
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::run(Time until)
+{
+    std::uint64_t n = kind_ == QueueKind::Heap ? runHeap(until)
+                                               : runCalendar(until);
     if (now_ < until)
         now_ = until;
     return n;

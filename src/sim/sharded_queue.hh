@@ -12,13 +12,23 @@
  *
  * Execution is classic conservative windowing: all shards advance to
  * a common horizon (the window end, one lookahead past the window
- * start), then a single-threaded barrier delivers the cross-lane
- * messages sent during the window and runs the control-plane
- * callback. Within a window, lanes may not touch each other's state —
- * every cross-lane interaction must be a post() whose delay is at
- * least the lookahead, which is why the windows can run without
- * rollback. The model's lookahead is physical: the network/dispatch
- * latency between servers in different lanes.
+ * start), then a barrier delivers the cross-lane messages sent during
+ * the window and runs the control-plane callback. Within a window,
+ * lanes may not touch each other's state — every cross-lane
+ * interaction must be a post() whose delay is at least the lookahead,
+ * which is why the windows can run without rollback. The model's
+ * lookahead is physical: the network/dispatch latency between servers
+ * in different lanes.
+ *
+ * Worker execution: run() owns a persistent spin-then-park worker
+ * team for the whole call (threads are created once, not per
+ * window). Each window is two fan-out phases — advance every shard
+ * to the horizon, then drain mailboxes in parallel by destination
+ * shard — separated by epoch barriers that are a single atomic store
+ * plus bounded spinning in the common case; workers park on a
+ * condition variable only after the spin budget expires, so
+ * microsecond-scale windows never pay a futex round trip. The
+ * control-plane callback still runs single-threaded between windows.
  *
  * Determinism argument (the contract the ensemble tests pin):
  *  - A lane's events execute in (time, FIFO-seq) order. Co-locating
@@ -28,7 +38,11 @@
  *  - Cross-lane messages are delivered at the barrier in (dst lane,
  *    src lane, send order) — a function of the lane grid only, never
  *    of the lane-to-shard map — so the dst queue's schedule order
- *    (and thus its FIFO tie-breaks) is shard-count-invariant.
+ *    (and thus its FIFO tie-breaks) is shard-count-invariant. The
+ *    parallel drain preserves this exactly: each worker owns a whole
+ *    destination shard and walks its dst lanes in ascending order,
+ *    so every queue sees the same schedule sequence the serial drain
+ *    would produce.
  *  - Randomness must come from per-lane streams derived by identity
  *    (Rng::stream), never from a queue- or thread-associated engine.
  */
@@ -42,7 +56,6 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
-#include "util/thread_pool.hh"
 
 namespace wsc {
 namespace sim {
@@ -59,6 +72,16 @@ class ShardedEventQueue
         std::uint64_t windows = 0;    //!< barriers executed
         std::uint64_t messages = 0;   //!< cross-lane posts delivered
         std::uint64_t dispatched = 0; //!< events run across shards
+        /** Events dispatched per shard over the run, indexed by
+         * shard. Depends on the lane-to-shard packing: an execution
+         * observable, never an identity one. */
+        std::vector<std::uint64_t> shardDispatched;
+        /** Mean over non-empty windows of (busiest shard's events x
+         * shards / window total). 1.0 = perfectly balanced; shards()
+         * = one shard did everything. With one shard, always 1.0.
+         * The number a worker-count decision should look at: high
+         * imbalance caps parallel speedup regardless of core count. */
+        double meanWindowImbalance = 1.0;
     };
 
     /**
@@ -73,12 +96,16 @@ class ShardedEventQueue
      * @param shards physical queue count, clamped to [1, lanes];
      *     lane l executes on queue l * shards / lanes (blocked map,
      *     so neighbouring lanes share a shard and its cache lines)
+     * @param kind   event-ordering backend for every shard queue; an
+     *     execution knob (both kinds dispatch the identical order)
      */
-    ShardedEventQueue(unsigned lanes, unsigned shards);
+    ShardedEventQueue(unsigned lanes, unsigned shards,
+                      QueueKind kind = QueueKind::Heap);
 
     unsigned lanes() const { return unsigned(laneShard_.size()); }
     unsigned shards() const { return unsigned(queues_.size()); }
     unsigned shardOf(unsigned lane) const { return laneShard_[lane]; }
+    QueueKind kind() const { return kind_; }
 
     /** The queue executing @p lane; schedule a lane's own events
      * here. Outside run() (setup, barrier) any lane's queue may be
@@ -105,16 +132,18 @@ class ShardedEventQueue
 
     /**
      * Advance every shard to @p until in windows of @p lookahead.
-     * Shards fan out over @p pool (nullptr or a single shard runs
-     * them serially in the caller); @p onBarrier, if set, runs after
-     * each window. Execution order inside a window is per-shard
-     * (time, FIFO) order; see the file comment for why results do
-     * not depend on the shard count.
+     * @p workers is the thread count executing shard work (clamped
+     * to [1, shards]; 1 runs everything in the caller — the workers
+     * value is an execution knob and never changes results).
+     * @p onBarrier, if set, runs single-threaded after each window.
+     * Execution order inside a window is per-shard (time, FIFO)
+     * order; see the file comment for why results do not depend on
+     * the shard count or worker count.
      */
-    RunStats run(Time until, Time lookahead, ThreadPool *pool = nullptr,
+    RunStats run(Time until, Time lookahead, unsigned workers = 1,
                  const BarrierFn &onBarrier = {});
 
-    /** Pre-size each shard's heap and slot pool. */
+    /** Pre-size each shard's entry storage and slot pool. */
     void reserve(std::size_t eventsPerShard);
 
     /**
@@ -131,14 +160,21 @@ class ShardedEventQueue
         InlineAction action;
     };
 
+    QueueKind kind_;
     std::vector<std::unique_ptr<EventQueue>> queues_;
     std::vector<unsigned> laneShard_;
     /** Outboxes indexed src * lanes + dst. A row is written only by
-     * the thread executing its src lane and drained single-threaded
-     * at the barrier. */
+     * the thread executing its src lane during a window and drained
+     * by the thread owning the dst shard at the barrier (the two
+     * phases are separated by a full barrier, so no row is ever
+     * touched from two threads concurrently). */
     std::vector<std::vector<Msg>> outbox_;
     Time windowStart_ = 0.0;
     Time windowEnd_ = 0.0;
+
+    /** Deliver every pending message bound for @p shard, in (dst
+     * lane asc, src lane asc, send order). @return messages moved. */
+    std::uint64_t drainShard(unsigned shard);
 };
 
 } // namespace sim

@@ -1,7 +1,8 @@
 /**
  * @file
  * Ensemble-DES tests: the sharded-queue determinism contract
- * (byte-identical reports at 1/2/8 shards and across worker counts),
+ * (byte-identical reports at 1/2/8 shards, across worker counts, and
+ * between the heap and calendar event-queue backends),
  * sleep-state wake-latency accounting, MMPP burst rates, power-cap
  * clamping, zero-load hours, the policy energy ordering, and config
  * validation.
@@ -97,6 +98,31 @@ TEST(Ensemble, BitIdenticalAcrossWorkerCounts)
     EXPECT_EQ(identityJson(runEnsemble(cfg)), serial);
     cfg.workers = 0; // min(shards, hardware)
     EXPECT_EQ(identityJson(runEnsemble(cfg)), serial);
+}
+
+// The event-queue backend is the third execution knob: the calendar
+// queue must reproduce the heap oracle's bytes at every shard and
+// worker count, because both dispatch the identical (time, seq)
+// order. This is the cross-backend acceptance gate; the per-operation
+// cross-check lives in test_calendar_queue.
+TEST(Ensemble, BitIdenticalAcrossQueueBackends)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.queue = sim::QueueKind::Heap;
+    std::string ref = identityJson(runEnsemble(cfg));
+
+    cfg.queue = sim::QueueKind::Calendar;
+    for (unsigned shards : {1u, 2u, 8u}) {
+        cfg.shards = shards;
+        for (unsigned workers : {1u, 2u}) {
+            if (workers > shards)
+                continue;
+            cfg.workers = workers;
+            EXPECT_EQ(identityJson(runEnsemble(cfg)), ref)
+                << "calendar shards=" << shards
+                << " workers=" << workers;
+        }
+    }
 }
 
 // Wake-up latency is the cost consolidation pays: the same fleet with

@@ -175,6 +175,10 @@ main(int argc, char **argv)
                    "threads executing the shards (0 = min(shards, "
                    "hardware))",
                    "1")
+        .addOption("ensemble-queue",
+                   "event-queue backend: heap|calendar (execution "
+                   "knob; results are byte-identical)",
+                   "heap")
         .addOption("ensemble-hours", "simulated hours", "24")
         .addOption("ensemble-seconds-per-hour",
                    "duty-cycle compression: simulated seconds per "
@@ -354,6 +358,15 @@ main(int argc, char **argv)
             if (eWorkers < 0 || eWorkers > 4096)
                 fatal("--ensemble-workers must be in [0, 4096]");
             ep.workers = unsigned(eWorkers);
+            if (!sim::parseQueueKind(args.get("ensemble-queue"),
+                                     ep.queue))
+                fatal("--ensemble-queue must be heap|calendar");
+            // Couple the fleet to the evaluated design: its relative
+            // performance (harmonic mean over the suite, vs the
+            // baseline) scales per-request service demand, so the
+            // policy ranking reflects the platform being evaluated.
+            ep.designName = design.name;
+            ep.serviceDemandScale = agg.perf;
             double eHours = args.getDouble("ensemble-hours");
             if (eHours < 1 || eHours > 24)
                 fatal("--ensemble-hours must be in [1, 24]");
@@ -397,11 +410,14 @@ main(int argc, char **argv)
                            fmtF(m.score, 1)});
                 ensembleEntries.push_back(ensembleReport(o));
             }
-            std::cout << "\nEnsemble policy ranking ("
+            std::cout << "\nEnsemble policy ranking for design "
+                      << design.name << " (service demand x"
+                      << fmtF(1.0 / ep.serviceDemandScale, 3) << ", "
                       << ep.energy.servers << " servers, " << ep.cells
                       << " cells, " << ep.hours << " h x "
                       << ep.secondsPerHour << " s, profile=" << shape
                       << (ep.mmpp.enabled ? ", mmpp" : "")
+                      << ", queue=" << sim::queueKindName(ep.queue)
                       << "; score = kWh / attainment, lower wins):\n\n";
             if (args.flag("csv"))
                 et.printCsv(std::cout);
