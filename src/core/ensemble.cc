@@ -66,6 +66,7 @@ ensembleConfig(const DiurnalProfile &profile, PowerPolicy policy,
     cfg.reserveMargin = params.energy.reserveMargin;
     cfg.powerCapWatts = params.powerCapWatts;
     cfg.mmpp = params.mmpp;
+    cfg.fast = params.fast;
     cfg.seed = params.seed;
     return cfg;
 }
@@ -74,10 +75,12 @@ std::vector<EnsemblePolicyOutcome>
 rankEnsemblePolicies(const DiurnalProfile &profile,
                      const EnsembleEvalParams &params)
 {
+    std::vector<PowerPolicy> policies = params.policies;
+    if (policies.empty())
+        policies = {PowerPolicy::AlwaysOn, PowerPolicy::ConsolidateIdle,
+                    PowerPolicy::PowerOff};
     std::vector<EnsemblePolicyOutcome> out;
-    for (auto policy : {PowerPolicy::AlwaysOn,
-                        PowerPolicy::ConsolidateIdle,
-                        PowerPolicy::PowerOff}) {
+    for (auto policy : policies) {
         EnsemblePolicyOutcome o;
         o.policy = policy;
         o.design = params.designName;
@@ -140,6 +143,10 @@ ensembleReport(const EnsemblePolicyOutcome &outcome)
     r.eventsDispatched = m.eventsDispatched;
     r.crossCellMessages = m.crossCellMessages;
     r.windows = m.windows;
+    // Stamped only for fast-mode runs; exact reports omit the key and
+    // stay byte-identical to pre-fast-mode output.
+    r.fastMode =
+        m.fastMode ? sim::EnsembleFastConfig::contractVersion() : "";
     r.wallSeconds = m.wallSeconds;
     return r;
 }

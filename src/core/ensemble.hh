@@ -51,6 +51,13 @@ struct EnsembleEvalParams {
     double peakUtilization = 0.6;
     double powerCapWatts = 0.0; //!< 0 disables the ensemble cap
     perfsim::MmppConfig mmpp;   //!< flash-crowd bursts
+    /** fast-mode/2 macro-event coalescing (sim/fast_mode.hh); off =
+     * the exact engine, byte-identical reports. */
+    sim::EnsembleFastConfig fast;
+    /** Policies to evaluate; empty = all three (the default ranking).
+     * A single entry turns rankEnsemblePolicies into a single-policy
+     * run (wsc_eval --ensemble-policy). */
+    std::vector<PowerPolicy> policies;
     std::uint64_t seed = 1;
 
     /** Platform-design coupling. A faster design serves each request

@@ -134,34 +134,39 @@ TraceStreamWriter::close()
 // TraceStream
 // --------------------------------------------------------------------
 
-TraceStream::TraceStream(const std::string &path) : path_(path)
+TraceStream::TraceStream(const std::string &path, bool forceBuffered)
+    : path_(path)
 {
     // Learn the real file size first: every header field is checked
     // against it before any record-sized allocation or read happens.
     std::uint64_t fileSize = 0;
 
 #if WSC_HAVE_MMAP
-    int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        fatal("cannot open '" + path + "'");
-    struct stat st;
-    if (::fstat(fd, &st) != 0) {
-        ::close(fd);
-        fatal("cannot stat '" + path + "'");
-    }
-    fileSize = std::uint64_t(st.st_size);
-    if (fileSize >= kHeaderSize) {
-        void *m = ::mmap(nullptr, std::size_t(fileSize), PROT_READ,
-                         MAP_PRIVATE, fd, 0);
-        if (m != MAP_FAILED) {
-            base = static_cast<const unsigned char *>(m);
-            mapLen = std::size_t(fileSize);
-#if defined(MADV_SEQUENTIAL)
-            ::madvise(m, mapLen, MADV_SEQUENTIAL);
-#endif
+    if (!forceBuffered) {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            fatal("cannot open '" + path + "'");
+        struct stat st;
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            fatal("cannot stat '" + path + "'");
         }
+        fileSize = std::uint64_t(st.st_size);
+        if (fileSize >= kHeaderSize) {
+            void *m = ::mmap(nullptr, std::size_t(fileSize), PROT_READ,
+                             MAP_PRIVATE, fd, 0);
+            if (m != MAP_FAILED) {
+                base = static_cast<const unsigned char *>(m);
+                mapLen = std::size_t(fileSize);
+#if defined(MADV_SEQUENTIAL)
+                ::madvise(m, mapLen, MADV_SEQUENTIAL);
+#endif
+            }
+        }
+        ::close(fd);
     }
-    ::close(fd);
+#else
+    (void)forceBuffered;
 #endif
 
     unsigned char h[kHeaderSize];

@@ -122,7 +122,15 @@ class TraceStreamWriter
 class TraceStream
 {
   public:
-    explicit TraceStream(const std::string &path);
+    /**
+     * @param forceBuffered Skip the mmap attempt and serve batches
+     *        through the buffered-ifstream fallback. A test hook: the
+     *        fallback otherwise only runs on platforms without mmap
+     *        (or when mapping fails), so its identity with the mapped
+     *        path would go unexercised by CI.
+     */
+    explicit TraceStream(const std::string &path,
+                         bool forceBuffered = false);
     ~TraceStream();
 
     TraceStream(const TraceStream &) = delete;

@@ -186,6 +186,9 @@ writeEnsemble(JsonWriter &w, const EnsembleReport &e,
     w.key("cross_cell_messages").value(e.crossCellMessages);
     w.key("windows").value(e.windows);
     w.endObject();
+    // Omitted when empty: exact-mode reports keep their byte layout.
+    if (!e.fastMode.empty())
+        w.key("fast_mode").value(e.fastMode);
     if (opts.includeTimings)
         w.key("wall_seconds").value(e.wallSeconds);
     w.endObject();

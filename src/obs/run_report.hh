@@ -186,6 +186,11 @@ struct EnsembleReport {
     std::uint64_t crossCellMessages = 0;
     std::uint64_t windows = 0;
 
+    /** Fast-mode contract version ("fast-mode/2") when the run used
+     * the macro-event engine; empty (and the JSON key omitted, so
+     * exact reports keep their byte layout) otherwise. */
+    std::string fastMode;
+
     double wallSeconds = 0.0; //!< timing; excludable
 };
 

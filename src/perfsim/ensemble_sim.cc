@@ -145,6 +145,12 @@ struct Cell {
     double latencySum = 0.0;
     std::vector<std::uint64_t> latBins;
     std::uint64_t latOverflow = 0;
+
+    /** Equivalence-gate samples (never serialized): per-hour latency
+     * mass and active-server-seconds, swept alongside hourEnergyWs. */
+    std::vector<double> hourLatencySum;
+    std::vector<double> hourActiveSeconds;
+    double sweptActiveSeconds = 0.0;
 };
 
 struct EnsembleSim {
@@ -277,6 +283,7 @@ struct EnsembleSim {
         unsigned h = hourOf(now);
         ++c.hourCompleted[h];
         c.latencySum += latency;
+        c.hourLatencySum[h] += latency;
         if (latency >= cfg.qosLatencySeconds) {
             ++c.violations;
             ++c.hourViolations[h];
@@ -574,6 +581,9 @@ struct EnsembleSim {
             setState(c, s, c.state[s], now);
         c.hourEnergyWs[hour] += c.energyWs;
         c.energyWs = 0.0;
+        double active = c.stateSeconds[unsigned(ServerState::Active)];
+        c.hourActiveSeconds[hour] += active - c.sweptActiveSeconds;
+        c.sweptActiveSeconds = active;
     }
 
     std::uint32_t
@@ -707,6 +717,8 @@ struct EnsembleSim {
             c.hourEnergyWs.assign(cfg.hours, 0.0);
             c.hourCompleted.assign(cfg.hours, 0);
             c.hourViolations.assign(cfg.hours, 0);
+            c.hourLatencySum.assign(cfg.hours, 0.0);
+            c.hourActiveSeconds.assign(cfg.hours, 0.0);
             c.latBins.assign(kLatencyBins, 0);
             // Expected arena occupancy: every slot of every server
             // can hold an in-service job, plus queued headroom.
@@ -752,8 +764,10 @@ struct EnsembleSim {
     }
 };
 
+} // namespace
+
 void
-validate(const EnsembleConfig &cfg)
+validateEnsembleConfig(const EnsembleConfig &cfg)
 {
     WSC_ASSERT(cfg.servers >= 1, "empty ensemble");
     WSC_ASSERT(cfg.cells >= 1 && cfg.cells <= cfg.servers,
@@ -791,12 +805,12 @@ validate(const EnsembleConfig &cfg)
     }
 }
 
-} // namespace
-
 EnsembleResult
 runEnsemble(const EnsembleConfig &cfg)
 {
-    validate(cfg);
+    validateEnsembleConfig(cfg);
+    if (cfg.fast.enabled)
+        return runEnsembleFast(cfg);
 
     EnsembleSim sim(cfg);
     // Expected per-shard event occupancy: a completion per busy slot
@@ -916,6 +930,28 @@ runEnsemble(const EnsembleConfig &cfg)
     r.windows = stats.windows;
     r.shardEvents = std::move(stats.shardDispatched);
     r.meanWindowImbalance = stats.meanWindowImbalance;
+
+    r.fastMode = false;
+    r.cellHourUtilization.assign(std::size_t(cfg.cells) * cfg.hours,
+                                 0.0);
+    r.cellHourLatencyMean.assign(std::size_t(cfg.cells) * cfg.hours,
+                                 0.0);
+    r.cellHourCompleted.assign(std::size_t(cfg.cells) * cfg.hours, 0);
+    for (unsigned ci = 0; ci < cfg.cells; ++ci) {
+        const Cell &c = sim.cells[ci];
+        for (unsigned h = 0; h < cfg.hours; ++h) {
+            std::size_t i = std::size_t(ci) * cfg.hours + h;
+            r.cellHourUtilization[i] =
+                c.hourActiveSeconds[h] /
+                (double(c.n) * cfg.secondsPerHour);
+            r.cellHourCompleted[i] = c.hourCompleted[h];
+            if (c.hourCompleted[h] > 0)
+                r.cellHourLatencyMean[i] =
+                    c.hourLatencySum[h] /
+                    double(c.hourCompleted[h]);
+        }
+    }
+
     r.wallSeconds = wall;
     return r;
 }

@@ -39,6 +39,7 @@
 
 #include "power/sleep_states.hh"
 #include "sim/event_queue.hh"
+#include "sim/fast_mode.hh"
 
 namespace wsc {
 namespace perfsim {
@@ -139,6 +140,10 @@ struct EnsembleConfig {
     double powerCapWatts = 0.0;
     MmppConfig mmpp;
 
+    /** fast-mode/2 macro-event arrival coalescing (sim/fast_mode.hh).
+     * Off = the exact per-arrival engine, byte-identical to PR-9. */
+    sim::EnsembleFastConfig fast;
+
     std::uint64_t seed = 1;
 };
 
@@ -196,11 +201,29 @@ struct EnsembleResult {
     std::vector<std::uint64_t> shardEvents;
     double meanWindowImbalance = 1.0;
 
+    /** True when this result came from the fast-mode/2 macro-event
+     * engine; reports stamp the contract version only then. */
+    bool fastMode = false;
+
+    /** Equivalence-gate sample matrices, indexed [cell * hours + hour].
+     * Deliberately NOT serialized into reports (exact-path bytes stay
+     * PR-9-identical); bench_ensemble's KS gate consumes them. */
+    std::vector<double> cellHourUtilization;  //!< active-server-seconds / (servers/cells * sph)
+    std::vector<double> cellHourLatencyMean;  //!< mean completed-job latency, 0 if none
+    std::vector<std::uint64_t> cellHourCompleted;
+
     double wallSeconds = 0.0;  //!< not shard-invariant; not identity
 };
 
-/** Run one ensemble simulation. */
+/** Panic on a degenerate ensemble configuration. */
+void validateEnsembleConfig(const EnsembleConfig &cfg);
+
+/** Run one ensemble simulation (dispatches to the fast-mode/2 engine
+ * when cfg.fast.enabled). */
 EnsembleResult runEnsemble(const EnsembleConfig &cfg);
+
+/** The fast-mode/2 macro-event engine (perfsim/ensemble_fast.cc). */
+EnsembleResult runEnsembleFast(const EnsembleConfig &cfg);
 
 } // namespace perfsim
 } // namespace wsc

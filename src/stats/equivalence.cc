@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "util/logging.hh"
 
@@ -103,6 +104,80 @@ ksTwoSample(std::vector<double> a, std::vector<double> b)
     double sq = std::sqrt(ne);
     double lambda = (sq + 0.12 + 0.11 / sq) * d;
     r.pValue = kolmogorovQ(lambda);
+    return r;
+}
+
+PermKsResult
+blockPermutationKs(std::vector<std::vector<double>> blocksA,
+                   std::vector<std::vector<double>> blocksB,
+                   bool centerBlocks)
+{
+    const std::size_t half = blocksA.size();
+    WSC_ASSERT(half == blocksB.size(),
+               "permutation KS needs equal block counts per side");
+    WSC_ASSERT(half >= 2 && half <= 8,
+               "permutation KS supports 2..8 blocks per side");
+
+    std::vector<std::vector<double>> blocks = std::move(blocksA);
+    blocks.insert(blocks.end(),
+                  std::make_move_iterator(blocksB.begin()),
+                  std::make_move_iterator(blocksB.end()));
+    if (centerBlocks)
+        for (auto &b : blocks) {
+            if (b.empty())
+                continue;
+            double m = 0.0;
+            for (double x : b)
+                m += x;
+            m /= double(b.size());
+            for (double &x : b)
+                x -= m;
+        }
+
+    const std::size_t n = blocks.size();
+    auto pooledD = [&](const std::vector<char> &inA) {
+        std::vector<double> a, b;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &dst = inA[i] ? a : b;
+            dst.insert(dst.end(), blocks[i].begin(), blocks[i].end());
+        }
+        return ksTwoSample(std::move(a), std::move(b)).statistic;
+    };
+
+    std::vector<char> identity(n, 0);
+    for (std::size_t i = 0; i < half; ++i)
+        identity[i] = 1;
+    PermKsResult r;
+    r.statistic = pooledD(identity);
+
+    // Enumerate every balanced partition of the n blocks exactly
+    // once: D is symmetric in the two pools, so a label set and its
+    // complement are the same partition — pin block 0 to side A and
+    // choose the remaining half-1 of its companions from blocks
+    // 1..n-1. The identity partition is one of them, so geCount >= 1.
+    std::vector<std::size_t> comb(half - 1);
+    for (std::size_t i = 0; i + 1 < half; ++i)
+        comb[i] = i + 1;
+    std::size_t geCount = 0, total = 0;
+    for (;;) {
+        std::vector<char> inA(n, 0);
+        inA[0] = 1;
+        for (std::size_t i : comb)
+            inA[i] = 1;
+        ++total;
+        if (pooledD(inA) >= r.statistic - 1e-12)
+            ++geCount;
+        std::size_t k = half - 1;
+        while (k > 0 && comb[k - 1] == n - half + k)
+            --k;
+        if (k == 0)
+            break;
+        ++comb[k - 1];
+        for (std::size_t j = k; j + 1 < half; ++j)
+            comb[j] = comb[j - 1] + 1;
+    }
+    r.permutations = total;
+    r.pValue = double(geCount) / double(total);
     return r;
 }
 

@@ -45,6 +45,48 @@ struct KsResult {
  */
 KsResult ksTwoSample(std::vector<double> a, std::vector<double> b);
 
+/** Result of a seed-block permutation KS test. */
+struct PermKsResult {
+    double statistic = 0.0; //!< pooled KS D under the observed labels
+    double pValue = 1.0;    //!< exact permutation p-value
+    std::size_t permutations = 0; //!< balanced relabelings enumerated
+
+    /** Equivalent at level @p alpha: fail to reject exchangeability. */
+    bool passes(double alpha) const { return pValue > alpha; }
+};
+
+/**
+ * Seed-block permutation KS test.
+ *
+ * A pooled two-sample KS p-value assumes iid samples, but ensemble
+ * per-cell-hour metrics are correlated within a run: cross-cell spills
+ * and shared MMPP burst luck shift every sample from one seed
+ * together. Exact-vs-exact A/A pools at disjoint seeds show null D up
+ * to ~0.3 where the iid critical value is ~0.08 — the plain p-value is
+ * wildly anti-conservative. The fix is to treat the *run* (one seed on
+ * one engine) as the exchangeable unit: enumerate every balanced
+ * relabeling of the 2N blocks, recompute the pooled D for each, and
+ * report the rank of the observed D in that null. Valid under
+ * arbitrary within-block correlation.
+ *
+ * Each block is optionally mean-centered first (@p centerBlocks),
+ * removing per-seed common shifts; this tightens the null from
+ * D ~ 0.1-0.3 to ~0.02-0.04 so genuine within-run shape changes
+ * (queueing-tail distortions) stand out. Pure location biases removed
+ * by centering are the CI-overlap checks' job.
+ *
+ * Requires equal block counts per side, 2..8 blocks per side. D is
+ * symmetric in the two pools, so the enumeration counts each balanced
+ * *partition* once — C(2N-1, N-1) <= 6435 of them. The identity
+ * partition is included, so pValue >= 1/permutations; with N = 5
+ * there are 126 partitions and the smallest attainable p is
+ * 1/126 ~ 0.0079.
+ */
+PermKsResult
+blockPermutationKs(std::vector<std::vector<double>> blocksA,
+                   std::vector<std::vector<double>> blocksB,
+                   bool centerBlocks = true);
+
 /** Mean with a symmetric Student-t confidence interval. */
 struct MeanCi {
     double mean = 0.0;
@@ -82,6 +124,13 @@ struct EquivalenceSpec {
      * the p-value to ~0 at the gate's sample sizes.
      */
     double ksAlpha = 1e-3;
+    /**
+     * Rejection level for blockPermutationKs checks. With 5 blocks a
+     * side (126 balanced partitions) this fails only when the
+     * observed D is the strict maximum of the permutation null —
+     * false-positive rate ~1/126 per check under exchangeability.
+     */
+    double permAlpha = 0.008;
     /** Confidence for the per-seed metric intervals (0.95 or 0.99). */
     double ciConfidence = 0.95;
 };

@@ -9,6 +9,8 @@
 #ifndef WSC_UTIL_RANDOM_HH
 #define WSC_UTIL_RANDOM_HH
 
+#include <math.h>
+
 #include <cmath>
 #include <cstdint>
 #include <random>
@@ -184,7 +186,71 @@ class SplitMix64
         return -std::log1p(-uniform()) * mean;
     }
 
+    /**
+     * Exact Poisson(mean) draw. Small means use Knuth's product-of-
+     * uniforms loop (O(mean) uniforms); large means use Hormann's PTRS
+     * transformed-rejection sampler (O(1) expected uniforms, exact for
+     * mean >= 10). Both are exact samplers — the macro-event fast path
+     * (fast-mode/2) leans on this so window arrival *counts* follow
+     * the pinned Poisson law with zero distributional error; only the
+     * draw order relative to exact mode changes.
+     */
+    std::uint64_t
+    poisson(double mean)
+    {
+        if (!(mean > 0.0))
+            return 0;
+        if (mean < 10.0) {
+            double limit = std::exp(-mean);
+            double prod = 1.0;
+            std::uint64_t k = 0;
+            for (;;) {
+                prod *= uniform();
+                if (prod <= limit)
+                    return k;
+                ++k;
+            }
+        }
+        // PTRS (Hormann 1993): transformed rejection with squeeze.
+        double b = 0.931 + 2.53 * std::sqrt(mean);
+        double a = -0.059 + 0.02483 * b;
+        double invAlpha = 1.1239 + 1.1328 / (b - 3.4);
+        double vr = 0.9277 - 3.6224 / (b - 2.0);
+        double logMean = std::log(mean);
+        for (;;) {
+            double u = uniform() - 0.5;
+            double v = uniform();
+            double us = 0.5 - std::abs(u);
+            double kf = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+            if (us >= 0.07 && v <= vr)
+                return std::uint64_t(kf);
+            if (kf < 0.0 || (us < 0.013 && v > us))
+                continue;
+            if (std::log(v) + std::log(invAlpha) -
+                    std::log(a / (us * us) + b) <=
+                kf * logMean - mean - logGamma(kf + 1.0))
+                return std::uint64_t(kf);
+        }
+    }
+
   private:
+    /**
+     * ln Γ(x) for x > 0. std::lgamma writes the process-global
+     * `signgam`, a write-write data race when worker threads draw
+     * Poisson counts concurrently; lgamma_r computes the identical
+     * value into a local sign instead.
+     */
+    static double
+    logGamma(double v)
+    {
+#if defined(__unix__) || defined(__APPLE__)
+        int sign = 0;
+        return ::lgamma_r(v, &sign);
+#else
+        return std::lgamma(v);
+#endif
+    }
+
     std::uint64_t x;
 };
 

@@ -4,11 +4,16 @@
  * (byte-identical reports at 1/2/8 shards, across worker counts, and
  * between the heap and calendar event-queue backends),
  * sleep-state wake-latency accounting, MMPP burst rates, power-cap
- * clamping, zero-load hours, the policy energy ordering, and config
- * validation.
+ * clamping, zero-load hours, the policy energy ordering, config
+ * validation, and the fast-mode/2 macro-event engine's own contract:
+ * per-seed bit-identity across execution knobs, the report stamp,
+ * coarse statistical closeness to the exact engine, and policy-
+ * ordering preservation.
  */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "core/ensemble.hh"
 #include "obs/run_report.hh"
@@ -285,6 +290,97 @@ TEST(Ensemble, ReportAccountingCloses)
     noTimings.includeTimings = false;
     std::string id = obs::toJson(core::ensembleReport(o), noTimings);
     EXPECT_EQ(id.find("\"wall_seconds\""), std::string::npos);
+}
+
+// fast-mode/2 keeps the exact engine's execution-knob invariance: the
+// macro-event engine must produce one byte stream per seed regardless
+// of shards, workers, or event-queue backend, and reproduce it on a
+// repeat run. (Bit-identity *across* engines is exactly what fast
+// mode gives up; that boundary is gated statistically.)
+TEST(EnsembleFast, BitIdenticalAcrossExecutionKnobs)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.fast.enabled = true;
+
+    std::string ref = identityJson(runEnsemble(cfg));
+    EXPECT_EQ(identityJson(runEnsemble(cfg)), ref) << "repeat run";
+
+    for (auto kind : {sim::QueueKind::Heap, sim::QueueKind::Calendar})
+        for (unsigned shards : {1u, 2u, 8u})
+            for (unsigned workers : {1u, 2u}) {
+                if (workers > shards)
+                    continue;
+                cfg.queue = kind;
+                cfg.shards = shards;
+                cfg.workers = workers;
+                EXPECT_EQ(identityJson(runEnsemble(cfg)), ref)
+                    << sim::queueKindName(kind) << " shards=" << shards
+                    << " workers=" << workers;
+            }
+}
+
+// The contract version is stamped into fast reports and absent from
+// exact ones — exact-mode bytes must not move when the feature ships.
+TEST(EnsembleFast, ContractStampedOnlyWhenEnabled)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.servers = 500;
+
+    std::string exact = identityJson(runEnsemble(cfg));
+    EXPECT_EQ(exact.find("\"fast_mode\""), std::string::npos);
+
+    cfg.fast.enabled = true;
+    std::string fast = identityJson(runEnsemble(cfg));
+    EXPECT_NE(fast.find("\"fast_mode\": \"fast-mode/2\""),
+              std::string::npos);
+    EXPECT_NE(exact, fast);
+}
+
+// Coarse statistical closeness on one seed: not the real gate (that
+// is bench_ensemble's permutation-KS + CI machinery over seed pools),
+// but a cheap tripwire that catches gross engine divergence — wrong
+// arrival law, broken energy integration, missing spill handling —
+// in every ctest run.
+TEST(EnsembleFast, TracksExactAggregates)
+{
+    EnsembleConfig cfg = baseConfig();
+
+    cfg.fast.enabled = false;
+    auto exact = runEnsemble(cfg);
+    cfg.fast.enabled = true;
+    auto fast = runEnsemble(cfg);
+
+    auto rel = [](double a, double b) {
+        return std::abs(a - b) / std::max(std::abs(a), 1e-12);
+    };
+    EXPECT_LT(rel(double(exact.offered), double(fast.offered)), 0.05);
+    EXPECT_LT(rel(exact.kWhPerDay, fast.kWhPerDay), 0.05);
+    EXPECT_LT(rel(exact.meanAwakeServers, fast.meanAwakeServers),
+              0.05);
+    EXPECT_LT(rel(exact.meanLatency, fast.meanLatency), 0.25);
+    EXPECT_LT(std::abs(exact.qosAttainment - fast.qosAttainment),
+              0.05);
+    EXPECT_GT(fast.spilled, 0u);
+    EXPECT_GT(fast.wakes, 0u);
+    // The coalescing is the point: far fewer dispatched events than
+    // the per-arrival engine for the same offered load.
+    EXPECT_LT(fast.eventsDispatched, exact.eventsDispatched / 2);
+}
+
+// The paper's headline ordering must survive the macro-event engine.
+TEST(EnsembleFast, PolicyEnergyOrderingPreserved)
+{
+    EnsembleConfig cfg = baseConfig();
+    cfg.fast.enabled = true;
+
+    cfg.policy = EnsemblePolicy::PowerOff;
+    auto off = runEnsemble(cfg);
+    cfg.policy = EnsemblePolicy::AlwaysOn;
+    auto on = runEnsemble(cfg);
+
+    EXPECT_LT(off.kWhPerDay, on.kWhPerDay);
+    EXPECT_GT(off.offs, 0u);
+    EXPECT_EQ(on.offs, 0u);
 }
 
 TEST(Ensemble, RejectsDegenerateConfigs)

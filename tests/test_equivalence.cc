@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "stats/equivalence.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 namespace {
@@ -71,6 +72,96 @@ TEST(KsTwoSample, UnequalSizesSupported)
     auto a = lognormalSamples(7, 500, 0.0, 0.5);
     auto b = lognormalSamples(8, 5000, 0.0, 0.5);
     EXPECT_TRUE(ksTwoSample(a, b).passes(1e-3));
+}
+
+// Block-correlated same-law data: each run-block shares a strong
+// common shift, the situation that breaks pooled-KS p-values for
+// ensemble per-cell samples. The permutation test must still accept.
+TEST(BlockPermutationKs, CorrelatedSameLawPasses)
+{
+    Rng rng(30);
+    auto makeSide = [&](std::size_t blocks) {
+        std::vector<std::vector<double>> side;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            double shift = rng.normal(0.0, 1.0); // block-level luck
+            std::vector<double> xs;
+            for (int i = 0; i < 200; ++i)
+                xs.push_back(shift + rng.normal(0.0, 0.3));
+            side.push_back(std::move(xs));
+        }
+        return side;
+    };
+    auto a = makeSide(5);
+    auto b = makeSide(5);
+
+    // The pooled iid p-value is (typically) garbage on this data; the
+    // permutation p-value must stay comfortably away from rejection.
+    auto pk = blockPermutationKs(a, b);
+    EXPECT_EQ(pk.permutations, 126u);
+    EXPECT_TRUE(pk.passes(EquivalenceSpec{}.permAlpha));
+    EXPECT_GE(pk.pValue, 1.0 / 126.0);
+}
+
+// A within-block shape change (inflated upper tail in every "fast"
+// block) survives centering and must drive the observed D to the top
+// of the permutation null.
+TEST(BlockPermutationKs, TailInflationFails)
+{
+    Rng rng(31);
+    auto makeSide = [&](std::size_t blocks, bool inflate) {
+        std::vector<std::vector<double>> side;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            double shift = rng.normal(0.0, 1.0);
+            std::vector<double> xs;
+            for (int i = 0; i < 200; ++i) {
+                double x = rng.normal(0.0, 0.3);
+                if (inflate && x > 0.2)
+                    x *= 1.8;
+                xs.push_back(shift + x);
+            }
+            side.push_back(std::move(xs));
+        }
+        return side;
+    };
+    auto pk = blockPermutationKs(makeSide(5, false), makeSide(5, true));
+    EXPECT_FALSE(pk.passes(EquivalenceSpec{}.permAlpha));
+    EXPECT_DOUBLE_EQ(pk.pValue, 1.0 / 126.0);
+}
+
+// Centering is what buys the power: a pure block-mean shift is
+// deliberately invisible to the centered statistic (that failure mode
+// belongs to the CI-overlap checks), while with centering disabled
+// the same data is seen as a shift.
+TEST(BlockPermutationKs, CenteringRemovesPureLocationBias)
+{
+    Rng rng(32);
+    auto makeSide = [&](std::size_t blocks, double bias) {
+        std::vector<std::vector<double>> side;
+        for (std::size_t b = 0; b < blocks; ++b) {
+            std::vector<double> xs;
+            for (int i = 0; i < 200; ++i)
+                xs.push_back(bias + rng.normal(0.0, 0.3));
+            side.push_back(std::move(xs));
+        }
+        return side;
+    };
+    auto a = makeSide(5, 0.0);
+    auto b = makeSide(5, 2.0);
+    auto centered = blockPermutationKs(a, b, true);
+    EXPECT_TRUE(centered.passes(EquivalenceSpec{}.permAlpha));
+    auto raw = blockPermutationKs(a, b, false);
+    EXPECT_DOUBLE_EQ(raw.pValue, 1.0 / 126.0);
+    EXPECT_GT(raw.statistic, 0.9);
+}
+
+TEST(BlockPermutationKs, RejectsUnsupportedBlockCounts)
+{
+    std::vector<std::vector<double>> two{{1.0, 2.0}, {3.0, 4.0}};
+    std::vector<std::vector<double>> three{
+        {1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+    EXPECT_THROW(blockPermutationKs(two, three), PanicError);
+    std::vector<std::vector<double>> one{{1.0, 2.0}};
+    EXPECT_THROW(blockPermutationKs(one, one), PanicError);
 }
 
 TEST(MeanCiTest, CoversKnownMean)

@@ -219,6 +219,84 @@ TEST(TraceStream, UsesMmapOnThisPlatform)
 #endif
 }
 
+// The buffered-ifstream fallback normally runs only where mmap is
+// missing or fails; the forceBuffered hook drags it into CI and pins
+// it to the mapped path's exact outputs — pages, full records, rewind
+// behavior, and replay counters.
+TEST(TraceStream, BufferedFallbackMatchesMappedPath)
+{
+    ScopedPath f("/tmp/wsc_ts_buf.strace");
+    auto trace = sampleTrace(30000);
+    {
+        TraceStreamWriter w(f.path, /*withTimestamps=*/true);
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            w.append(trace[i], i % 3 == 0, i * 7);
+    }
+
+    TraceStream mapped(f.path);
+    TraceStream buffered(f.path, /*forceBuffered=*/true);
+    ASSERT_TRUE(mapped.mapped());
+    ASSERT_FALSE(buffered.mapped());
+    EXPECT_EQ(buffered.count(), mapped.count());
+    EXPECT_EQ(buffered.pageBound(), mapped.pageBound());
+    EXPECT_TRUE(buffered.hasTimestamps());
+
+    // Identical record streams, batch boundaries intentionally
+    // misaligned with the reader's internal io batch.
+    std::vector<TraceRecord> a(777), b(777);
+    for (;;) {
+        std::size_t na = mapped.fillRecords(a.data(), a.size());
+        std::size_t nb = buffered.fillRecords(b.data(), b.size());
+        ASSERT_EQ(na, nb);
+        if (na == 0)
+            break;
+        for (std::size_t i = 0; i < na; ++i) {
+            EXPECT_EQ(a[i].page, b[i].page);
+            EXPECT_EQ(a[i].write, b[i].write);
+            EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+        }
+    }
+
+    // rewind() resets the fallback's stream position too.
+    mapped.rewind();
+    buffered.rewind();
+    std::vector<PageId> pa(trace.size()), pb(trace.size());
+    std::size_t da = 0, db = 0;
+    while (da < pa.size())
+        da += mapped.fillPages(pa.data() + da, pa.size() - da);
+    while (db < pb.size())
+        db += buffered.fillPages(pb.data() + db, pb.size() - db);
+    EXPECT_EQ(pa, pb);
+    EXPECT_EQ(pa, trace);
+}
+
+// Stream-vs-pages identity holds through the fallback: replaying via
+// forceBuffered produces the same counters as the materialized replay.
+TEST(TraceStream, BufferedFallbackReplayMatchesMaterialized)
+{
+    ScopedPath f("/tmp/wsc_ts_bufreplay.strace");
+    auto profile = profileFor(workloads::Benchmark::Webmail);
+    auto trace = generateTrace(profile, 40000, Rng(11));
+    writeTraceStream(f.path, trace);
+    std::uint64_t bound = traceStreamInfo(f.path).pageBound;
+    auto frames = std::size_t(double(profile.footprintPages) * 0.25);
+
+    for (PolicyKind kind : allPolicyKinds) {
+        TraceStream ts(f.path, /*forceBuffered=*/true);
+        auto streamed = replayStream(ts, kind, frames, Rng(4));
+        auto materialized = replayPages(trace.data(), trace.size(),
+                                        kind, frames, bound, Rng(4));
+        EXPECT_EQ(streamed.accesses, materialized.accesses)
+            << to_string(kind);
+        EXPECT_EQ(streamed.hits, materialized.hits)
+            << to_string(kind);
+        EXPECT_EQ(streamed.misses, materialized.misses)
+            << to_string(kind);
+        EXPECT_EQ(streamed.coldMisses, materialized.coldMisses)
+            << to_string(kind);
+    }
+}
+
 TEST(TraceStream, ReplayStreamMatchesMaterializedReplay)
 {
     ScopedPath f("/tmp/wsc_ts_replay.strace");

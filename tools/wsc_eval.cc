@@ -192,12 +192,21 @@ main(int argc, char **argv)
         .addOption("ensemble-seed", "ensemble RNG seed", "1")
         .addFlag("ensemble-mmpp",
                  "enable MMPP flash-crowd bursts in the ensemble runs")
+        .addOption("ensemble-policy",
+                   "evaluate a single ensemble policy instead of the "
+                   "full ranking: always-on|consolidate-idle|power-off "
+                   "(empty = all three)",
+                   "")
         .addFlag("trace",
                  "count kernel trace records and summarize on stderr")
         .addFlag("fast-mode",
-                 "batched sampling fast path (statistically equivalent, "
-                 "not bit-identical; contract " +
-                     sim::FastModeConfig::contractVersion() + ")")
+                 "statistically-equivalent fast paths (not "
+                 "bit-identical): batched sampling in the perf search "
+                 "(contract " +
+                     sim::FastModeConfig::contractVersion() +
+                     ") and macro-event arrival coalescing in the "
+                     "ensemble DES (contract " +
+                     sim::EnsembleFastConfig::contractVersion() + ")")
         .addFlag("csv", "emit CSV instead of an aligned table");
 
     try {
@@ -383,6 +392,18 @@ main(int argc, char **argv)
                 fatal("--ensemble-seed must be >= 0");
             ep.seed = std::uint64_t(eSeed);
             ep.mmpp.enabled = args.flag("ensemble-mmpp");
+            ep.fast.enabled = args.flag("fast-mode");
+
+            std::string policyName = args.get("ensemble-policy");
+            if (policyName == "always-on")
+                ep.policies = {PowerPolicy::AlwaysOn};
+            else if (policyName == "consolidate-idle")
+                ep.policies = {PowerPolicy::ConsolidateIdle};
+            else if (policyName == "power-off")
+                ep.policies = {PowerPolicy::PowerOff};
+            else if (!policyName.empty())
+                fatal("unknown ensemble policy '" + policyName +
+                      "' (always-on|consolidate-idle|power-off)");
 
             std::string shape = args.get("ensemble-profile");
             DiurnalProfile profile;
@@ -417,6 +438,10 @@ main(int argc, char **argv)
                       << " cells, " << ep.hours << " h x "
                       << ep.secondsPerHour << " s, profile=" << shape
                       << (ep.mmpp.enabled ? ", mmpp" : "")
+                      << (ep.fast.enabled
+                              ? ", " + sim::EnsembleFastConfig::
+                                           contractVersion()
+                              : "")
                       << ", queue=" << sim::queueKindName(ep.queue)
                       << "; score = kWh / attainment, lower wins):\n\n";
             if (args.flag("csv"))
